@@ -1,0 +1,165 @@
+//! Retrieval evaluation metrics.
+//!
+//! The paper argues quality visually ("semantically more related"); with a
+//! labeled dataset the same judgments become numbers. These are the
+//! standard rank-based metrics used by the benchmark harnesses and tests to
+//! compare WALRUS against the single-signature baselines: precision@k,
+//! recall@k, average precision, and the rank of the first relevant result.
+//!
+//! All functions take a ranked list of item ids (best first) and a
+//! predicate for relevance, so they work unchanged for WALRUS's
+//! similarity-ranked output and the baselines' distance-ranked output.
+
+/// Precision@k: fraction of the first `k` results that are relevant.
+/// Returns 0 for an empty list; `k` is clamped to the list length.
+pub fn precision_at_k(ranked: &[usize], relevant: impl Fn(usize) -> bool, k: usize) -> f64 {
+    let k = k.min(ranked.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked[..k].iter().filter(|&&id| relevant(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k: fraction of all `total_relevant` items found in the first `k`
+/// results. Returns 0 when `total_relevant` is 0.
+pub fn recall_at_k(
+    ranked: &[usize],
+    relevant: impl Fn(usize) -> bool,
+    k: usize,
+    total_relevant: usize,
+) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let hits = ranked[..k].iter().filter(|&&id| relevant(id)).count();
+    hits as f64 / total_relevant as f64
+}
+
+/// Average precision: mean of precision@r over the ranks `r` where a
+/// relevant item appears, normalized by `total_relevant` (the standard AP
+/// used in mean-average-precision). 0 when `total_relevant` is 0.
+pub fn average_precision(
+    ranked: &[usize],
+    relevant: impl Fn(usize) -> bool,
+    total_relevant: usize,
+) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (i, &id) in ranked.iter().enumerate() {
+        if relevant(id) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Mean average precision over several queries' ranked lists.
+pub fn mean_average_precision(
+    runs: &[(Vec<usize>, usize)],
+    relevant: impl Fn(usize) -> bool + Copy,
+) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|(ranked, total)| average_precision(ranked, relevant, *total))
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+/// 1-based rank of the first relevant result, or `None` if none appears.
+pub fn first_relevant_rank(ranked: &[usize], relevant: impl Fn(usize) -> bool) -> Option<usize> {
+    ranked.iter().position(|&id| relevant(id)).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Relevant ids: even numbers.
+    fn even(id: usize) -> bool {
+        id % 2 == 0
+    }
+
+    #[test]
+    fn precision_basics() {
+        let ranked = vec![2, 4, 1, 3, 6];
+        assert_eq!(precision_at_k(&ranked, even, 2), 1.0);
+        assert_eq!(precision_at_k(&ranked, even, 4), 0.5);
+        assert_eq!(precision_at_k(&ranked, even, 5), 0.6);
+        // k beyond the list clamps.
+        assert_eq!(precision_at_k(&ranked, even, 50), 0.6);
+        assert_eq!(precision_at_k(&[], even, 3), 0.0);
+        assert_eq!(precision_at_k(&ranked, even, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_basics() {
+        let ranked = vec![2, 1, 4];
+        assert_eq!(recall_at_k(&ranked, even, 3, 4), 0.5);
+        assert_eq!(recall_at_k(&ranked, even, 1, 4), 0.25);
+        assert_eq!(recall_at_k(&ranked, even, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking_is_one() {
+        // All relevant items first.
+        let ranked = vec![0, 2, 4, 1, 3];
+        assert!((average_precision(&ranked, even, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_worst_ranking() {
+        // Single relevant item at the end of 4.
+        let ranked = vec![1, 3, 5, 2];
+        assert!((average_precision(&ranked, even, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_interleaved() {
+        // Relevant at ranks 1 and 3 of [2, 1, 4]; total relevant = 2.
+        // AP = (1/1 + 2/3) / 2 = 5/6.
+        let ranked = vec![2, 1, 4];
+        assert!((average_precision(&ranked, even, 2) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_penalizes_missing_items() {
+        // Only 1 of 2 relevant items retrieved, at rank 1: AP = (1/1)/2.
+        let ranked = vec![2, 1, 3];
+        assert!((average_precision(&ranked, even, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_averages_runs() {
+        let runs = vec![(vec![2, 1], 1), (vec![1, 2], 1)];
+        // AP of first run = 1.0, second = 0.5 → MAP = 0.75.
+        assert!((mean_average_precision(&runs, even) - 0.75).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[], even), 0.0);
+    }
+
+    #[test]
+    fn first_relevant() {
+        assert_eq!(first_relevant_rank(&[1, 3, 2], even), Some(3));
+        assert_eq!(first_relevant_rank(&[2], even), Some(1));
+        assert_eq!(first_relevant_rank(&[1, 3, 5], even), None);
+        assert_eq!(first_relevant_rank(&[], even), None);
+    }
+
+    #[test]
+    fn metrics_are_consistent() {
+        // precision@k * k == recall@k * total_relevant (both count hits).
+        let ranked = vec![2, 1, 4, 6, 3, 8];
+        for k in 1..=6 {
+            let p = precision_at_k(&ranked, even, k);
+            let r = recall_at_k(&ranked, even, k, 4);
+            assert!((p * k as f64 - r * 4.0).abs() < 1e-12, "k = {k}");
+        }
+    }
+}

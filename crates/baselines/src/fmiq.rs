@@ -1,0 +1,281 @@
+//! Fast multiresolution image querying (Jacobs, Finkelstein, Salesin;
+//! SIGGRAPH 1995) — the `[JFS95]` baseline of the WALRUS paper's related
+//! work.
+//!
+//! Per the original: each image is rescaled to a fixed power-of-two raster,
+//! transformed with a standard 2-D Haar decomposition per channel, and the
+//! signature keeps (a) the overall average color and (b) only the **signs**
+//! of the `m` largest-magnitude detail coefficients (typically 40–60). The
+//! image metric is the weighted "Lq" estimate
+//!
+//! ```text
+//! score(Q, T) = Σ_c  w₀ |dc_Q − dc_T|  −  Σ_{i kept in both, same sign} w(bin(i))
+//! ```
+//!
+//! where `bin(i)` groups coefficients by resolution level and the weights
+//! come from a small lookup table the original fit to user data. Lower
+//! scores are better. Like every single-signature scheme it tolerates only
+//! small translations — the original authors report exactly that.
+
+use crate::{BaselineError, Ranked, Result, Retriever};
+use walrus_imagery::{ColorSpace, Image};
+use walrus_wavelet::haar2d;
+use walrus_wavelet::quantize::{quantize, QuantizedSignature};
+
+/// FMIQ tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmiqParams {
+    /// Side of the internal raster (power of two; original: 128).
+    pub raster: usize,
+    /// Number of largest-magnitude coefficients retained per channel
+    /// (original: 40–60).
+    pub retained: usize,
+    /// Color space of the channels (original prefers YIQ).
+    pub color_space: ColorSpace,
+    /// Weight of the DC (average color) term.
+    pub dc_weight: f32,
+    /// Per-level weights for matched detail coefficients, coarse → fine.
+    /// Levels past the end reuse the last entry (the original's tables
+    /// flatten out at fine scales).
+    pub level_weights: [f32; 6],
+}
+
+impl Default for FmiqParams {
+    fn default() -> Self {
+        Self {
+            raster: 128,
+            retained: 60,
+            color_space: ColorSpace::Yiq,
+            dc_weight: 5.0,
+            // In the spirit of the original's fitted tables: coarse
+            // coefficients matter more.
+            level_weights: [2.6, 2.3, 1.9, 1.3, 1.0, 0.8],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Signature {
+    name: String,
+    /// Overall average per channel.
+    dc: Vec<f32>,
+    /// Sign-quantized top coefficients per channel.
+    quantized: Vec<QuantizedSignature>,
+}
+
+/// The FMIQ retriever.
+#[derive(Debug, Clone)]
+pub struct FmiqRetriever {
+    params: FmiqParams,
+    images: Vec<Signature>,
+}
+
+impl FmiqRetriever {
+    /// Creates an empty index with the original paper's defaults.
+    pub fn new() -> Self {
+        Self::with_params(FmiqParams::default())
+    }
+
+    /// Creates an empty index with explicit parameters.
+    pub fn with_params(params: FmiqParams) -> Self {
+        Self { params, images: Vec::new() }
+    }
+
+    fn signature(&self, name: &str, image: &Image) -> Result<Signature> {
+        let raster = self.params.raster;
+        if !walrus_wavelet::is_pow2(raster) || raster < 8 {
+            return Err(BaselineError::BadParams(format!(
+                "raster {raster} must be a power of two >= 8"
+            )));
+        }
+        let scaled = image.resize_bilinear(raster, raster)?.to_space(self.params.color_space)?;
+        let mut dc = Vec::new();
+        let mut quantized = Vec::new();
+        for c in 0..scaled.channel_count() {
+            let coeffs = haar2d::standard_forward(scaled.channel(c).as_slice(), raster)?;
+            dc.push(coeffs[0]);
+            quantized.push(quantize(&coeffs, self.params.retained));
+        }
+        Ok(Signature { name: name.to_string(), dc, quantized })
+    }
+
+    /// The resolution-level weight of the flat coefficient index `i` in a
+    /// `raster × raster` standard transform: level 0 is the coarsest.
+    fn weight_of_index(&self, i: u32) -> f32 {
+        let raster = self.params.raster as u32;
+        let (x, y) = (i % raster, i / raster);
+        // In the standard transform layout, a coefficient at (x, y) belongs
+        // to level max(ceil(log2(x+1)), ceil(log2(y+1))).
+        let level_of = |v: u32| -> u32 {
+            if v == 0 {
+                0
+            } else {
+                32 - v.leading_zeros()
+            }
+        };
+        let level = level_of(x).max(level_of(y)) as usize;
+        let table = &self.params.level_weights;
+        table[level.min(table.len() - 1)]
+    }
+
+    fn score(&self, q: &Signature, t: &Signature) -> f32 {
+        let mut score = 0.0f32;
+        for c in 0..q.dc.len() {
+            score += self.params.dc_weight * (q.dc[c] - t.dc[c]).abs();
+            // Subtract a weighted credit per same-signed shared coefficient.
+            for list in [
+                matched_indices(&q.quantized[c].positive, &t.quantized[c].positive),
+                matched_indices(&q.quantized[c].negative, &t.quantized[c].negative),
+            ] {
+                for idx in list {
+                    score -= self.weight_of_index(idx);
+                }
+            }
+        }
+        score
+    }
+}
+
+impl Default for FmiqRetriever {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn matched_indices(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+impl Retriever for FmiqRetriever {
+    fn system_name(&self) -> &'static str {
+        "FMIQ"
+    }
+
+    fn insert(&mut self, name: &str, image: &Image) -> Result<usize> {
+        let sig = self.signature(name, image)?;
+        self.images.push(sig);
+        Ok(self.images.len() - 1)
+    }
+
+    fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    fn top_k(&self, query: &Image, k: usize) -> Result<Vec<Ranked>> {
+        if self.images.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.signature("query", query)?;
+        let mut scored: Vec<(usize, f32)> =
+            (0..self.images.len()).map(|i| (i, self.score(&q, &self.images[i]))).collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        Ok(scored
+            .into_iter()
+            .map(|(i, d)| Ranked { id: i, name: self.images[i].name.clone(), distance: d })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+
+    fn scene_img(obj_center: (f32, f32)) -> Image {
+        Scene::new(Texture::Solid(Rgb(0.15, 0.45, 0.2)))
+            .with(SceneObject::new(
+                Shape::Ellipse { rx: 0.7, ry: 0.5 },
+                Texture::Checker { a: Rgb(0.9, 0.1, 0.1), b: Rgb(0.95, 0.8, 0.2), cell: 6 },
+                obj_center,
+                0.5,
+            ))
+            .render(80, 80)
+            .unwrap()
+    }
+
+    fn plain(color: Rgb) -> Image {
+        Scene::new(Texture::Solid(color)).render(80, 80).unwrap()
+    }
+
+    #[test]
+    fn self_query_wins() {
+        let mut r = FmiqRetriever::new();
+        let img = scene_img((0.5, 0.5));
+        r.insert("self", &img).unwrap();
+        r.insert("plain", &plain(Rgb(0.2, 0.2, 0.8))).unwrap();
+        let top = r.top_k(&img, 2).unwrap();
+        assert_eq!(top[0].name, "self");
+        assert!(top[0].distance < top[1].distance);
+    }
+
+    #[test]
+    fn self_score_is_most_negative_possible() {
+        // Against itself, every retained coefficient matches: the score is
+        // −Σ weights, the minimum for that signature.
+        let r = FmiqRetriever::new();
+        let img = scene_img((0.5, 0.5));
+        let sig = r.signature("x", &img).unwrap();
+        let self_score = r.score(&sig, &sig);
+        assert!(self_score < 0.0);
+        let other = r.signature("y", &plain(Rgb(0.9, 0.9, 0.9))).unwrap();
+        assert!(r.score(&sig, &other) > self_score);
+    }
+
+    #[test]
+    fn dc_term_separates_flat_colors() {
+        let mut r = FmiqRetriever::new();
+        r.insert("red", &plain(Rgb(0.9, 0.1, 0.1))).unwrap();
+        r.insert("green", &plain(Rgb(0.1, 0.9, 0.1))).unwrap();
+        let top = r.top_k(&plain(Rgb(0.85, 0.15, 0.12)), 2).unwrap();
+        assert_eq!(top[0].name, "red");
+    }
+
+    #[test]
+    fn translation_degrades_match() {
+        let mut r = FmiqRetriever::new();
+        r.insert("inplace", &scene_img((0.5, 0.5))).unwrap();
+        let near = r.top_k(&scene_img((0.5, 0.5)), 1).unwrap()[0].distance;
+        let moved = r.top_k(&scene_img((0.2, 0.2)), 1).unwrap()[0].distance;
+        assert!(moved > near, "in-place {near} vs moved {moved}");
+    }
+
+    #[test]
+    fn weights_prefer_coarse_levels() {
+        let r = FmiqRetriever::new();
+        // Coefficient (1, 0) is coarse; (100, 90) is fine.
+        let coarse = r.weight_of_index(1);
+        let fine = r.weight_of_index(90 * 128 + 100);
+        assert!(coarse > fine);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let r = FmiqRetriever::new();
+        assert!(r.top_k(&plain(Rgb(0.5, 0.5, 0.5)), 5).unwrap().is_empty());
+        let mut r = FmiqRetriever::new();
+        r.insert("a", &plain(Rgb(0.5, 0.5, 0.5))).unwrap();
+        assert!(r.top_k(&plain(Rgb(0.5, 0.5, 0.5)), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_raster_rejected() {
+        let mut r = FmiqRetriever::with_params(FmiqParams { raster: 96, ..Default::default() });
+        assert!(r.insert("x", &plain(Rgb(0.5, 0.5, 0.5))).is_err());
+    }
+}

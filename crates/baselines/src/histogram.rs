@@ -1,0 +1,201 @@
+//! Global color-histogram retrieval — the QBIC-generation baseline
+//! (`[Nib93]`, `[FSN+95]` in the WALRUS paper).
+//!
+//! Each image is summarized by a normalized 3-D color histogram (default
+//! 4×4×4 RGB bins); images are ranked by L1 histogram distance. Histograms
+//! are invariant to *global* scale and orientation but, as the paper's §1.1
+//! explains, carry no shape/location/texture information at all — two images
+//! with the same color budget look identical to this retriever.
+
+use crate::{BaselineError, Ranked, Result, Retriever};
+use walrus_imagery::{ColorSpace, Image};
+
+/// Histogram retriever parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramParams {
+    /// Bins per channel (total bins = `bins³`).
+    pub bins: usize,
+}
+
+impl Default for HistogramParams {
+    fn default() -> Self {
+        Self { bins: 4 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    histogram: Vec<f32>,
+}
+
+/// The color-histogram retriever.
+#[derive(Debug, Clone)]
+pub struct HistogramRetriever {
+    params: HistogramParams,
+    images: Vec<Entry>,
+}
+
+impl HistogramRetriever {
+    /// Creates an empty index with 4×4×4 bins.
+    pub fn new() -> Self {
+        Self::with_params(HistogramParams::default())
+    }
+
+    /// Creates an empty index with explicit parameters.
+    pub fn with_params(params: HistogramParams) -> Self {
+        Self { params, images: Vec::new() }
+    }
+
+    /// Computes the normalized histogram of an image.
+    pub fn histogram(&self, image: &Image) -> Result<Vec<f32>> {
+        let bins = self.params.bins;
+        if bins == 0 {
+            return Err(BaselineError::BadParams("bins must be >= 1".into()));
+        }
+        let rgb = image.to_space(ColorSpace::Rgb)?;
+        let mut hist = vec![0.0f32; bins * bins * bins];
+        let quant = |v: f32| -> usize { ((v.clamp(0.0, 1.0) * bins as f32) as usize).min(bins - 1) };
+        for y in 0..rgb.height() {
+            for x in 0..rgb.width() {
+                let r = quant(rgb.channel(0).get(x, y));
+                let g = quant(rgb.channel(1).get(x, y));
+                let b = quant(rgb.channel(2).get(x, y));
+                hist[(r * bins + g) * bins + b] += 1.0;
+            }
+        }
+        let total = rgb.area() as f32;
+        for h in &mut hist {
+            *h /= total;
+        }
+        Ok(hist)
+    }
+}
+
+impl Default for HistogramRetriever {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// L1 distance between two normalized histograms (∈ [0, 2]).
+pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+impl Retriever for HistogramRetriever {
+    fn system_name(&self) -> &'static str {
+        "ColorHistogram"
+    }
+
+    fn insert(&mut self, name: &str, image: &Image) -> Result<usize> {
+        let histogram = self.histogram(image)?;
+        self.images.push(Entry { name: name.to_string(), histogram });
+        Ok(self.images.len() - 1)
+    }
+
+    fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    fn top_k(&self, query: &Image, k: usize) -> Result<Vec<Ranked>> {
+        if self.images.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.histogram(query)?;
+        let mut scored: Vec<(usize, f32)> = self
+            .images
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, l1_distance(&q, &e.histogram)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        Ok(scored
+            .into_iter()
+            .map(|(i, d)| Ranked { id: i, name: self.images[i].name.clone(), distance: d })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+
+    fn plain(color: Rgb) -> Image {
+        Scene::new(Texture::Solid(color)).render(32, 32).unwrap()
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let r = HistogramRetriever::new();
+        let h = r.histogram(&plain(Rgb(0.3, 0.7, 0.2))).unwrap();
+        let sum: f32 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(h.len(), 64);
+    }
+
+    #[test]
+    fn identical_color_distance_zero() {
+        let r = HistogramRetriever::new();
+        let a = r.histogram(&plain(Rgb(0.3, 0.7, 0.2))).unwrap();
+        let b = r.histogram(&plain(Rgb(0.3, 0.7, 0.2))).unwrap();
+        assert_eq!(l1_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_colors_have_max_distance() {
+        let r = HistogramRetriever::new();
+        let a = r.histogram(&plain(Rgb(0.95, 0.05, 0.05))).unwrap();
+        let b = r.histogram(&plain(Rgb(0.05, 0.05, 0.95))).unwrap();
+        assert!((l1_distance(&a, &b) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn retrieval_prefers_same_palette() {
+        let mut r = HistogramRetriever::new();
+        r.insert("red", &plain(Rgb(0.9, 0.1, 0.1))).unwrap();
+        r.insert("blue", &plain(Rgb(0.1, 0.1, 0.9))).unwrap();
+        let top = r.top_k(&plain(Rgb(0.85, 0.12, 0.1)), 2).unwrap();
+        assert_eq!(top[0].name, "red");
+        assert!(top[0].distance < top[1].distance);
+    }
+
+    #[test]
+    fn histogram_is_location_blind() {
+        // The documented failure mode: the same object anywhere in the
+        // frame gives a (nearly) identical histogram.
+        let img_at = |c: (f32, f32)| {
+            Scene::new(Texture::Solid(Rgb(0.1, 0.5, 0.15)))
+                .with(SceneObject::new(
+                    Shape::Rect { hx: 0.5, hy: 0.5 },
+                    Texture::Solid(Rgb(0.9, 0.1, 0.1)),
+                    c,
+                    0.4,
+                ))
+                .render(64, 64)
+                .unwrap()
+        };
+        let r = HistogramRetriever::new();
+        let a = r.histogram(&img_at((0.3, 0.3))).unwrap();
+        let b = r.histogram(&img_at((0.7, 0.7))).unwrap();
+        assert!(l1_distance(&a, &b) < 0.05, "histograms should barely move");
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let r = HistogramRetriever::new();
+        assert!(r.is_empty());
+        assert!(r.top_k(&plain(Rgb(0.5, 0.5, 0.5)), 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn custom_bin_count() {
+        let r = HistogramRetriever::with_params(HistogramParams { bins: 8 });
+        let h = r.histogram(&plain(Rgb(0.5, 0.5, 0.5))).unwrap();
+        assert_eq!(h.len(), 512);
+    }
+}

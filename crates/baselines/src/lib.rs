@@ -1,0 +1,117 @@
+//! # walrus-baselines
+//!
+//! The single-signature retrieval systems WALRUS is compared against:
+//!
+//! * [`wbiis`] — a reimplementation of **WBIIS** (Wang, Wiederhold,
+//!   Firschein, Wei; IJODL 1998), the head-to-head comparator of the
+//!   paper's Figures 7 vs 8: Daubechies-D4 multi-level wavelet features per
+//!   channel with a variance pre-filter and a coarse-then-fine multi-step
+//!   search.
+//! * [`fmiq`] — Jacobs, Finkelstein, Salesin's **fast multiresolution image
+//!   querying** (SIGGRAPH 1995): truncated, sign-quantized Haar
+//!   coefficients with the weighted bitmap metric, discussed in the paper's
+//!   related work.
+//! * [`histogram`] — a QBIC-style global **color histogram** retriever,
+//!   representing the pre-wavelet generation of systems.
+//!
+//! All three compute **one signature per image**, which is exactly why they
+//! fail on translated/scaled objects (paper §1.1) — the phenomenon the
+//! workspace's retrieval-quality experiment quantifies. They share the
+//! [`Retriever`] trait so the benchmark harness can drive any of them
+//! interchangeably.
+
+pub mod eval;
+pub mod fmiq;
+pub mod histogram;
+pub mod wbiis;
+
+pub use fmiq::FmiqRetriever;
+pub use histogram::HistogramRetriever;
+pub use wbiis::WbiisRetriever;
+
+use walrus_imagery::Image;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Underlying image error.
+    Image(walrus_imagery::ImageError),
+    /// Underlying wavelet error.
+    Wavelet(walrus_wavelet::WaveletError),
+    /// Invalid parameters.
+    BadParams(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Image(e) => write!(f, "image error: {e}"),
+            BaselineError::Wavelet(e) => write!(f, "wavelet error: {e}"),
+            BaselineError::BadParams(msg) => write!(f, "bad parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<walrus_imagery::ImageError> for BaselineError {
+    fn from(e: walrus_imagery::ImageError) -> Self {
+        BaselineError::Image(e)
+    }
+}
+
+impl From<walrus_wavelet::WaveletError> for BaselineError {
+    fn from(e: walrus_wavelet::WaveletError) -> Self {
+        BaselineError::Wavelet(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// A ranked retrieval answer. Baselines rank by *distance* (ascending), the
+/// natural output of single-signature systems.
+#[derive(Debug, Clone)]
+pub struct Ranked {
+    /// Id assigned at insertion.
+    pub id: usize,
+    /// Caller-supplied name.
+    pub name: String,
+    /// Signature distance to the query (lower = more similar).
+    pub distance: f32,
+}
+
+/// A whole-image retrieval system: one signature per image, nearest
+/// signatures win.
+///
+/// ```
+/// use walrus_baselines::{HistogramRetriever, Retriever};
+/// use walrus_imagery::{ColorSpace, Image};
+///
+/// let mut retriever = HistogramRetriever::new();
+/// let red = Image::from_fn(16, 16, ColorSpace::Rgb, |_, _, c| if c == 0 { 0.9 } else { 0.1 })?;
+/// let blue = Image::from_fn(16, 16, ColorSpace::Rgb, |_, _, c| if c == 2 { 0.9 } else { 0.1 })?;
+/// retriever.insert("red", &red)?;
+/// retriever.insert("blue", &blue)?;
+/// let top = retriever.top_k(&red, 1)?;
+/// assert_eq!(top[0].name, "red");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait Retriever {
+    /// Human-readable system name (for benchmark tables).
+    fn system_name(&self) -> &'static str;
+
+    /// Indexes an image; returns its id.
+    fn insert(&mut self, name: &str, image: &Image) -> Result<usize>;
+
+    /// Number of indexed images.
+    fn len(&self) -> usize;
+
+    /// True when nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` images most similar to `query`, ascending distance.
+    fn top_k(&self, query: &Image, k: usize) -> Result<Vec<Ranked>>;
+}

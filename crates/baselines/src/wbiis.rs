@@ -1,0 +1,302 @@
+//! WBIIS: wavelet-based image indexing and searching
+//! (Wang, Wiederhold, Firschein, Wei; IJODL 1998).
+//!
+//! The system the WALRUS paper compares against in §6.4. Per the original:
+//!
+//! * every image is rescaled to a fixed 128×128 raster and converted to an
+//!   opponent-style color space (we use YCC, the space WALRUS also reports);
+//! * a **4-level** and a **5-level** Daubechies-D4 2-D transform are
+//!   computed per channel; the stored feature vectors are the 16×16 (level
+//!   4) and 8×8 (level 5) upper-left corners — lowest-frequency bands plus
+//!   their immediate detail surroundings;
+//! * search proceeds in **three steps**: (1) a crude variance pre-filter
+//!   keeps candidates whose per-channel standard deviation is within a
+//!   multiplicative band of the query's; (2) candidates are ranked by
+//!   weighted L2 distance over the 5-level (coarser) features; (3) the
+//!   surviving short-list is re-ranked with the 4-level (finer) features.
+//!
+//! Channel weights default to emphasizing luma, the original's
+//! recommendation. Because WBIIS computes a *single* signature per image it
+//! inherits the translation/scaling fragility the WALRUS paper demonstrates.
+
+use crate::{BaselineError, Ranked, Result, Retriever};
+use walrus_imagery::{ColorSpace, Image};
+use walrus_wavelet::daubechies;
+
+/// WBIIS tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WbiisParams {
+    /// Side of the internal raster (must be a power of two; original: 128).
+    pub raster: usize,
+    /// Color space of the feature channels.
+    pub color_space: ColorSpace,
+    /// Variance pre-filter acceptance band: candidate passes when
+    /// `σ_t ∈ [σ_q / (1+β), σ_q · (1+β)]` on the first channel. The
+    /// original uses a comparable percentage window.
+    pub beta: f32,
+    /// Fraction of the database short-listed by the coarse ranking step.
+    pub shortlist_fraction: f32,
+    /// Per-channel weights in the feature distance (luma-heavy).
+    pub channel_weights: [f32; 3],
+}
+
+impl Default for WbiisParams {
+    fn default() -> Self {
+        Self {
+            raster: 128,
+            color_space: ColorSpace::Ycc,
+            beta: 0.5,
+            shortlist_fraction: 0.25,
+            channel_weights: [2.0, 1.0, 1.0],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Signature {
+    name: String,
+    /// Per-channel standard deviation of the raster (pre-filter key).
+    sigma: Vec<f32>,
+    /// 16×16 corner of the 4-level transform, per channel, concatenated.
+    feat4: Vec<f32>,
+    /// 8×8 corner of the 5-level transform, per channel, concatenated.
+    feat5: Vec<f32>,
+}
+
+/// The WBIIS retriever.
+#[derive(Debug, Clone)]
+pub struct WbiisRetriever {
+    params: WbiisParams,
+    images: Vec<Signature>,
+}
+
+impl WbiisRetriever {
+    /// Creates an empty index with the original system's defaults.
+    pub fn new() -> Self {
+        Self::with_params(WbiisParams::default())
+    }
+
+    /// Creates an empty index with explicit parameters.
+    pub fn with_params(params: WbiisParams) -> Self {
+        Self { params, images: Vec::new() }
+    }
+
+    fn signature(&self, name: &str, image: &Image) -> Result<Signature> {
+        let raster = self.params.raster;
+        if !walrus_wavelet::is_pow2(raster) || raster < 32 {
+            return Err(BaselineError::BadParams(format!("raster {raster} must be a power of two >= 32")));
+        }
+        let scaled = image.resize_bilinear(raster, raster)?.to_space(self.params.color_space)?;
+        let mut sigma = Vec::with_capacity(3);
+        let mut feat4 = Vec::new();
+        let mut feat5 = Vec::new();
+        for c in 0..scaled.channel_count() {
+            let plane = scaled.channel(c);
+            sigma.push(plane.variance().sqrt());
+            let t4 = daubechies::forward_2d(plane.as_slice(), raster, 4)?;
+            let t5 = daubechies::forward_2d(plane.as_slice(), raster, 5)?;
+            feat4.extend(corner(&t4, raster, (raster >> 4).max(4) * 2)); // 16×16 at raster 128
+            feat5.extend(corner(&t5, raster, (raster >> 5).max(2) * 2)); // 8×8 at raster 128
+        }
+        Ok(Signature { name: name.to_string(), sigma, feat4, feat5 })
+    }
+
+    fn weighted_dist(&self, a: &[f32], b: &[f32], per_channel: usize) -> f32 {
+        let mut sum = 0.0f64;
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let w = self.params.channel_weights[(i / per_channel).min(2)] as f64;
+            let d = (*x - *y) as f64;
+            sum += w * d * d;
+        }
+        sum.sqrt() as f32
+    }
+}
+
+impl Default for WbiisRetriever {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn corner(coeffs: &[f32], side: usize, m: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(m * m);
+    for j in 0..m {
+        out.extend_from_slice(&coeffs[j * side..j * side + m]);
+    }
+    out
+}
+
+impl Retriever for WbiisRetriever {
+    fn system_name(&self) -> &'static str {
+        "WBIIS"
+    }
+
+    fn insert(&mut self, name: &str, image: &Image) -> Result<usize> {
+        let sig = self.signature(name, image)?;
+        self.images.push(sig);
+        Ok(self.images.len() - 1)
+    }
+
+    fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    fn top_k(&self, query: &Image, k: usize) -> Result<Vec<Ranked>> {
+        if self.images.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let q = self.signature("query", query)?;
+
+        // Step 1: variance pre-filter on the first (luma) channel.
+        let lo = q.sigma[0] / (1.0 + self.params.beta);
+        let hi = q.sigma[0] * (1.0 + self.params.beta);
+        let mut candidates: Vec<usize> = (0..self.images.len())
+            .filter(|&i| {
+                let s = self.images[i].sigma[0];
+                s >= lo && s <= hi
+            })
+            .collect();
+        // The original falls back to the full set when the filter is too
+        // aggressive to return enough answers.
+        if candidates.len() < k {
+            candidates = (0..self.images.len()).collect();
+        }
+
+        // Step 2: coarse ranking with 5-level features.
+        let per5 = q.feat5.len() / q.sigma.len();
+        let mut coarse: Vec<(usize, f32)> = candidates
+            .into_iter()
+            .map(|i| (i, self.weighted_dist(&q.feat5, &self.images[i].feat5, per5)))
+            .collect();
+        coarse.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let keep = ((self.images.len() as f32 * self.params.shortlist_fraction).ceil() as usize)
+            .max(k)
+            .min(coarse.len());
+        coarse.truncate(keep);
+
+        // Step 3: fine re-ranking with 4-level features.
+        let per4 = q.feat4.len() / q.sigma.len();
+        let mut fine: Vec<(usize, f32)> = coarse
+            .into_iter()
+            .map(|(i, _)| (i, self.weighted_dist(&q.feat4, &self.images[i].feat4, per4)))
+            .collect();
+        fine.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        fine.truncate(k);
+        Ok(fine
+            .into_iter()
+            .map(|(i, d)| Ranked { id: i, name: self.images[i].name.clone(), distance: d })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+
+    fn flower_at(cx: f32, cy: f32) -> Image {
+        Scene::new(Texture::Solid(Rgb(0.1, 0.5, 0.15)))
+            .with(SceneObject::new(
+                Shape::Flower { petals: 6, core_radius: 0.3, petal_len: 0.95, petal_width: 0.22 },
+                Texture::Solid(Rgb(0.85, 0.12, 0.18)),
+                (cx, cy),
+                0.5,
+            ))
+            .render(96, 72)
+            .unwrap()
+    }
+
+    fn plain(color: Rgb) -> Image {
+        Scene::new(Texture::Solid(color)).render(96, 72).unwrap()
+    }
+
+    #[test]
+    fn identical_image_has_zero_distance() {
+        let mut r = WbiisRetriever::new();
+        let img = flower_at(0.5, 0.5);
+        r.insert("self", &img).unwrap();
+        r.insert("blue", &plain(Rgb(0.1, 0.1, 0.9))).unwrap();
+        let top = r.top_k(&img, 2).unwrap();
+        assert_eq!(top[0].name, "self");
+        assert!(top[0].distance < 1e-4, "self-distance {}", top[0].distance);
+        assert!(top[1].distance > top[0].distance);
+    }
+
+    #[test]
+    fn distance_orders_by_visual_similarity() {
+        let mut r = WbiisRetriever::new();
+        r.insert("green", &plain(Rgb(0.1, 0.5, 0.15))).unwrap();
+        r.insert("blue", &plain(Rgb(0.1, 0.1, 0.9))).unwrap();
+        let q = plain(Rgb(0.12, 0.48, 0.17)); // near-green
+        let top = r.top_k(&q, 2).unwrap();
+        assert_eq!(top[0].name, "green");
+    }
+
+    #[test]
+    fn translation_increases_distance_markedly() {
+        // The single-signature failure mode WALRUS fixes: the same flower
+        // far from its original position scores much worse than in place.
+        let mut r = WbiisRetriever::new();
+        r.insert("inplace", &flower_at(0.5, 0.5)).unwrap();
+        let q = flower_at(0.5, 0.5);
+        let near = r.top_k(&q, 1).unwrap()[0].distance;
+        let moved_q = flower_at(0.2, 0.25);
+        let moved = r.top_k(&moved_q, 1).unwrap()[0].distance;
+        assert!(
+            moved > near + 0.01,
+            "translation should hurt WBIIS: in-place {near}, moved {moved}"
+        );
+    }
+
+    #[test]
+    fn empty_index_and_zero_k() {
+        let r = WbiisRetriever::new();
+        assert!(r.is_empty());
+        assert!(r.top_k(&plain(Rgb(0.5, 0.5, 0.5)), 3).unwrap().is_empty());
+        let mut r = WbiisRetriever::new();
+        r.insert("a", &plain(Rgb(0.5, 0.5, 0.5))).unwrap();
+        assert!(r.top_k(&plain(Rgb(0.5, 0.5, 0.5)), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let mut r = WbiisRetriever::new();
+        for i in 0..8 {
+            r.insert(&format!("img{i}"), &plain(Rgb(0.1 * i as f32, 0.5, 0.5))).unwrap();
+        }
+        let top = r.top_k(&plain(Rgb(0.35, 0.5, 0.5)), 8).unwrap();
+        for w in top.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn variance_prefilter_falls_back_when_starved() {
+        // A flat query has σ ≈ 0; every textured image fails the band, but
+        // the system must still return k answers.
+        let mut r = WbiisRetriever::new();
+        r.insert("flower", &flower_at(0.5, 0.5)).unwrap();
+        r.insert("flat", &plain(Rgb(0.4, 0.4, 0.4))).unwrap();
+        let top = r.top_k(&plain(Rgb(0.9, 0.1, 0.1)), 2).unwrap();
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn bad_raster_rejected() {
+        let mut r = WbiisRetriever::with_params(WbiisParams { raster: 100, ..Default::default() });
+        assert!(r.insert("x", &plain(Rgb(0.5, 0.5, 0.5))).is_err());
+    }
+
+    #[test]
+    fn arbitrary_input_sizes_accepted() {
+        // The paper's misc images are 85×128 / 96×128 / 128×85.
+        let mut r = WbiisRetriever::new();
+        for (w, h) in [(85, 128), (96, 128), (128, 85)] {
+            let img = Scene::new(Texture::Solid(Rgb(0.3, 0.6, 0.2))).render(w, h).unwrap();
+            r.insert(&format!("{w}x{h}"), &img).unwrap();
+        }
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for BIRCH pre-clustering on WALRUS-shaped
+//! inputs: thousands of 12-dimensional window signatures per image. The
+//! paper's requirement is linear time in the point count — the n-sweep
+//! makes the scaling visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use walrus_birch::precluster;
+
+/// Mixture of a few tight blobs plus background noise — the typical shape
+/// of window signatures from a multi-object image.
+fn signature_cloud(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..5).map(|_| (0..12).map(|_| rng.gen::<f32>()).collect()).collect();
+    (0..n)
+        .map(|i| {
+            if i % 10 == 9 {
+                (0..12).map(|_| rng.gen::<f32>()).collect()
+            } else {
+                let c = &centers[i % centers.len()];
+                c.iter().map(|v| v + rng.gen_range(-0.02..0.02f32)).collect()
+            }
+        })
+        .collect()
+}
+
+fn bench_precluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("birch_precluster");
+    for n in [500usize, 2_000, 8_000] {
+        let pts = signature_cloud(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| precluster(pts, 0.05, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon(c: &mut Criterion) {
+    let pts = signature_cloud(2_000, 42);
+    let mut group = c.benchmark_group("birch_epsilon");
+    for eps in [0.025f64, 0.05, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| precluster(&pts, eps, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precluster, bench_epsilon);
+criterion_main!(benches);

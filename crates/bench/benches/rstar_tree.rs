@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the R\*-tree substrate: bulk insertion,
+//! the ε-ball query WALRUS issues per query region, and kNN — on the exact
+//! data shape WALRUS produces (12-dimensional signature points in [0,1]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use walrus_rstar::{RStarTree, Rect};
+
+fn points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dims).map(|_| rng.gen::<f32>()).collect()).collect()
+}
+
+fn build(pts: &[Vec<f32>]) -> RStarTree<usize> {
+    let mut t = RStarTree::with_dims(pts[0].len()).unwrap();
+    for (i, p) in pts.iter().enumerate() {
+        t.insert(Rect::point(p).unwrap(), i).unwrap();
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rstar_insert");
+    for n in [1_000usize, 5_000] {
+        let pts = points(n, 12, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| build(pts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let pts = points(5_000, 12, 7);
+    let tree = build(&pts);
+    let queries = points(100, 12, 13);
+    let mut group = c.benchmark_group("rstar_query");
+    group.bench_function("within_eps_0.085", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += tree.search_within(q, 0.085).unwrap().len();
+            }
+            total
+        })
+    });
+    group.bench_function("nearest_10", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += tree.nearest_k(q, 10).unwrap().len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_queries);
+criterion_main!(benches);

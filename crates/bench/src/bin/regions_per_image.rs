@@ -1,0 +1,57 @@
+//! **§6.6** — number of regions per image as the cluster epsilon `ε_c`
+//! varies, for RGB vs YCC.
+//!
+//! Paper claims: the number of clusters (regions) decreases as `ε_c`
+//! increases, and RGB typically produces ≈4× more clusters than YCC for the
+//! same `ε_c` (RGB spreads color variation over all three channels; YCC
+//! concentrates it in chroma).
+//!
+//! Run: `cargo run --release -p walrus-bench --bin regions_per_image`
+
+use walrus_bench::report::{f3, Table};
+use walrus_bench::scale;
+use walrus_bench::workloads::{flower_query, retrieval_dataset, retrieval_params};
+use walrus_core::extract_regions;
+use walrus_imagery::ColorSpace;
+
+fn main() {
+    let dataset = retrieval_dataset(scale());
+    let query = flower_query();
+    // The query image plus a sample of database images.
+    let mut images: Vec<(&str, &walrus_imagery::Image)> = vec![("query", &query)];
+    for img in dataset.images.iter().step_by(dataset.len() / 6) {
+        images.push((&img.name, &img.image));
+    }
+
+    println!(
+        "Section 6.6: regions per image vs cluster epsilon, RGB vs YCC\n\
+         ({} images sampled)\n",
+        images.len()
+    );
+    let mut table = Table::new(
+        "Regions Per Image",
+        &["cluster_eps", "avg_regions_ycc", "avg_regions_rgb", "rgb_over_ycc"],
+    );
+    for eps in [0.025f64, 0.05, 0.075, 0.1] {
+        let mut counts = std::collections::HashMap::new();
+        for space in [ColorSpace::Ycc, ColorSpace::Rgb] {
+            let mut params = retrieval_params();
+            params.color_space = space;
+            params.cluster_epsilon = eps;
+            let total: usize = images
+                .iter()
+                .map(|(_, img)| extract_regions(img, &params).expect("extraction succeeds").len())
+                .sum();
+            counts.insert(space.name(), total as f64 / images.len() as f64);
+        }
+        let ycc = counts["ycc"];
+        let rgb = counts["rgb"];
+        table.row(&[format!("{eps:.3}"), f3(ycc), f3(rgb), f3(rgb / ycc.max(1e-9))]);
+    }
+    table.print();
+    println!(
+        "Paper shape check: both columns must fall as epsilon grows, and\n\
+         RGB must produce more clusters than YCC at every epsilon (the\n\
+         paper reports roughly 4x)."
+    );
+}

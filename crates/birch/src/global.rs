@@ -1,0 +1,233 @@
+//! BIRCH phase 3: global clustering of the CF-tree's leaf entries.
+//!
+//! The pre-clustering phase (all WALRUS itself needs) can fragment a
+//! natural cluster across several leaf entries — insertion order and node
+//! splits are greedy. BIRCH's phase 3 repairs this by running a standard
+//! clustering algorithm over the *leaf entries themselves*, treating each
+//! CF as a weighted point. Because the leaf-entry count is small
+//! (thousands at most), an `O(k² log k)`-ish hierarchical agglomerative
+//! pass is affordable.
+//!
+//! This module implements agglomerative merging of CFs under the standard
+//! BIRCH distance metrics with two stopping rules:
+//!
+//! * [`agglomerate_to_k`] — merge until exactly `k` clusters remain (the
+//!   classic "I want k clusters" interface);
+//! * [`agglomerate_by_distance`] — merge while the closest pair is within
+//!   a distance threshold (a global analog of the pre-cluster radius).
+//!
+//! Merging is exact on CFs (the CF algebra is closed under union), so the
+//! result is identical to having clustered the raw points with the same
+//! linkage — no re-scan of the data is needed.
+
+use crate::cf::ClusteringFeature;
+
+/// Linkage metric used when comparing candidate merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// D0: Euclidean distance between centroids.
+    Centroid,
+    /// D2: average inter-cluster distance.
+    AverageInter,
+    /// Merged-diameter linkage: the diameter the union would have — a
+    /// variance-minimizing criterion in the spirit of Ward's method.
+    MergedDiameter,
+}
+
+fn pair_distance(a: &ClusteringFeature, b: &ClusteringFeature, linkage: Linkage) -> f64 {
+    match linkage {
+        Linkage::Centroid => a.centroid_distance(b),
+        Linkage::AverageInter => a.average_inter_distance(b),
+        Linkage::MergedDiameter => a.merged(b).diameter(),
+    }
+}
+
+/// The result of a global clustering pass: final clusters plus, for each
+/// input entry, the index of the cluster that absorbed it.
+#[derive(Debug, Clone)]
+pub struct GlobalClustering {
+    /// Final merged clusters.
+    pub clusters: Vec<ClusteringFeature>,
+    /// `assignment[i]` is the final cluster index of input entry `i`.
+    pub assignment: Vec<usize>,
+}
+
+/// Agglomeratively merges `entries` until `k` clusters remain (or fewer
+/// inputs than `k` exist, in which case the inputs are returned as-is).
+pub fn agglomerate_to_k(
+    entries: &[ClusteringFeature],
+    k: usize,
+    linkage: Linkage,
+) -> GlobalClustering {
+    run(entries, linkage, |clusters, _| clusters > k.max(1))
+}
+
+/// Agglomeratively merges while the closest pair under `linkage` is within
+/// `threshold`.
+pub fn agglomerate_by_distance(
+    entries: &[ClusteringFeature],
+    threshold: f64,
+    linkage: Linkage,
+) -> GlobalClustering {
+    run(entries, linkage, move |clusters, best| clusters > 1 && best <= threshold)
+}
+
+/// Naive-but-robust agglomeration: recompute the closest pair each round.
+/// `continue_merging(cluster_count, best_distance)` decides whether to
+/// perform the pending merge. O(rounds · n²); leaf-entry counts are small.
+fn run(
+    entries: &[ClusteringFeature],
+    linkage: Linkage,
+    continue_merging: impl Fn(usize, f64) -> bool,
+) -> GlobalClustering {
+    let mut clusters: Vec<Option<ClusteringFeature>> = entries.iter().cloned().map(Some).collect();
+    // Union-find-ish assignment tracking: each input maps to a slot; merged
+    // slots redirect.
+    let mut owner: Vec<usize> = (0..entries.len()).collect();
+    let mut live = entries.len();
+
+    while live > 1 {
+        // Find the closest live pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // i and j index the same Vec for a later take()
+        for i in 0..clusters.len() {
+            let Some(a) = &clusters[i] else { continue };
+            for j in i + 1..clusters.len() {
+                let Some(b) = &clusters[j] else { continue };
+                let d = pair_distance(a, b, linkage);
+                if best.map_or(true, |(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, d)) = best else { break };
+        if !continue_merging(live, d) {
+            break;
+        }
+        let b = clusters[j].take().expect("pair search only returns live slots");
+        clusters[i].as_mut().expect("live slot").merge(&b);
+        for o in &mut owner {
+            if *o == j {
+                *o = i;
+            }
+        }
+        live -= 1;
+    }
+
+    // Compact to a dense cluster list.
+    let mut remap = vec![usize::MAX; clusters.len()];
+    let mut out = Vec::with_capacity(live);
+    for (slot, cf) in clusters.into_iter().enumerate() {
+        if let Some(cf) = cf {
+            remap[slot] = out.len();
+            out.push(cf);
+        }
+    }
+    let assignment = owner.into_iter().map(|o| remap[o]).collect();
+    GlobalClustering { clusters: out, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cf_of(points: &[[f32; 2]]) -> ClusteringFeature {
+        let mut cf = ClusteringFeature::empty(2);
+        for p in points {
+            cf.add_point(p);
+        }
+        cf
+    }
+
+    /// Three fragments of one blob plus one distant fragment.
+    fn fragments() -> Vec<ClusteringFeature> {
+        vec![
+            cf_of(&[[0.0, 0.0], [0.1, 0.1]]),
+            cf_of(&[[0.2, 0.0], [0.15, 0.1]]),
+            cf_of(&[[0.05, 0.2]]),
+            cf_of(&[[5.0, 5.0], [5.1, 4.9]]),
+        ]
+    }
+
+    #[test]
+    fn to_k_merges_the_fragments() {
+        for linkage in [Linkage::Centroid, Linkage::AverageInter, Linkage::MergedDiameter] {
+            let g = agglomerate_to_k(&fragments(), 2, linkage);
+            assert_eq!(g.clusters.len(), 2, "{linkage:?}");
+            // The three nearby fragments share a cluster; the far one is alone.
+            assert_eq!(g.assignment[0], g.assignment[1]);
+            assert_eq!(g.assignment[0], g.assignment[2]);
+            assert_ne!(g.assignment[0], g.assignment[3]);
+            // Point counts conserved.
+            let total: u64 = g.clusters.iter().map(|c| c.count()).sum();
+            assert_eq!(total, 7);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_input_is_identity() {
+        let g = agglomerate_to_k(&fragments(), 10, Linkage::Centroid);
+        assert_eq!(g.clusters.len(), 4);
+        assert_eq!(g.assignment, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let g = agglomerate_to_k(&fragments(), 1, Linkage::Centroid);
+        assert_eq!(g.clusters.len(), 1);
+        assert_eq!(g.clusters[0].count(), 7);
+        assert!(g.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn distance_threshold_stops_at_the_gap() {
+        // Fragments are within ~0.25 of each other; the far blob is ~7 away.
+        let g = agglomerate_by_distance(&fragments(), 1.0, Linkage::Centroid);
+        assert_eq!(g.clusters.len(), 2);
+        let g = agglomerate_by_distance(&fragments(), 0.01, Linkage::Centroid);
+        assert_eq!(g.clusters.len(), 4, "tiny threshold merges nothing");
+        let g = agglomerate_by_distance(&fragments(), 100.0, Linkage::Centroid);
+        assert_eq!(g.clusters.len(), 1, "huge threshold merges everything");
+    }
+
+    #[test]
+    fn merged_centroid_is_weighted_mean() {
+        let a = cf_of(&[[0.0, 0.0]]);
+        let b = cf_of(&[[1.0, 0.0], [1.0, 0.0], [1.0, 0.0]]);
+        let g = agglomerate_to_k(&[a, b], 1, Linkage::Centroid);
+        let c = g.clusters[0].centroid();
+        assert!((c[0] - 0.75).abs() < 1e-9, "weighted by counts: {c:?}");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let g = agglomerate_to_k(&[], 3, Linkage::Centroid);
+        assert!(g.clusters.is_empty());
+        assert!(g.assignment.is_empty());
+        let one = vec![cf_of(&[[1.0, 2.0]])];
+        let g = agglomerate_to_k(&one, 1, Linkage::AverageInter);
+        assert_eq!(g.clusters.len(), 1);
+        assert_eq!(g.assignment, vec![0]);
+    }
+
+    #[test]
+    fn pipeline_precluster_then_global() {
+        // The real BIRCH flow: phase-1 preclustering with a tight radius
+        // fragments the blobs; phase-3 recovers them.
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let j = (i % 30) as f32;
+            // Two blobs at (0,0) and (3,3) with internal spread ~0.6.
+            let (bx, by) = if i < 30 { (0.0, 0.0) } else { (3.0, 3.0) };
+            pts.push(vec![bx + (j % 6.0) * 0.1, by + (j / 6.0).floor() * 0.1]);
+        }
+        let pre = crate::precluster(&pts, 0.1, None).unwrap();
+        assert!(pre.clusters.len() > 2, "tight radius should fragment the blobs");
+        let entries: Vec<ClusteringFeature> = pre.clusters.iter().map(|c| c.cf.clone()).collect();
+        let g = agglomerate_to_k(&entries, 2, Linkage::MergedDiameter);
+        assert_eq!(g.clusters.len(), 2);
+        let mut counts: Vec<u64> = g.clusters.iter().map(|c| c.count()).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![30, 30], "each blob recovered whole");
+    }
+}

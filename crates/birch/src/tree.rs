@@ -1,0 +1,535 @@
+//! The CF-tree: BIRCH's height-balanced incremental clustering index.
+//!
+//! Each leaf holds up to `L` clustering features (sub-clusters); each
+//! internal node holds up to `B` children, each summarized by the CF of its
+//! subtree. Inserting a point descends to the closest leaf entry (by
+//! centroid distance at every level), absorbs the point when the merged
+//! radius stays within the threshold `T`, and otherwise starts a new entry —
+//! splitting nodes on overflow with farthest-pair seeding, exactly the
+//! BIRCH phase-1 insertion.
+//!
+//! When an optional budget on the number of leaf entries is exceeded, the
+//! tree *rebuilds*: the threshold is escalated and all leaf entries are
+//! reinserted (CFs merge with the same radius test), shrinking the tree —
+//! BIRCH's answer to a fixed memory budget. WALRUS passes the cluster
+//! threshold `ε_c` straight through as `T`, so each harvested cluster's
+//! radius is (by construction) at most `ε_c`.
+
+use crate::cf::ClusteringFeature;
+use crate::{BirchError, Result};
+
+/// CF-tree parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BirchParams {
+    /// Maximum children per internal node (`B`), ≥ 2.
+    pub branching: usize,
+    /// Maximum entries per leaf (`L`), ≥ 2.
+    pub leaf_capacity: usize,
+    /// Radius threshold `T` (WALRUS's `ε_c`), ≥ 0.
+    pub threshold: f64,
+    /// Optional cap on total leaf entries; exceeding it triggers threshold
+    /// escalation + rebuild.
+    pub max_leaf_entries: Option<usize>,
+}
+
+impl Default for BirchParams {
+    /// Defaults in the spirit of the BIRCH paper's suggested configuration.
+    fn default() -> Self {
+        Self { branching: 8, leaf_capacity: 8, threshold: 0.0, max_leaf_entries: None }
+    }
+}
+
+impl BirchParams {
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<()> {
+        if self.branching < 2 {
+            return Err(BirchError::BadParams("branching factor must be >= 2".into()));
+        }
+        if self.leaf_capacity < 2 {
+            return Err(BirchError::BadParams("leaf capacity must be >= 2".into()));
+        }
+        if !self.threshold.is_finite() || self.threshold < 0.0 {
+            return Err(BirchError::BadParams(format!("threshold {} invalid", self.threshold)));
+        }
+        if let Some(m) = self.max_leaf_entries {
+            if m < 2 {
+                return Err(BirchError::BadParams("max_leaf_entries must be >= 2".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Child {
+    cf: ClusteringFeature,
+    node: Box<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<ClusteringFeature>),
+    Internal(Vec<Child>),
+}
+
+struct InsertOutcome {
+    sibling: Option<Node>,
+    new_entry: bool,
+}
+
+/// The CF-tree.
+#[derive(Debug, Clone)]
+pub struct CfTree {
+    root: Node,
+    dims: usize,
+    params: BirchParams,
+    threshold: f64,
+    leaf_entries: usize,
+    points: u64,
+    rebuilds: usize,
+}
+
+impl CfTree {
+    /// Creates an empty tree over `dims`-dimensional points.
+    pub fn new(dims: usize, params: BirchParams) -> Result<Self> {
+        params.validate()?;
+        if dims == 0 {
+            return Err(BirchError::BadParams("dimensionality must be >= 1".into()));
+        }
+        Ok(Self {
+            root: Node::Leaf(Vec::new()),
+            dims,
+            threshold: params.threshold,
+            params,
+            leaf_entries: 0,
+            points: 0,
+            rebuilds: 0,
+        })
+    }
+
+    /// Inserts one point.
+    pub fn insert(&mut self, point: &[f32]) -> Result<()> {
+        if point.len() != self.dims {
+            return Err(BirchError::DimensionMismatch { expected: self.dims, got: point.len() });
+        }
+        self.insert_cf(ClusteringFeature::from_point(point))
+    }
+
+    /// Inserts a pre-summarized cluster (used by rebuilds and by callers
+    /// merging trees).
+    pub fn insert_cf(&mut self, cf: ClusteringFeature) -> Result<()> {
+        if cf.dims() != self.dims {
+            return Err(BirchError::DimensionMismatch { expected: self.dims, got: cf.dims() });
+        }
+        if cf.count() == 0 {
+            return Ok(());
+        }
+        self.points += cf.count();
+        let outcome = insert_rec(&mut self.root, &cf, self.threshold, &self.params);
+        if outcome.new_entry {
+            self.leaf_entries += 1;
+        }
+        if let Some(sibling) = outcome.sibling {
+            let old = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            let c1 = Child { cf: node_cf(&old, self.dims), node: Box::new(old) };
+            let c2 = Child { cf: node_cf(&sibling, self.dims), node: Box::new(sibling) };
+            self.root = Node::Internal(vec![c1, c2]);
+        }
+        if let Some(budget) = self.params.max_leaf_entries {
+            while self.leaf_entries > budget {
+                self.rebuild();
+            }
+        }
+        Ok(())
+    }
+
+    /// Escalates the threshold and reinserts every leaf entry, shrinking the
+    /// tree. Public so callers can compact explicitly.
+    pub fn rebuild(&mut self) {
+        let entries = self.leaf_entry_clones();
+        self.threshold = escalate_threshold(self.threshold, &entries);
+        self.rebuilds += 1;
+        self.root = Node::Leaf(Vec::new());
+        self.leaf_entries = 0;
+        self.points = 0;
+        for cf in entries {
+            // Reinsertion cannot trigger a nested rebuild loop: we bypass
+            // `insert_cf`'s budget check by replaying the core path.
+            self.points += cf.count();
+            let outcome = insert_rec(&mut self.root, &cf, self.threshold, &self.params);
+            if outcome.new_entry {
+                self.leaf_entries += 1;
+            }
+            if let Some(sibling) = outcome.sibling {
+                let old = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+                let c1 = Child { cf: node_cf(&old, self.dims), node: Box::new(old) };
+                let c2 = Child { cf: node_cf(&sibling, self.dims), node: Box::new(sibling) };
+                self.root = Node::Internal(vec![c1, c2]);
+            }
+        }
+    }
+
+    /// All leaf entries (the clusters), cloned out of the tree.
+    pub fn leaf_entry_clones(&self) -> Vec<ClusteringFeature> {
+        let mut out = Vec::with_capacity(self.leaf_entries);
+        collect_leaves(&self.root, &mut out);
+        out
+    }
+
+    /// Number of leaf entries (= clusters).
+    pub fn num_clusters(&self) -> usize {
+        self.leaf_entries
+    }
+
+    /// Number of points inserted (counting CF weights).
+    pub fn num_points(&self) -> u64 {
+        self.points
+    }
+
+    /// Current radius threshold (may exceed the initial `T` after rebuilds).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// How many threshold-escalation rebuilds have happened.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Tree height (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal(children) = node {
+            h += 1;
+            node = &children[0].node;
+        }
+        h
+    }
+}
+
+fn insert_rec(node: &mut Node, cf: &ClusteringFeature, threshold: f64, params: &BirchParams) -> InsertOutcome {
+    match node {
+        Node::Leaf(entries) => {
+            // Closest entry by centroid distance.
+            let closest = entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.centroid_distance(cf)
+                        .partial_cmp(&b.centroid_distance(cf))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i);
+            if let Some(i) = closest {
+                if entries[i].merged(cf).radius() <= threshold {
+                    entries[i].merge(cf);
+                    return InsertOutcome { sibling: None, new_entry: false };
+                }
+            }
+            entries.push(cf.clone());
+            if entries.len() > params.leaf_capacity {
+                let sibling = split_leaf(entries);
+                InsertOutcome { sibling: Some(sibling), new_entry: true }
+            } else {
+                InsertOutcome { sibling: None, new_entry: true }
+            }
+        }
+        Node::Internal(children) => {
+            let i = children
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.cf.centroid_distance(cf)
+                        .partial_cmp(&b.cf.centroid_distance(cf))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .expect("internal nodes are never empty");
+            let outcome = insert_rec(&mut children[i].node, cf, threshold, params);
+            children[i].cf.merge(cf);
+            let mut sibling = None;
+            if let Some(sib) = outcome.sibling {
+                // Recompute both summaries after the split below.
+                children[i].cf = node_cf(&children[i].node, cf.dims());
+                let sib_cf = node_cf(&sib, cf.dims());
+                children.insert(i + 1, Child { cf: sib_cf, node: Box::new(sib) });
+                if children.len() > params.branching {
+                    sibling = Some(split_internal(children));
+                }
+            }
+            InsertOutcome { sibling, new_entry: outcome.new_entry }
+        }
+    }
+}
+
+/// Splits an over-full leaf: seeds are the farthest entry pair; each entry
+/// joins the nearer seed. The sibling leaf is returned.
+fn split_leaf(entries: &mut Vec<ClusteringFeature>) -> Node {
+    let (i, j) = farthest_pair(entries, |a, b| a.centroid_distance(b));
+    let taken = std::mem::take(entries);
+    let mut right = Vec::new();
+    let seed_a = taken[i].clone();
+    let seed_b = taken[j].clone();
+    for (k, e) in taken.into_iter().enumerate() {
+        if k == i {
+            entries.push(e);
+        } else if k == j {
+            right.push(e);
+        } else if seed_a.centroid_distance(&e) <= seed_b.centroid_distance(&e) {
+            entries.push(e);
+        } else {
+            right.push(e);
+        }
+    }
+    Node::Leaf(right)
+}
+
+/// Splits an over-full internal node the same way, seeded by child-summary
+/// centroid distance.
+fn split_internal(children: &mut Vec<Child>) -> Node {
+    let (i, j) = farthest_pair(children, |a, b| a.cf.centroid_distance(&b.cf));
+    let taken = std::mem::take(children);
+    let mut right = Vec::new();
+    let seed_a = taken[i].cf.clone();
+    let seed_b = taken[j].cf.clone();
+    for (k, c) in taken.into_iter().enumerate() {
+        if k == i {
+            children.push(c);
+        } else if k == j {
+            right.push(c);
+        } else if seed_a.centroid_distance(&c.cf) <= seed_b.centroid_distance(&c.cf) {
+            children.push(c);
+        } else {
+            right.push(c);
+        }
+    }
+    Node::Internal(right)
+}
+
+fn farthest_pair<T>(items: &[T], dist: impl Fn(&T, &T) -> f64) -> (usize, usize) {
+    debug_assert!(items.len() >= 2);
+    let mut best = (0usize, 1usize);
+    let mut best_d = -1.0f64;
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let d = dist(&items[i], &items[j]);
+            if d > best_d {
+                best_d = d;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+fn node_cf(node: &Node, dims: usize) -> ClusteringFeature {
+    let mut cf = ClusteringFeature::empty(dims);
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                cf.merge(e);
+            }
+        }
+        Node::Internal(children) => {
+            for c in children {
+                cf.merge(&c.cf);
+            }
+        }
+    }
+    cf
+}
+
+fn collect_leaves(node: &Node, out: &mut Vec<ClusteringFeature>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
+        Node::Internal(children) => {
+            for c in children {
+                collect_leaves(&c.node, out);
+            }
+        }
+    }
+}
+
+/// New threshold after a budget overflow: double the old one, or — when the
+/// old threshold is zero/tiny — the smallest nonzero distance between leaf
+/// entry centroids, so the next pass is guaranteed to merge *something*.
+fn escalate_threshold(old: f64, entries: &[ClusteringFeature]) -> f64 {
+    let mut min_dist = f64::INFINITY;
+    for i in 0..entries.len().min(256) {
+        for j in i + 1..entries.len().min(256) {
+            let d = entries[i].centroid_distance(&entries[j]);
+            if d > 0.0 && d < min_dist {
+                min_dist = d;
+            }
+        }
+    }
+    let floor = if min_dist.is_finite() { min_dist } else { 1e-6 };
+    (old * 2.0).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(threshold: f64) -> CfTree {
+        CfTree::new(2, BirchParams { threshold, ..BirchParams::default() }).unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = tree(0.1);
+        assert_eq!(t.num_clusters(), 0);
+        assert_eq!(t.num_points(), 0);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn two_well_separated_blobs_become_two_clusters() {
+        let mut t = tree(0.5);
+        for i in 0..20 {
+            let eps = (i % 5) as f32 * 0.01;
+            t.insert(&[0.0 + eps, 0.0 - eps]).unwrap();
+            t.insert(&[10.0 + eps, 10.0 - eps]).unwrap();
+        }
+        assert_eq!(t.num_clusters(), 2);
+        assert_eq!(t.num_points(), 40);
+        let mut centroids: Vec<Vec<f64>> =
+            t.leaf_entry_clones().iter().map(|c| c.centroid()).collect();
+        centroids.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!(centroids[0][0] < 1.0 && centroids[1][0] > 9.0);
+    }
+
+    #[test]
+    fn every_cluster_radius_within_threshold() {
+        let mut t = tree(0.2);
+        // A pseudo-random scatter.
+        for i in 0..500u32 {
+            let x = ((i.wrapping_mul(2654435761)) % 1000) as f32 / 1000.0;
+            let y = ((i.wrapping_mul(40503)) % 1000) as f32 / 1000.0;
+            t.insert(&[x, y]).unwrap();
+        }
+        for cf in t.leaf_entry_clones() {
+            assert!(cf.radius() <= 0.2 + 1e-9, "radius {} exceeds threshold", cf.radius());
+        }
+        // Point count is conserved across splits.
+        let total: u64 = t.leaf_entry_clones().iter().map(|c| c.count()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_distinct_points_distinct() {
+        let mut t = tree(0.0);
+        for i in 0..20 {
+            t.insert(&[i as f32, 0.0]).unwrap();
+        }
+        assert_eq!(t.num_clusters(), 20);
+        // Identical points still merge (radius stays 0).
+        t.insert(&[0.0, 0.0]).unwrap();
+        assert_eq!(t.num_clusters(), 20);
+        assert_eq!(t.num_points(), 21);
+    }
+
+    #[test]
+    fn tree_grows_in_height_under_load() {
+        let mut t = tree(0.0);
+        for i in 0..200 {
+            t.insert(&[(i * 7 % 199) as f32, (i * 13 % 197) as f32]).unwrap();
+        }
+        assert!(t.height() > 1, "200 singleton clusters need internal nodes");
+        assert_eq!(t.num_clusters(), 200);
+    }
+
+    #[test]
+    fn large_threshold_collapses_everything() {
+        let mut t = tree(1000.0);
+        for i in 0..100 {
+            t.insert(&[i as f32, -(i as f32)]).unwrap();
+        }
+        assert_eq!(t.num_clusters(), 1);
+        assert_eq!(t.leaf_entry_clones()[0].count(), 100);
+    }
+
+    #[test]
+    fn budget_triggers_rebuild_and_respects_budget() {
+        let params = BirchParams {
+            threshold: 0.0,
+            max_leaf_entries: Some(16),
+            ..BirchParams::default()
+        };
+        let mut t = CfTree::new(1, params).unwrap();
+        for i in 0..200 {
+            t.insert(&[i as f32]).unwrap();
+        }
+        assert!(t.num_clusters() <= 16, "got {} clusters", t.num_clusters());
+        assert!(t.rebuild_count() > 0);
+        assert!(t.threshold() > 0.0);
+        assert_eq!(t.num_points(), 200);
+    }
+
+    #[test]
+    fn explicit_rebuild_shrinks_cluster_count() {
+        let mut t = tree(0.0);
+        for i in 0..50 {
+            t.insert(&[i as f32 * 0.01, 0.0]).unwrap();
+        }
+        let before = t.num_clusters();
+        t.rebuild();
+        assert!(t.num_clusters() < before);
+        assert_eq!(t.num_points(), 50);
+    }
+
+    #[test]
+    fn insert_cf_merges_weighted_clusters() {
+        let mut t = tree(10.0);
+        let mut cf = ClusteringFeature::empty(2);
+        for p in [[1.0f32, 1.0], [1.2, 0.8], [0.9, 1.1]] {
+            cf.add_point(&p);
+        }
+        t.insert_cf(cf).unwrap();
+        t.insert(&[1.05, 0.95]).unwrap();
+        assert_eq!(t.num_clusters(), 1);
+        assert_eq!(t.num_points(), 4);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut t = tree(0.1);
+        assert!(matches!(
+            t.insert(&[1.0, 2.0, 3.0]),
+            Err(BirchError::DimensionMismatch { expected: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(CfTree::new(0, BirchParams::default()).is_err());
+        assert!(CfTree::new(2, BirchParams { branching: 1, ..Default::default() }).is_err());
+        assert!(CfTree::new(2, BirchParams { leaf_capacity: 1, ..Default::default() }).is_err());
+        assert!(CfTree::new(2, BirchParams { threshold: -1.0, ..Default::default() }).is_err());
+        assert!(CfTree::new(2, BirchParams { threshold: f64::NAN, ..Default::default() }).is_err());
+        assert!(CfTree::new(2, BirchParams { max_leaf_entries: Some(1), ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn insertion_order_independence_of_point_totals() {
+        // Cluster *shapes* may depend on order (BIRCH is incremental), but
+        // conservation laws must hold for any order.
+        let pts: Vec<[f32; 2]> =
+            (0..100).map(|i| [((i * 37) % 100) as f32 / 10.0, ((i * 61) % 100) as f32 / 10.0]).collect();
+        let mut fwd = tree(0.3);
+        let mut rev = tree(0.3);
+        for p in &pts {
+            fwd.insert(p).unwrap();
+        }
+        for p in pts.iter().rev() {
+            rev.insert(p).unwrap();
+        }
+        assert_eq!(fwd.num_points(), rev.num_points());
+        let sum = |t: &CfTree| -> f64 {
+            t.leaf_entry_clones().iter().map(|c| c.centroid()[0] * c.count() as f64).sum()
+        };
+        assert!((sum(&fwd) - sum(&rev)).abs() < 1e-6, "mass centroids must agree");
+    }
+}

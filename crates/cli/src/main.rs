@@ -1,0 +1,427 @@
+//! `walrus` — command-line WALRUS image indexing and similarity search.
+//!
+//! ```text
+//! walrus index  <db-file> <image.ppm>...   build/extend a database from PPM/PGM files
+//! walrus query  <db-file> <image.ppm>      rank database images by similarity
+//! walrus scene  <db-file> <image.ppm> <x> <y> <w> <h>
+//!                                          query by a marked sub-scene
+//! walrus remove <db-file> <id>             remove an image by id
+//! walrus info   <db-file>                  database statistics
+//! walrus demo   <db-file>                  populate with synthetic demo images
+//! ```
+//!
+//! Options (before the subcommand arguments):
+//!   `-k <n>`          number of results for `query`/`scene` (default 10)
+//!   `--eps <f>`       querying epsilon override for `query`
+//!   `--window <min> <max>`  sliding-window size range (default 8 32)
+//!   `--space <rgb|ycc|yiq|hsv|gray>`  color space (default ycc)
+//!
+//! Argument parsing is hand-rolled: the workspace policy is zero
+//! dependencies beyond the approved list, and the grammar is tiny.
+
+use std::process::ExitCode;
+use walrus_core::persist;
+use walrus_core::scene_query::SceneRect;
+use walrus_core::{ImageDatabase, WalrusParams};
+use walrus_imagery::{ppm, ColorSpace, Image};
+use walrus_wavelet::SlidingParams;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    k: usize,
+    eps: Option<f32>,
+    omega_min: usize,
+    omega_max: usize,
+    space: ColorSpace,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { k: 10, eps: None, omega_min: 8, omega_max: 32, space: ColorSpace::Ycc }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (opts, rest) = parse_options(args)?;
+    let Some((command, rest)) = rest.split_first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    match command.as_str() {
+        "index" => cmd_index(&opts, rest),
+        "query" => cmd_query(&opts, rest),
+        "scene" => cmd_scene(&opts, rest),
+        "remove" => cmd_remove(rest),
+        "info" => cmd_info(rest),
+        "demo" => cmd_demo(&opts, rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `walrus help`)")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<(Options, &[String]), String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-k" => {
+                opts.k = parse_at(args, i + 1, "-k")?;
+                i += 2;
+            }
+            "--eps" => {
+                opts.eps = Some(parse_at(args, i + 1, "--eps")?);
+                i += 2;
+            }
+            "--window" => {
+                opts.omega_min = parse_at(args, i + 1, "--window min")?;
+                opts.omega_max = parse_at(args, i + 2, "--window max")?;
+                i += 3;
+            }
+            "--space" => {
+                let name = args.get(i + 1).ok_or("--space needs a value")?;
+                opts.space = match name.as_str() {
+                    "rgb" => ColorSpace::Rgb,
+                    "ycc" => ColorSpace::Ycc,
+                    "yiq" => ColorSpace::Yiq,
+                    "hsv" => ColorSpace::Hsv,
+                    "gray" => ColorSpace::Gray,
+                    other => return Err(format!("unknown color space {other:?}")),
+                };
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok((opts, &args[i..]))
+}
+
+fn parse_at<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, String> {
+    args.get(i)
+        .ok_or_else(|| format!("{what} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{what}: cannot parse {:?}", args[i]))
+}
+
+fn params_for(opts: &Options) -> Result<WalrusParams, String> {
+    let params = WalrusParams {
+        sliding: SlidingParams {
+            s: 2,
+            omega_min: opts.omega_min,
+            omega_max: opts.omega_max,
+            stride: 4,
+        },
+        color_space: opts.space,
+        ..WalrusParams::paper_defaults()
+    };
+    params.validate().map_err(|e| e.to_string())?;
+    Ok(params)
+}
+
+fn load_db(path: &str) -> Result<ImageDatabase, String> {
+    persist::load_from_file(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn load_or_create_db(path: &str, opts: &Options) -> Result<ImageDatabase, String> {
+    if std::path::Path::new(path).exists() {
+        load_db(path)
+    } else {
+        ImageDatabase::new(params_for(opts)?).map_err(|e| e.to_string())
+    }
+}
+
+fn save_db(db: &ImageDatabase, path: &str) -> Result<(), String> {
+    persist::save_to_file(db, path).map_err(|e| format!("cannot save {path}: {e}"))
+}
+
+fn load_image(path: &str) -> Result<Image, String> {
+    ppm::load_netpbm(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_index(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let Some((db_path, images)) = rest.split_first() else {
+        return Err("usage: walrus index <db-file> <image.ppm>...".into());
+    };
+    if images.is_empty() {
+        return Err("no images to index".into());
+    }
+    let mut db = load_or_create_db(db_path, opts)?;
+    for path in images {
+        let image = load_image(path)?;
+        let id = db.insert_image(path, &image).map_err(|e| format!("{path}: {e}"))?;
+        println!("indexed {path} as id {id} ({} regions)", db.image(id).expect("just inserted").regions.len());
+    }
+    save_db(&db, db_path)?;
+    println!("database {db_path}: {} images, {} regions", db.len(), db.num_regions());
+    Ok(())
+}
+
+fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [db_path, image_path] = rest else {
+        return Err("usage: walrus query <db-file> <image.ppm>".into());
+    };
+    let db = load_db(db_path)?;
+    let query = load_image(image_path)?;
+    let outcome = match opts.eps {
+        Some(eps) => db.query_with_epsilon(&query, eps),
+        None => db.query(&query),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "query regions: {}; matching regions: {}; candidate images: {}",
+        outcome.stats.query_regions,
+        outcome.stats.total_matching_regions,
+        outcome.stats.distinct_images
+    );
+    print_ranking(outcome.matches.iter().take(opts.k));
+    Ok(())
+}
+
+fn cmd_scene(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [db_path, image_path, x, y, w, h] = rest else {
+        return Err("usage: walrus scene <db-file> <image.ppm> <x> <y> <w> <h>".into());
+    };
+    let db = load_db(db_path)?;
+    let query = load_image(image_path)?;
+    let rect = SceneRect {
+        x: x.parse().map_err(|_| "bad x")?,
+        y: y.parse().map_err(|_| "bad y")?,
+        width: w.parse().map_err(|_| "bad w")?,
+        height: h.parse().map_err(|_| "bad h")?,
+    };
+    let outcome = db.query_scene(&query, rect, 0.0).map_err(|e| e.to_string())?;
+    println!("scene {rect:?}: {} candidate images", outcome.stats.distinct_images);
+    print_ranking(outcome.matches.iter().take(opts.k));
+    Ok(())
+}
+
+fn cmd_remove(rest: &[String]) -> Result<(), String> {
+    let [db_path, id] = rest else {
+        return Err("usage: walrus remove <db-file> <id>".into());
+    };
+    let mut db = load_db(db_path)?;
+    let id: usize = id.parse().map_err(|_| "bad id")?;
+    db.remove_image(id).map_err(|e| e.to_string())?;
+    save_db(&db, db_path)?;
+    println!("removed id {id}; {} images remain", db.len());
+    Ok(())
+}
+
+fn cmd_info(rest: &[String]) -> Result<(), String> {
+    let [db_path] = rest else {
+        return Err("usage: walrus info <db-file>".into());
+    };
+    let db = load_db(db_path)?;
+    let p = db.params();
+    println!("database: {db_path}");
+    println!("  images:  {}", db.len());
+    println!("  regions: {}", db.num_regions());
+    println!(
+        "  params:  windows {}..{} stride {}, signature {}x{} per {} channel(s) ({}), \
+         eps_c {}, eps {}, tau {}",
+        p.sliding.omega_min,
+        p.sliding.omega_max,
+        p.sliding.stride,
+        p.sliding.s,
+        p.sliding.s,
+        p.color_space.channel_count(),
+        p.color_space.name(),
+        p.cluster_epsilon,
+        p.query_epsilon,
+        p.tau,
+    );
+    for img in db.image_slots().iter().flatten() {
+        {
+            println!(
+                "  [{}] {} {}x{} ({} regions)",
+                img.id,
+                img.name,
+                img.width,
+                img.height,
+                img.regions.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(opts: &Options, rest: &[String]) -> Result<(), String> {
+    use walrus_imagery::synth::dataset::{DatasetSpec, ImageClass, SyntheticDataset};
+    let [db_path] = rest else {
+        return Err("usage: walrus demo <db-file>".into());
+    };
+    let mut db = load_or_create_db(db_path, opts)?;
+    let dataset = SyntheticDataset::generate(DatasetSpec {
+        images_per_class: 4,
+        width: 128,
+        height: 96,
+        seed: 7,
+        classes: ImageClass::ALL.to_vec(),
+    })
+    .map_err(|e| e.to_string())?;
+    for img in &dataset.images {
+        db.insert_image(&img.name, &img.image).map_err(|e| e.to_string())?;
+    }
+    save_db(&db, db_path)?;
+    println!("populated {db_path} with {} synthetic images", dataset.len());
+    println!("try: walrus info {db_path}");
+    Ok(())
+}
+
+fn print_ranking<'a>(matches: impl Iterator<Item = &'a walrus_core::RankedImage>) {
+    println!("{:>4} {:>5} {:>10} {:>7}  name", "rank", "id", "similarity", "pairs");
+    let mut any = false;
+    for (rank, m) in matches.enumerate() {
+        any = true;
+        println!("{:>4} {:>5} {:>10.4} {:>7}  {}", rank + 1, m.image_id, m.similarity, m.matched_pairs, m.name);
+    }
+    if !any {
+        println!("  (no matches)");
+    }
+}
+
+fn print_usage() {
+    println!(
+        "walrus — region-based image similarity search (WALRUS, SIGMOD 1999)\n\
+         \n\
+         usage: walrus [options] <command> <args>\n\
+         \n\
+         commands:\n\
+           index  <db> <image.ppm>...        index PPM/PGM images\n\
+           query  <db> <image.ppm>           rank images by similarity\n\
+           scene  <db> <image.ppm> x y w h   query by a marked sub-scene\n\
+           remove <db> <id>                  remove an image\n\
+           info   <db>                       show database statistics\n\
+           demo   <db>                       populate with synthetic images\n\
+         \n\
+         options:\n\
+           -k <n>                 results to print (default 10)\n\
+           --eps <f>              querying epsilon override\n\
+           --window <min> <max>   window size range (default 8 32)\n\
+           --space <name>         rgb|ycc|yiq|hsv|gray (default ycc)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn options_defaults() {
+        let args = s(&["query", "db", "img"]);
+        let (opts, rest) = parse_options(&args).unwrap();
+        assert_eq!(opts.k, 10);
+        assert_eq!(opts.space, ColorSpace::Ycc);
+        assert_eq!(rest.len(), 3);
+    }
+
+    #[test]
+    fn options_parse_all_flags() {
+        let args = s(&["-k", "5", "--eps", "0.07", "--window", "16", "64", "--space", "rgb", "query"]);
+        let (opts, rest) = parse_options(&args).unwrap();
+        assert_eq!(opts.k, 5);
+        assert_eq!(opts.eps, Some(0.07));
+        assert_eq!((opts.omega_min, opts.omega_max), (16, 64));
+        assert_eq!(opts.space, ColorSpace::Rgb);
+        assert_eq!(rest, &["query".to_string()][..]);
+    }
+
+    #[test]
+    fn options_reject_garbage() {
+        assert!(parse_options(&s(&["-k"])).is_err());
+        assert!(parse_options(&s(&["-k", "many"])).is_err());
+        assert!(parse_options(&s(&["--space", "cmyk"])).is_err());
+        assert!(parse_options(&s(&["--window", "8"])).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_command() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_demo_query_remove() {
+        let dir = std::env::temp_dir().join("walrus_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db_path = dir.join("demo.walrus");
+        let db_str = db_path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&db_path);
+
+        // demo populates and saves.
+        run(&s(&["demo", &db_str])).unwrap();
+        let db = load_db(&db_str).unwrap();
+        assert_eq!(db.len(), 24);
+
+        // Write a query image, query it.
+        let query_path = dir.join("q.ppm");
+        let img = db.image(0).unwrap();
+        // Round-trip one of the demo images through PPM for the query.
+        let synthetic = walrus_imagery::synth::dataset::timing_image(128, 96, 1).unwrap();
+        ppm::save_ppm(&synthetic, &query_path).unwrap();
+        let _ = img;
+        run(&s(&["-k", "3", "query", &db_str, query_path.to_str().unwrap()])).unwrap();
+
+        // info + remove round trip.
+        run(&s(&["info", &db_str])).unwrap();
+        run(&s(&["remove", &db_str, "0"])).unwrap();
+        let db = load_db(&db_str).unwrap();
+        assert_eq!(db.len(), 23);
+
+        std::fs::remove_file(&db_path).ok();
+        std::fs::remove_file(&query_path).ok();
+    }
+
+    #[test]
+    fn index_and_query_real_files() {
+        let dir = std::env::temp_dir().join("walrus_cli_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db_path = dir.join("idx.walrus");
+        let _ = std::fs::remove_file(&db_path);
+        let db_str = db_path.to_str().unwrap().to_string();
+
+        // Two PPM files from the synthetic generator.
+        let a = walrus_imagery::synth::dataset::timing_image(96, 64, 2).unwrap();
+        let b = walrus_imagery::synth::dataset::timing_image(96, 64, 3).unwrap();
+        let pa = dir.join("a.ppm");
+        let pb = dir.join("b.ppm");
+        ppm::save_ppm(&a, &pa).unwrap();
+        ppm::save_ppm(&b, &pb).unwrap();
+
+        run(&s(&["index", &db_str, pa.to_str().unwrap(), pb.to_str().unwrap()])).unwrap();
+        let db = load_db(&db_str).unwrap();
+        assert_eq!(db.len(), 2);
+
+        // Query with image a: it must be the top result.
+        run(&s(&["query", &db_str, pa.to_str().unwrap()])).unwrap();
+        let loaded_a = load_image(pa.to_str().unwrap()).unwrap();
+        let top = db.top_k(&loaded_a, 1).unwrap();
+        assert!(top[0].name.ends_with("a.ppm"));
+
+        for p in [&db_path, &pa, &pb] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn missing_database_is_a_clean_error() {
+        assert!(run(&s(&["query", "/nonexistent/db.walrus", "/nonexistent/q.ppm"])).is_err());
+        assert!(run(&s(&["info", "/nonexistent/db.walrus"])).is_err());
+    }
+}

@@ -1,0 +1,545 @@
+//! The WALRUS image database: region index + query processing
+//! (paper §5.1 "Indexing of images", §5.4 "Region Matching", §5.5 "Image
+//! Matching").
+//!
+//! Regions of every inserted image are indexed in an R\*-tree keyed by their
+//! signature (centroid point or signature bounding box). A query extracts
+//! the regions of the query image the same way, probes the index with the
+//! querying epsilon `ε`, groups matching regions by target image, and scores
+//! each candidate with the configured matching algorithm. Images whose
+//! similarity reaches `τ` are returned ranked.
+//!
+//! [`QueryStats`] carries the two selectivity measures of the paper's
+//! Table 1: the average number of regions retrieved per query region, and
+//! the number of distinct images containing at least one matching region.
+
+use crate::extract::extract_regions;
+use crate::matching::{self, MatchPair};
+use crate::params::{SignatureKind, WalrusParams};
+use crate::region::Region;
+use crate::{Result, WalrusError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use walrus_imagery::Image;
+use walrus_rstar::RStarTree;
+
+/// A region's address in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RegionKey {
+    image: usize,
+    region: usize,
+}
+
+/// An indexed image: its extracted regions plus metadata.
+#[derive(Debug, Clone)]
+pub struct IndexedImage {
+    /// Database id (stable; ids of removed images are not reused).
+    pub id: usize,
+    /// Caller-supplied name.
+    pub name: String,
+    /// Pixel width.
+    pub width: usize,
+    /// Pixel height.
+    pub height: usize,
+    /// Extracted regions.
+    pub regions: Vec<Region>,
+}
+
+/// One ranked query answer.
+#[derive(Debug, Clone)]
+pub struct RankedImage {
+    /// Database id of the matched image.
+    pub image_id: usize,
+    /// Its name.
+    pub name: String,
+    /// Similarity under the configured [`crate::params::SimilarityKind`].
+    pub similarity: f64,
+    /// Number of matching region pairs between query and this image.
+    pub matched_pairs: usize,
+}
+
+/// Selectivity statistics of one query (the measures of paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryStats {
+    /// Regions extracted from the query image.
+    pub query_regions: usize,
+    /// Total matching database regions over all query regions.
+    pub total_matching_regions: usize,
+    /// `total_matching_regions / query_regions` ("Avg. No. of Regions
+    /// Retrieved" in Table 1).
+    pub avg_regions_per_query_region: f64,
+    /// Distinct database images containing ≥ 1 matching region ("No. of
+    /// Distinct Images").
+    pub distinct_images: usize,
+}
+
+/// Full result of a query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Images with similarity ≥ `τ`, descending by similarity (ties broken
+    /// by ascending id for determinism).
+    pub matches: Vec<RankedImage>,
+    /// Selectivity statistics.
+    pub stats: QueryStats,
+}
+
+/// The database.
+#[derive(Debug, Clone)]
+pub struct ImageDatabase {
+    params: WalrusParams,
+    images: Vec<Option<IndexedImage>>,
+    index: RStarTree<RegionKey>,
+    region_count: usize,
+}
+
+impl ImageDatabase {
+    /// Creates an empty database with the given engine configuration.
+    pub fn new(params: WalrusParams) -> Result<Self> {
+        params.validate()?;
+        let index = RStarTree::with_dims(params.signature_dims())?;
+        Ok(Self { params, images: Vec::new(), index, region_count: 0 })
+    }
+
+    /// The engine configuration.
+    pub fn params(&self) -> &WalrusParams {
+        &self.params
+    }
+
+    /// Number of indexed images.
+    pub fn len(&self) -> usize {
+        self.images.iter().filter(|i| i.is_some()).count()
+    }
+
+    /// True when no images are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of indexed regions across all images.
+    pub fn num_regions(&self) -> usize {
+        self.region_count
+    }
+
+    /// Looks up an indexed image by id.
+    pub fn image(&self, id: usize) -> Option<&IndexedImage> {
+        self.images.get(id).and_then(|i| i.as_ref())
+    }
+
+    /// All image slots in id order; removed images appear as `None`
+    /// (tombstones). Used by persistence to round-trip id assignment.
+    pub fn image_slots(&self) -> &[Option<IndexedImage>] {
+        &self.images
+    }
+
+    /// Appends a tombstone slot, consuming the next id without storing an
+    /// image — persistence uses this to restore id stability after
+    /// removals.
+    pub fn insert_tombstone(&mut self) {
+        self.images.push(None);
+    }
+
+    /// Extracts regions of `image` and indexes them. Returns the new id.
+    pub fn insert_image(&mut self, name: &str, image: &Image) -> Result<usize> {
+        let regions = extract_regions(image, &self.params)?;
+        self.insert_regions(name, image.width(), image.height(), regions)
+    }
+
+    /// Indexes pre-extracted regions (useful when the caller already ran
+    /// [`extract_regions`], e.g. to reuse extraction across parameter
+    /// sweeps). The regions must have been extracted with compatible
+    /// parameters (same signature dimensionality).
+    pub fn insert_regions(
+        &mut self,
+        name: &str,
+        width: usize,
+        height: usize,
+        regions: Vec<Region>,
+    ) -> Result<usize> {
+        let dims = self.params.signature_dims();
+        for r in &regions {
+            if r.dims() != dims {
+                return Err(WalrusError::BadParams(format!(
+                    "region has {} dims, database expects {dims}",
+                    r.dims()
+                )));
+            }
+        }
+        let id = self.images.len();
+        for (ri, region) in regions.iter().enumerate() {
+            self.index
+                .insert(region.index_rect(self.params.signature_kind), RegionKey { image: id, region: ri })?;
+        }
+        self.region_count += regions.len();
+        self.images.push(Some(IndexedImage {
+            id,
+            name: name.to_string(),
+            width,
+            height,
+            regions,
+        }));
+        Ok(id)
+    }
+
+    /// Removes an image and all its regions from the index.
+    pub fn remove_image(&mut self, id: usize) -> Result<()> {
+        let slot = self.images.get_mut(id).ok_or(WalrusError::UnknownImage(id))?;
+        let img = slot.take().ok_or(WalrusError::UnknownImage(id))?;
+        for (ri, region) in img.regions.iter().enumerate() {
+            let rect = region.index_rect(self.params.signature_kind);
+            let removed = self.index.remove(&rect, &RegionKey { image: id, region: ri })?;
+            debug_assert!(removed, "index out of sync with image store");
+        }
+        self.region_count -= img.regions.len();
+        Ok(())
+    }
+
+    /// Runs a full query: extract regions of `query`, match against the
+    /// database, return images with similarity ≥ `τ`.
+    pub fn query(&self, query: &Image) -> Result<QueryOutcome> {
+        let regions = extract_regions(query, &self.params)?;
+        self.query_regions(&regions, query.area(), self.params.tau)
+    }
+
+    /// Like [`ImageDatabase::query`] but with an explicit querying epsilon,
+    /// overriding `params.query_epsilon` for this query only. This is how
+    /// the Table 1 selectivity sweep varies `ε` without rebuilding the
+    /// index (the index itself is ε-independent).
+    pub fn query_with_epsilon(&self, query: &Image, epsilon: f32) -> Result<QueryOutcome> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(WalrusError::BadParams(format!("epsilon {epsilon} invalid")));
+        }
+        let regions = extract_regions(query, &self.params)?;
+        let mut params = self.params;
+        params.query_epsilon = epsilon;
+        self.query_regions_with_params(&params, &regions, query.area(), self.params.tau)
+    }
+
+    /// The `k` most similar images regardless of `τ`.
+    pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
+        let regions = extract_regions(query, &self.params)?;
+        let mut outcome = self.query_regions(&regions, query.area(), 0.0)?;
+        outcome.matches.truncate(k);
+        Ok(outcome.matches)
+    }
+
+    /// Queries with pre-extracted regions and an explicit similarity floor.
+    /// `query_area` is the pixel count of the query image.
+    pub fn query_regions(
+        &self,
+        q_regions: &[Region],
+        query_area: usize,
+        min_similarity: f64,
+    ) -> Result<QueryOutcome> {
+        self.query_regions_with_params(&self.params, q_regions, query_area, min_similarity)
+    }
+
+    pub(crate) fn query_regions_with_params(
+        &self,
+        params: &WalrusParams,
+        q_regions: &[Region],
+        query_area: usize,
+        min_similarity: f64,
+    ) -> Result<QueryOutcome> {
+        // Step 1 (paper §5.4): probe the index per query region.
+        let mut by_image: HashMap<usize, Vec<MatchPair>> = HashMap::new();
+        let mut total_hits = 0usize;
+        for (qi, qr) in q_regions.iter().enumerate() {
+            let hits = match params.signature_kind {
+                SignatureKind::Centroid => {
+                    self.index.search_within(&qr.centroid, params.query_epsilon)?
+                }
+                SignatureKind::BoundingBox => {
+                    let probe = qr
+                        .index_rect(SignatureKind::BoundingBox)
+                        .extended(params.query_epsilon);
+                    self.index.search_intersecting(&probe)?
+                }
+            };
+            total_hits += hits.len();
+            for (_, key) in hits {
+                by_image.entry(key.image).or_default().push(MatchPair { q: qi, t: key.region });
+            }
+        }
+
+        // Step 2 (paper §5.5): score each candidate image.
+        let mut matches = Vec::new();
+        for (image_id, pairs) in by_image.iter() {
+            let img = self.images[*image_id].as_ref().expect("index points at live image");
+            let score = matching::score(
+                params,
+                q_regions,
+                &img.regions,
+                pairs,
+                query_area,
+                img.width * img.height,
+            );
+            if score.similarity >= min_similarity {
+                matches.push(RankedImage {
+                    image_id: *image_id,
+                    name: img.name.clone(),
+                    similarity: score.similarity,
+                    matched_pairs: pairs.len(),
+                });
+            }
+        }
+        matches.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.image_id.cmp(&b.image_id))
+        });
+
+        let query_regions = q_regions.len();
+        let stats = QueryStats {
+            query_regions,
+            total_matching_regions: total_hits,
+            avg_regions_per_query_region: if query_regions == 0 {
+                0.0
+            } else {
+                total_hits as f64 / query_regions as f64
+            },
+            distinct_images: by_image.len(),
+        };
+        Ok(QueryOutcome { matches, stats })
+    }
+}
+
+/// A thread-safe handle over an [`ImageDatabase`]: many concurrent readers
+/// (queries), exclusive writers (inserts/removals). Cloning the handle
+/// shares the database.
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<parking_lot::RwLock<ImageDatabase>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database for shared use.
+    pub fn new(db: ImageDatabase) -> Self {
+        Self { inner: Arc::new(parking_lot::RwLock::new(db)) }
+    }
+
+    /// Inserts an image (exclusive lock).
+    pub fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
+        self.inner.write().insert_image(name, image)
+    }
+
+    /// Removes an image (exclusive lock).
+    pub fn remove_image(&self, id: usize) -> Result<()> {
+        self.inner.write().remove_image(id)
+    }
+
+    /// Runs a query (shared lock; queries proceed concurrently).
+    pub fn query(&self, query: &Image) -> Result<QueryOutcome> {
+        self.inner.read().query(query)
+    }
+
+    /// The `k` most similar images (shared lock).
+    pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
+        self.inner.read().top_k(query, k)
+    }
+
+    /// Number of indexed images (shared lock).
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty (shared lock).
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+
+    fn params() -> WalrusParams {
+        WalrusParams {
+            sliding: walrus_wavelet::SlidingParams { s: 2, omega_min: 16, omega_max: 16, stride: 8 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn flower_at(cx: f32, cy: f32, scale: f32) -> Image {
+        Scene::new(Texture::Solid(Rgb(0.1, 0.5, 0.15)))
+            .with(SceneObject::new(
+                Shape::Flower { petals: 6, core_radius: 0.3, petal_len: 0.95, petal_width: 0.22 },
+                Texture::Solid(Rgb(0.85, 0.12, 0.18)),
+                (cx, cy),
+                scale,
+            ))
+            .render(64, 64)
+            .unwrap()
+    }
+
+    fn blue_image() -> Image {
+        Scene::new(Texture::Solid(Rgb(0.1, 0.15, 0.8))).render(64, 64).unwrap()
+    }
+
+    #[test]
+    fn empty_database_query() {
+        let db = ImageDatabase::new(params()).unwrap();
+        let out = db.query(&flower_at(0.5, 0.5, 0.5)).unwrap();
+        assert!(out.matches.is_empty());
+        assert_eq!(out.stats.distinct_images, 0);
+        assert!(out.stats.query_regions > 0);
+        assert_eq!(out.stats.avg_regions_per_query_region, 0.0);
+    }
+
+    #[test]
+    fn identical_image_is_top_match() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        let q = flower_at(0.5, 0.5, 0.5);
+        db.insert_image("same", &q).unwrap();
+        db.insert_image("blue", &blue_image()).unwrap();
+        let top = db.top_k(&q, 2).unwrap();
+        assert!(!top.is_empty());
+        assert_eq!(top[0].name, "same");
+        assert!(top[0].similarity > 0.9, "self-similarity {}", top[0].similarity);
+    }
+
+    #[test]
+    fn translated_flower_found_blue_not() {
+        // The headline WALRUS property.
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("moved", &flower_at(0.3, 0.35, 0.5)).unwrap();
+        db.insert_image("blue", &blue_image()).unwrap();
+        let q = flower_at(0.65, 0.6, 0.5);
+        let top = db.top_k(&q, 2).unwrap();
+        assert!(!top.is_empty());
+        assert_eq!(top[0].name, "moved");
+        let blue = top.iter().find(|r| r.name == "blue");
+        if let Some(b) = blue {
+            assert!(top[0].similarity > b.similarity);
+        }
+    }
+
+    #[test]
+    fn tau_filters_matches() {
+        let mut db = ImageDatabase::new(WalrusParams { tau: 0.95, ..params() }).unwrap();
+        let q = flower_at(0.5, 0.5, 0.5);
+        db.insert_image("same", &q).unwrap();
+        db.insert_image("different", &flower_at(0.3, 0.3, 0.25)).unwrap();
+        let out = db.query(&q).unwrap();
+        // Only the (near-)identical image clears τ = 0.95.
+        assert!(out.matches.iter().all(|m| m.similarity >= 0.95));
+        assert!(out.matches.iter().any(|m| m.name == "same"));
+    }
+
+    #[test]
+    fn stats_reflect_selectivity() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        for i in 0..4 {
+            db.insert_image(&format!("f{i}"), &flower_at(0.4 + 0.05 * i as f32, 0.5, 0.5)).unwrap();
+        }
+        db.insert_image("blue", &blue_image()).unwrap();
+        let out = db.query(&flower_at(0.5, 0.5, 0.5)).unwrap();
+        assert!(out.stats.query_regions >= 1);
+        assert!(out.stats.distinct_images >= 4, "flowers should all match");
+        assert!(out.stats.avg_regions_per_query_region > 0.0);
+        assert_eq!(
+            out.stats.avg_regions_per_query_region,
+            out.stats.total_matching_regions as f64 / out.stats.query_regions as f64
+        );
+    }
+
+    #[test]
+    fn larger_epsilon_retrieves_more() {
+        // Table 1's monotone trend.
+        let build = |eps: f32| {
+            let mut db = ImageDatabase::new(WalrusParams { query_epsilon: eps, ..params() }).unwrap();
+            for i in 0..5 {
+                db.insert_image(&format!("f{i}"), &flower_at(0.35 + 0.06 * i as f32, 0.5, 0.4)).unwrap();
+            }
+            db.insert_image("blue", &blue_image()).unwrap();
+            db.query(&flower_at(0.5, 0.5, 0.5)).unwrap().stats
+        };
+        let tight = build(0.02);
+        let loose = build(0.3);
+        assert!(loose.total_matching_regions >= tight.total_matching_regions);
+        assert!(loose.distinct_images >= tight.distinct_images);
+    }
+
+    #[test]
+    fn remove_image_unindexes_it() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        let q = flower_at(0.5, 0.5, 0.5);
+        let id = db.insert_image("same", &q).unwrap();
+        db.insert_image("other", &flower_at(0.4, 0.4, 0.5)).unwrap();
+        assert_eq!(db.len(), 2);
+        let regions_before = db.num_regions();
+        db.remove_image(id).unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(db.num_regions() < regions_before);
+        assert!(db.image(id).is_none());
+        let top = db.top_k(&q, 5).unwrap();
+        assert!(top.iter().all(|m| m.image_id != id));
+        // Double removal errors.
+        assert!(matches!(db.remove_image(id), Err(WalrusError::UnknownImage(_))));
+        assert!(matches!(db.remove_image(99), Err(WalrusError::UnknownImage(99))));
+    }
+
+    #[test]
+    fn bounding_box_signatures_also_work() {
+        let mut db = ImageDatabase::new(WalrusParams {
+            signature_kind: SignatureKind::BoundingBox,
+            ..params()
+        })
+        .unwrap();
+        let q = flower_at(0.5, 0.5, 0.5);
+        db.insert_image("same", &q).unwrap();
+        db.insert_image("blue", &blue_image()).unwrap();
+        let top = db.top_k(&q, 1).unwrap();
+        assert_eq!(top[0].name, "same");
+        assert!(top[0].similarity > 0.9);
+    }
+
+    #[test]
+    fn shared_database_concurrent_queries() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("a", &flower_at(0.5, 0.5, 0.5)).unwrap();
+        db.insert_image("b", &blue_image()).unwrap();
+        let shared = SharedDatabase::new(db);
+        let q = flower_at(0.5, 0.5, 0.5);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = shared.clone();
+                let q = q.clone();
+                std::thread::spawn(move || s.top_k(&q, 1).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let top = h.join().unwrap();
+            assert_eq!(top[0].name, "a");
+        }
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn insert_regions_dimension_check() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        let bad = Region {
+            centroid: vec![0.0; 5],
+            bbox_min: vec![0.0; 5],
+            bbox_max: vec![0.0; 5],
+            bitmap: crate::bitmap::RegionBitmap::new(64, 64, 16),
+            window_count: 1,
+        };
+        assert!(db.insert_regions("bad", 64, 64, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        for i in 0..6 {
+            db.insert_image(&format!("f{i}"), &flower_at(0.3 + 0.07 * i as f32, 0.5, 0.45)).unwrap();
+        }
+        let out = db.query(&flower_at(0.5, 0.5, 0.45)).unwrap();
+        for w in out.matches.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Region extraction: image → sliding-window signatures → BIRCH clusters →
+//! regions with bitmaps (paper §5.1 steps 1–2).
+
+use crate::params::WalrusParams;
+use crate::region::Region;
+use crate::{bitmap::RegionBitmap, Result, WalrusError};
+use walrus_imagery::Image;
+use walrus_wavelet::sliding;
+
+/// Extracts the regions of `image` under `params`.
+///
+/// The image is converted to `params.color_space`, swept with the
+/// dynamic-programming sliding-window algorithm, and the window signatures
+/// are pre-clustered with radius threshold `ε_c`. Each non-empty cluster
+/// becomes a [`Region`] whose bitmap marks the pixels covered by the
+/// cluster's member windows.
+///
+/// The number of regions "typically increases with image complexity"
+/// (paper §5.3) and decreases with `ε_c` (§6.6) — both verified in tests.
+pub fn extract_regions(image: &Image, params: &WalrusParams) -> Result<Vec<Region>> {
+    params.validate()?;
+    let converted = image.to_space(params.color_space)?;
+    let planes: Vec<&[f32]> = converted.channels().iter().map(|c| c.as_slice()).collect();
+    let signatures = sliding::compute_signatures(
+        &planes,
+        converted.width(),
+        converted.height(),
+        &params.sliding,
+    )?;
+    if signatures.is_empty() {
+        return Err(WalrusError::Wavelet(walrus_wavelet::WaveletError::ImageTooSmall {
+            width: image.width(),
+            height: image.height(),
+            omega_min: params.sliding.omega_min,
+        }));
+    }
+    let points: Vec<Vec<f32>> = signatures.iter().map(|s| s.coeffs.clone()).collect();
+    let clustering = walrus_birch::precluster(
+        &points,
+        params.cluster_epsilon,
+        params.max_regions_per_image,
+    )?;
+
+    let mut regions = Vec::with_capacity(clustering.clusters.len());
+    for cluster in &clustering.clusters {
+        let mut bitmap = RegionBitmap::new(image.width(), image.height(), params.bitmap_grid);
+        for &m in &cluster.members {
+            let w = &signatures[m];
+            bitmap.mark_window(w.x, w.y, w.omega, w.omega);
+        }
+        regions.push(Region {
+            centroid: cluster.centroid(),
+            bbox_min: cluster.bbox_min.clone(),
+            bbox_max: cluster.bbox_max.clone(),
+            bitmap,
+            window_count: cluster.members.len(),
+        });
+    }
+    Ok(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+    use walrus_imagery::ColorSpace;
+
+    fn small_params() -> WalrusParams {
+        WalrusParams {
+            sliding: walrus_wavelet::SlidingParams { s: 2, omega_min: 8, omega_max: 16, stride: 4 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn two_tone_image() -> Image {
+        // Left half red, right half blue: two clearly separable regions.
+        Scene::new(Texture::Solid(Rgb(0.9, 0.1, 0.1)))
+            .with(SceneObject::new(
+                Shape::Rect { hx: 1.0, hy: 1.0 },
+                Texture::Solid(Rgb(0.1, 0.1, 0.9)),
+                (0.75, 0.5),
+                0.55,
+            ))
+            .render(64, 64)
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_image_yields_one_region() {
+        let img = Image::from_fn(64, 64, ColorSpace::Rgb, |_, _, _| 0.5).unwrap();
+        let regions = extract_regions(&img, &small_params()).unwrap();
+        assert_eq!(regions.len(), 1);
+        // The single region covers the whole image.
+        assert_eq!(regions[0].area(), 64 * 64);
+        assert!(regions[0].window_count > 0);
+    }
+
+    #[test]
+    fn two_tone_image_yields_multiple_regions() {
+        let regions = extract_regions(&two_tone_image(), &small_params()).unwrap();
+        assert!(regions.len() >= 2, "expected >= 2 regions, got {}", regions.len());
+        // Every region has a sane signature and non-empty bitmap.
+        for r in &regions {
+            assert_eq!(r.dims(), 12);
+            assert!(!r.bitmap.is_empty());
+            assert!(r.window_count >= 1);
+            for d in 0..r.dims() {
+                assert!(r.bbox_min[d] <= r.centroid[d] + 1e-6);
+                assert!(r.centroid[d] <= r.bbox_max[d] + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn window_counts_conserve_total() {
+        let params = small_params();
+        let img = two_tone_image();
+        let regions = extract_regions(&img, &params).unwrap();
+        let total: usize = regions.iter().map(|r| r.window_count).sum();
+        assert_eq!(total, params.sliding.total_windows(64, 64));
+    }
+
+    #[test]
+    fn regions_decrease_with_cluster_epsilon() {
+        // §6.6's monotone trend.
+        let img = two_tone_image();
+        let mut tight = small_params();
+        tight.cluster_epsilon = 0.01;
+        let mut loose = small_params();
+        loose.cluster_epsilon = 0.5;
+        let n_tight = extract_regions(&img, &tight).unwrap().len();
+        let n_loose = extract_regions(&img, &loose).unwrap().len();
+        assert!(
+            n_tight >= n_loose,
+            "tight ε_c gave {n_tight} regions, loose gave {n_loose}"
+        );
+        assert_eq!(n_loose, 1, "ε_c = 0.5 should merge everything");
+    }
+
+    #[test]
+    fn max_regions_budget_respected() {
+        let img = two_tone_image();
+        let mut p = small_params();
+        p.cluster_epsilon = 0.0; // would explode without a budget
+        p.max_regions_per_image = Some(8);
+        let regions = extract_regions(&img, &p).unwrap();
+        assert!(regions.len() <= 8, "got {} regions", regions.len());
+    }
+
+    #[test]
+    fn too_small_image_rejected() {
+        let img = Image::zeros(4, 4, ColorSpace::Rgb).unwrap();
+        assert!(extract_regions(&img, &small_params()).is_err());
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let img = two_tone_image();
+        let a = extract_regions(&img, &small_params()).unwrap();
+        let b = extract_regions(&img, &small_params()).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.centroid, y.centroid);
+            assert_eq!(x.bitmap, y.bitmap);
+        }
+    }
+
+    #[test]
+    fn union_of_region_bitmaps_covers_image() {
+        // Every window lands in some cluster, and windows tile the image
+        // (stride ≤ ω), so the union of region bitmaps is full coverage.
+        let img = two_tone_image();
+        let regions = extract_regions(&img, &small_params()).unwrap();
+        let mut acc = RegionBitmap::new(64, 64, 16);
+        for r in &regions {
+            acc.union_in_place(&r.bitmap);
+        }
+        assert_eq!(acc.area(), 64 * 64);
+    }
+}

@@ -1,0 +1,149 @@
+//! # walrus-core
+//!
+//! The WALRUS similarity retrieval engine (Natsev, Rastogi, Shim; SIGMOD
+//! 1999): region-based content-based image retrieval that is robust to
+//! translation and scaling of objects *within* images.
+//!
+//! ## Pipeline (paper §5.1)
+//!
+//! 1. **Signatures for sliding windows** — `walrus-wavelet`'s
+//!    dynamic-programming sweep produces an `s×s` Haar lowest-band signature
+//!    per channel for every dyadic window (paper §5.2).
+//! 2. **Clustering** — `walrus-birch` pre-clusters the window signatures
+//!    with radius threshold `ε_c`; each cluster is a *region* whose
+//!    signature is the cluster centroid (or the bounding box of member
+//!    signatures) and whose spatial extent is a coarse pixel bitmap
+//!    ([`bitmap::RegionBitmap`], paper §5.3).
+//! 3. **Region matching** — all database regions are indexed in a
+//!    `walrus-rstar` R\*-tree; a query probes it for regions within `ε`
+//!    (paper §5.4).
+//! 4. **Image matching** — matched region pairs are combined into a similar
+//!    region pair set and scored by Definition 4.3 ([`matching`], paper
+//!    §5.5): the fast quick-union metric, the `O(n²)` greedy one-to-one
+//!    heuristic, or the exact (exponential; the problem is NP-hard,
+//!    Theorem 5.1) optimum for small pair counts.
+//!
+//! ## Entry points
+//!
+//! * [`extract::extract_regions`] — image → regions.
+//! * [`database::ImageDatabase`] — index images, run queries, get the
+//!   selectivity statistics of the paper's Table 1.
+//! * [`params::WalrusParams`] — every knob the paper exposes, with the
+//!   paper's §6.4 values as [`params::WalrusParams::paper_defaults`].
+//!
+//! ## Example
+//!
+//! ```
+//! use walrus_core::{ImageDatabase, WalrusParams};
+//! use walrus_imagery::{ColorSpace, Image};
+//! use walrus_wavelet::SlidingParams;
+//!
+//! // Small windows for a small example image.
+//! let params = WalrusParams {
+//!     sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 16, stride: 4 },
+//!     ..WalrusParams::paper_defaults()
+//! };
+//! let mut db = ImageDatabase::new(params)?;
+//!
+//! // A red-left/green-right image and an all-blue one.
+//! let two_tone = Image::from_fn(64, 64, ColorSpace::Rgb, |x, _, c| {
+//!     match (x < 32, c) {
+//!         (true, 0) | (false, 1) => 0.9,
+//!         _ => 0.1,
+//!     }
+//! })?;
+//! let blue = Image::from_fn(64, 64, ColorSpace::Rgb, |_, _, c| if c == 2 { 0.9 } else { 0.1 })?;
+//! db.insert_image("two_tone", &two_tone)?;
+//! db.insert_image("blue", &blue)?;
+//!
+//! // Querying with the two-tone image ranks it first with similarity ~1.
+//! let top = db.top_k(&two_tone, 1)?;
+//! assert_eq!(top[0].name, "two_tone");
+//! assert!(top[0].similarity > 0.99);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod bitmap;
+pub mod database;
+pub mod extract;
+pub mod matching;
+pub mod params;
+pub mod persist;
+pub mod refine;
+pub mod region;
+pub mod scene_query;
+pub mod viz;
+
+pub use database::{ImageDatabase, QueryOutcome, QueryStats, RankedImage};
+pub use extract::extract_regions;
+pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
+pub use region::Region;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum WalrusError {
+    /// Underlying image error.
+    Image(walrus_imagery::ImageError),
+    /// Underlying wavelet error.
+    Wavelet(walrus_wavelet::WaveletError),
+    /// Underlying clustering error.
+    Birch(walrus_birch::BirchError),
+    /// Underlying index error.
+    Index(walrus_rstar::RStarError),
+    /// Invalid engine parameters.
+    BadParams(String),
+    /// The referenced image id is not in the database.
+    UnknownImage(usize),
+}
+
+impl std::fmt::Display for WalrusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalrusError::Image(e) => write!(f, "image error: {e}"),
+            WalrusError::Wavelet(e) => write!(f, "wavelet error: {e}"),
+            WalrusError::Birch(e) => write!(f, "clustering error: {e}"),
+            WalrusError::Index(e) => write!(f, "index error: {e}"),
+            WalrusError::BadParams(msg) => write!(f, "bad parameters: {msg}"),
+            WalrusError::UnknownImage(id) => write!(f, "unknown image id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for WalrusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalrusError::Image(e) => Some(e),
+            WalrusError::Wavelet(e) => Some(e),
+            WalrusError::Birch(e) => Some(e),
+            WalrusError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<walrus_imagery::ImageError> for WalrusError {
+    fn from(e: walrus_imagery::ImageError) -> Self {
+        WalrusError::Image(e)
+    }
+}
+
+impl From<walrus_wavelet::WaveletError> for WalrusError {
+    fn from(e: walrus_wavelet::WaveletError) -> Self {
+        WalrusError::Wavelet(e)
+    }
+}
+
+impl From<walrus_birch::BirchError> for WalrusError {
+    fn from(e: walrus_birch::BirchError) -> Self {
+        WalrusError::Birch(e)
+    }
+}
+
+impl From<walrus_rstar::RStarError> for WalrusError {
+    fn from(e: walrus_rstar::RStarError) -> Self {
+        WalrusError::Index(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WalrusError>;

@@ -1,0 +1,476 @@
+//! Database persistence: serialize an [`crate::ImageDatabase`] to a compact
+//! binary image and load it back.
+//!
+//! The paper's deployment stores regions in a *disk-based* R\*-tree (GiST)
+//! so the index survives restarts and scales past memory. This module
+//! provides the equivalent capability for the in-memory engine: the full
+//! database — parameters, image metadata, every region's signature, bbox
+//! and bitmap — round-trips through a versioned, endian-stable byte format.
+//! The R\*-tree itself is rebuilt on load (bulk re-insertion), which keeps
+//! the format independent of index implementation details.
+//!
+//! Format (little-endian throughout):
+//!
+//! ```text
+//! magic "WALRUSDB" | u32 version | params block | u64 image_count
+//! per image: u64 id | name (u32 len + bytes) | u64 w | u64 h | u64 live(0/1)
+//!            u64 region_count | regions…
+//! per region: u64 window_count | dims (u32) | centroid f32s | bbox_min | bbox_max
+//!             bitmap: u64 w,h,gw,gh | u64 word_count | u64 words…
+//! ```
+
+use crate::bitmap::RegionBitmap;
+use crate::database::ImageDatabase;
+use crate::params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
+use crate::region::Region;
+use crate::{Result, WalrusError};
+use walrus_imagery::ColorSpace;
+use walrus_wavelet::SlidingParams;
+
+const MAGIC: &[u8; 8] = b"WALRUSDB";
+const VERSION: u32 = 1;
+
+/// Serializes the database to bytes.
+pub fn save(db: &ImageDatabase) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    write_params(&mut out, db.params());
+    let slots = db.image_slots();
+    put_u64(&mut out, slots.len() as u64);
+    for (id, slot) in slots.iter().enumerate() {
+        put_u64(&mut out, id as u64);
+        match slot {
+            Some(img) => {
+                put_str(&mut out, &img.name);
+                put_u64(&mut out, img.width as u64);
+                put_u64(&mut out, img.height as u64);
+                put_u64(&mut out, 1);
+                put_u64(&mut out, img.regions.len() as u64);
+                for r in &img.regions {
+                    write_region(&mut out, r);
+                }
+            }
+            None => {
+                put_str(&mut out, "");
+                put_u64(&mut out, 0);
+                put_u64(&mut out, 0);
+                put_u64(&mut out, 0);
+                put_u64(&mut out, 0);
+            }
+        }
+    }
+    out
+}
+
+/// Writes the database to a file.
+pub fn save_to_file(db: &ImageDatabase, path: impl AsRef<std::path::Path>) -> Result<()> {
+    std::fs::write(path, save(db)).map_err(|e| WalrusError::BadParams(format!("io error: {e}")))
+}
+
+/// Deserializes a database from bytes, rebuilding the spatial index.
+pub fn load(bytes: &[u8]) -> Result<ImageDatabase> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let params = read_params(&mut r)?;
+    let mut db = ImageDatabase::new(params)?;
+    let image_count = r.u64()? as usize;
+    if image_count > 100_000_000 {
+        return Err(corrupt("implausible image count"));
+    }
+    for expected_id in 0..image_count {
+        let id = r.u64()? as usize;
+        if id != expected_id {
+            return Err(corrupt("image ids out of order"));
+        }
+        let name = r.string()?;
+        let width = r.u64()? as usize;
+        let height = r.u64()? as usize;
+        let live = r.u64()?;
+        let region_count = r.u64()? as usize;
+        if region_count > 10_000_000 {
+            return Err(corrupt("implausible region count"));
+        }
+        if live == 1 {
+            let mut regions = Vec::with_capacity(region_count);
+            for _ in 0..region_count {
+                regions.push(read_region(&mut r)?);
+            }
+            let got = db.insert_regions(&name, width, height, regions)?;
+            debug_assert_eq!(got, id);
+        } else {
+            db.insert_tombstone();
+        }
+    }
+    if r.pos != bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(db)
+}
+
+/// Reads a database from a file.
+pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<ImageDatabase> {
+    let bytes =
+        std::fs::read(path).map_err(|e| WalrusError::BadParams(format!("io error: {e}")))?;
+    load(&bytes)
+}
+
+fn corrupt(what: &str) -> WalrusError {
+    WalrusError::BadParams(format!("corrupt database image: {what}"))
+}
+
+// --- primitive encoders -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_f32(out, v);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        if len > 1 << 20 {
+            return Err(corrupt("implausible string length"));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| corrupt("non-UTF8 string"))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>> {
+        let len = self.u32()? as usize;
+        if len > 1 << 24 {
+            return Err(corrupt("implausible vector length"));
+        }
+        (0..len).map(|_| self.f32()).collect()
+    }
+}
+
+// --- params -------------------------------------------------------------
+
+fn write_params(out: &mut Vec<u8>, p: &WalrusParams) {
+    put_u64(out, p.sliding.s as u64);
+    put_u64(out, p.sliding.omega_min as u64);
+    put_u64(out, p.sliding.omega_max as u64);
+    put_u64(out, p.sliding.stride as u64);
+    put_u32(out, color_space_tag(p.color_space));
+    put_f64(out, p.cluster_epsilon);
+    put_f32(out, p.query_epsilon);
+    put_f64(out, p.tau);
+    put_u32(out, match p.signature_kind {
+        SignatureKind::Centroid => 0,
+        SignatureKind::BoundingBox => 1,
+    });
+    put_u32(out, match p.matching {
+        MatchingKind::Quick => 0,
+        MatchingKind::Greedy => 1,
+        MatchingKind::Exact => 2,
+    });
+    put_u32(out, match p.similarity {
+        SimilarityKind::Symmetric => 0,
+        SimilarityKind::QueryFraction => 1,
+        SimilarityKind::MinImage => 2,
+    });
+    put_u64(out, p.bitmap_grid as u64);
+    put_u64(out, p.max_regions_per_image.map(|m| m as u64 + 1).unwrap_or(0));
+    put_u64(out, p.exact_pair_limit as u64);
+}
+
+fn read_params(r: &mut Reader<'_>) -> Result<WalrusParams> {
+    let sliding = SlidingParams {
+        s: r.u64()? as usize,
+        omega_min: r.u64()? as usize,
+        omega_max: r.u64()? as usize,
+        stride: r.u64()? as usize,
+    };
+    let color_space = color_space_from_tag(r.u32()?)?;
+    let cluster_epsilon = r.f64()?;
+    let query_epsilon = r.f32()?;
+    let tau = r.f64()?;
+    let signature_kind = match r.u32()? {
+        0 => SignatureKind::Centroid,
+        1 => SignatureKind::BoundingBox,
+        other => return Err(corrupt(&format!("bad signature kind {other}"))),
+    };
+    let matching = match r.u32()? {
+        0 => MatchingKind::Quick,
+        1 => MatchingKind::Greedy,
+        2 => MatchingKind::Exact,
+        other => return Err(corrupt(&format!("bad matching kind {other}"))),
+    };
+    let similarity = match r.u32()? {
+        0 => SimilarityKind::Symmetric,
+        1 => SimilarityKind::QueryFraction,
+        2 => SimilarityKind::MinImage,
+        other => return Err(corrupt(&format!("bad similarity kind {other}"))),
+    };
+    let bitmap_grid = r.u64()? as usize;
+    let max_regions = match r.u64()? {
+        0 => None,
+        v => Some((v - 1) as usize),
+    };
+    let exact_pair_limit = r.u64()? as usize;
+    Ok(WalrusParams {
+        sliding,
+        color_space,
+        cluster_epsilon,
+        query_epsilon,
+        tau,
+        signature_kind,
+        matching,
+        similarity,
+        bitmap_grid,
+        max_regions_per_image: max_regions,
+        exact_pair_limit,
+    })
+}
+
+fn color_space_tag(c: ColorSpace) -> u32 {
+    match c {
+        ColorSpace::Rgb => 0,
+        ColorSpace::Ycc => 1,
+        ColorSpace::Yiq => 2,
+        ColorSpace::Hsv => 3,
+        ColorSpace::Gray => 4,
+    }
+}
+
+fn color_space_from_tag(tag: u32) -> Result<ColorSpace> {
+    Ok(match tag {
+        0 => ColorSpace::Rgb,
+        1 => ColorSpace::Ycc,
+        2 => ColorSpace::Yiq,
+        3 => ColorSpace::Hsv,
+        4 => ColorSpace::Gray,
+        other => return Err(corrupt(&format!("bad color space {other}"))),
+    })
+}
+
+// --- regions ------------------------------------------------------------
+
+fn write_region(out: &mut Vec<u8>, r: &Region) {
+    put_u64(out, r.window_count as u64);
+    put_f32s(out, &r.centroid);
+    put_f32s(out, &r.bbox_min);
+    put_f32s(out, &r.bbox_max);
+    let bm = &r.bitmap;
+    put_u64(out, bm.width() as u64);
+    put_u64(out, bm.height() as u64);
+    put_u64(out, bm.grid_width() as u64);
+    put_u64(out, bm.grid_height() as u64);
+    let words = bm.words();
+    put_u64(out, words.len() as u64);
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+fn read_region(r: &mut Reader<'_>) -> Result<Region> {
+    let window_count = r.u64()? as usize;
+    let centroid = r.f32s()?;
+    let bbox_min = r.f32s()?;
+    let bbox_max = r.f32s()?;
+    if centroid.len() != bbox_min.len() || centroid.len() != bbox_max.len() {
+        return Err(corrupt("signature arity mismatch"));
+    }
+    let width = r.u64()? as usize;
+    let height = r.u64()? as usize;
+    let gw = r.u64()? as usize;
+    let gh = r.u64()? as usize;
+    let word_count = r.u64()? as usize;
+    if word_count > 1 << 24 {
+        return Err(corrupt("implausible bitmap size"));
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(r.u64()?);
+    }
+    let bitmap = RegionBitmap::from_words(width, height, gw, gh, words)
+        .ok_or_else(|| corrupt("invalid bitmap geometry"))?;
+    Ok(Region { centroid, bbox_min, bbox_max, bitmap, window_count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+    use walrus_imagery::Image;
+
+    fn params() -> WalrusParams {
+        WalrusParams {
+            sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 16, stride: 4 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn scene(hue: f32) -> Image {
+        Scene::new(Texture::Solid(Rgb(hue, 0.4, 0.3)))
+            .with(SceneObject::new(
+                Shape::Ellipse { rx: 0.6, ry: 0.6 },
+                Texture::Solid(Rgb(0.9, 0.2, 0.2)),
+                (0.5, 0.5),
+                0.4,
+            ))
+            .render(64, 48)
+            .unwrap()
+    }
+
+    fn populated() -> ImageDatabase {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        for i in 0..5 {
+            db.insert_image(&format!("img{i}"), &scene(0.1 * i as f32)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = populated();
+        let bytes = save(&db);
+        let restored = load(&bytes).unwrap();
+        assert_eq!(restored.len(), db.len());
+        assert_eq!(restored.num_regions(), db.num_regions());
+        assert_eq!(restored.params(), db.params());
+        for id in 0..5 {
+            let (a, b) = (db.image(id).unwrap(), restored.image(id).unwrap());
+            assert_eq!(a.name, b.name);
+            assert_eq!((a.width, a.height), (b.width, b.height));
+            assert_eq!(a.regions.len(), b.regions.len());
+            for (ra, rb) in a.regions.iter().zip(&b.regions) {
+                assert_eq!(ra.centroid, rb.centroid);
+                assert_eq!(ra.bitmap, rb.bitmap);
+                assert_eq!(ra.window_count, rb.window_count);
+            }
+        }
+    }
+
+    #[test]
+    fn restored_database_answers_queries_identically() {
+        let db = populated();
+        let restored = load(&save(&db)).unwrap();
+        let query = scene(0.15);
+        let a = db.top_k(&query, 5).unwrap();
+        let b = restored.top_k(&query, 5).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.image_id, y.image_id);
+            assert!((x.similarity - y.similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tombstones_survive_round_trip() {
+        let mut db = populated();
+        db.remove_image(2).unwrap();
+        let restored = load(&save(&db)).unwrap();
+        assert_eq!(restored.len(), 4);
+        assert!(restored.image(2).is_none());
+        assert!(restored.image(3).is_some());
+        // New insertions continue from the right id.
+        let mut restored = restored;
+        let new_id = restored.insert_image("new", &scene(0.9)).unwrap();
+        assert_eq!(new_id, 5);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let db = populated();
+        let good = save(&db);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(load(&bad).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(load(&bad).is_err());
+        // Truncations at every prefix length must error, never panic.
+        for cut in [0usize, 7, 11, 40, good.len() / 2, good.len() - 1] {
+            assert!(load(&good[..cut]).is_err(), "cut at {cut} should fail");
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(load(&bad).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = populated();
+        let dir = std::env::temp_dir().join("walrus_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.walrus");
+        save_to_file(&db, &path).unwrap();
+        let restored = load_from_file(&path).unwrap();
+        assert_eq!(restored.len(), db.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = ImageDatabase::new(params()).unwrap();
+        let restored = load(&save(&db)).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.params(), db.params());
+    }
+}

@@ -1,0 +1,233 @@
+//! The refined matching phase (paper §5.5, final paragraph):
+//!
+//! > "For images T whose similarity to the query image Q exceeds the
+//! > threshold τ, we can perform an additional refined matching phase with
+//! > more detailed signatures if the resulting increase in response time is
+//! > acceptable."
+//!
+//! The coarse pass (2×2 signatures, quick matching) is cheap but blunt —
+//! strong candidates tie at or near similarity 1.0. This module re-scores a
+//! short-list of candidates *pairwise* against the query using finer
+//! parameters (larger signatures, tighter clustering, one-to-one greedy
+//! matching), without touching the index: regions of the query and of each
+//! candidate are re-extracted and matched directly.
+//!
+//! The database does not retain pixel data, so the caller supplies a fetch
+//! function mapping image ids back to images (from disk, an object store,
+//! …) — mirroring the paper's deployment where images live outside the
+//! index.
+
+use crate::database::{ImageDatabase, RankedImage};
+use crate::extract::extract_regions;
+use crate::matching::{self, MatchPair};
+use crate::params::{SignatureKind, WalrusParams};
+use crate::region::Region;
+use crate::{Result, WalrusError};
+use walrus_imagery::Image;
+use walrus_wavelet::sliding::l2_distance;
+
+/// Parameters of the refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineParams {
+    /// Engine parameters for the *fine* pass — typically the coarse
+    /// parameters with `s` doubled, a tighter `ε_c` and greedy matching.
+    pub fine: WalrusParams,
+    /// How many coarse candidates to re-score.
+    pub candidates: usize,
+}
+
+impl RefineParams {
+    /// A sensible refinement of `coarse`: 4×4 signatures, `ε_c/2`, greedy
+    /// one-to-one matching, re-scoring the top 20.
+    pub fn from_coarse(coarse: &WalrusParams) -> Self {
+        let mut fine = *coarse;
+        fine.sliding.s = (coarse.sliding.s * 2).min(coarse.sliding.omega_min);
+        fine.cluster_epsilon = coarse.cluster_epsilon / 2.0;
+        fine.matching = crate::params::MatchingKind::Greedy;
+        Self { fine, candidates: 20 }
+    }
+}
+
+/// Directly matches two region sets: every pair within `eps` (by the
+/// configured signature kind) becomes a match pair; the configured
+/// algorithm turns pairs into a similarity. This is the index-free core of
+/// refinement, also useful for one-off pairwise image comparison.
+pub fn match_region_sets(
+    params: &WalrusParams,
+    q_regions: &[Region],
+    t_regions: &[Region],
+    q_area: usize,
+    t_area: usize,
+) -> matching::MatchScore {
+    let eps = params.query_epsilon;
+    let mut pairs = Vec::new();
+    for (qi, q) in q_regions.iter().enumerate() {
+        for (ti, t) in t_regions.iter().enumerate() {
+            let matched = match params.signature_kind {
+                SignatureKind::Centroid => l2_distance(&q.centroid, &t.centroid) <= eps,
+                SignatureKind::BoundingBox => {
+                    q.index_rect(SignatureKind::BoundingBox)
+                        .extended(eps)
+                        .intersects(&t.index_rect(SignatureKind::BoundingBox))
+                }
+            };
+            if matched {
+                pairs.push(MatchPair { q: qi, t: ti });
+            }
+        }
+    }
+    matching::score(params, q_regions, t_regions, &pairs, q_area, t_area)
+}
+
+impl ImageDatabase {
+    /// Re-scores the top coarse candidates with finer parameters. `fetch`
+    /// maps an image id to its pixels (return `None` to skip a candidate —
+    /// it keeps its coarse score). Results are re-sorted by the refined
+    /// similarity.
+    pub fn refine_ranking(
+        &self,
+        query: &Image,
+        coarse: &[RankedImage],
+        refine: &RefineParams,
+        mut fetch: impl FnMut(usize) -> Option<Image>,
+    ) -> Result<Vec<RankedImage>> {
+        refine.fine.validate()?;
+        if refine.candidates == 0 {
+            return Err(WalrusError::BadParams("refinement needs at least 1 candidate".into()));
+        }
+        let q_regions = extract_regions(query, &refine.fine)?;
+        let mut out: Vec<RankedImage> = coarse.to_vec();
+        for ranked in out.iter_mut().take(refine.candidates) {
+            let Some(image) = fetch(ranked.image_id) else { continue };
+            let t_regions = extract_regions(&image, &refine.fine)?;
+            let score = match_region_sets(
+                &refine.fine,
+                &q_regions,
+                &t_regions,
+                query.area(),
+                image.area(),
+            );
+            ranked.similarity = score.similarity;
+            ranked.matched_pairs = score.pairs_used.len();
+        }
+        out.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.image_id.cmp(&b.image_id))
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+    use walrus_wavelet::SlidingParams;
+
+    fn coarse_params() -> WalrusParams {
+        WalrusParams {
+            sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 32, stride: 4 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn flower(cx: f32, petals: u32) -> Image {
+        Scene::new(Texture::Noise {
+            a: Rgb(0.08, 0.42, 0.12),
+            b: Rgb(0.14, 0.55, 0.18),
+            scale: 6,
+            seed: 3,
+        })
+        .with(SceneObject::new(
+            Shape::Flower { petals, core_radius: 0.5, petal_len: 0.95, petal_width: 0.25 },
+            Texture::Solid(Rgb(0.85, 0.12, 0.18)),
+            (cx, 0.5),
+            0.55,
+        ))
+        .render(128, 96)
+        .unwrap()
+    }
+
+    #[test]
+    fn from_coarse_tightens_parameters() {
+        let coarse = coarse_params();
+        let r = RefineParams::from_coarse(&coarse);
+        assert_eq!(r.fine.sliding.s, 4);
+        assert!(r.fine.cluster_epsilon < coarse.cluster_epsilon);
+        assert_eq!(r.fine.matching, crate::params::MatchingKind::Greedy);
+        r.fine.validate().unwrap();
+    }
+
+    #[test]
+    fn match_region_sets_self_similarity_is_one() {
+        let params = coarse_params();
+        let img = flower(0.5, 6);
+        let regions = extract_regions(&img, &params).unwrap();
+        let score = match_region_sets(&params, &regions, &regions, img.area(), img.area());
+        assert!(score.similarity > 0.99, "self score {}", score.similarity);
+    }
+
+    #[test]
+    fn match_region_sets_disjoint_images_score_zero() {
+        let params = coarse_params();
+        let a = flower(0.5, 6);
+        let b = Scene::new(Texture::Solid(Rgb(0.1, 0.15, 0.85))).render(128, 96).unwrap();
+        let ra = extract_regions(&a, &params).unwrap();
+        let rb = extract_regions(&b, &params).unwrap();
+        let score = match_region_sets(&params, &ra, &rb, a.area(), b.area());
+        assert_eq!(score.similarity, 0.0);
+    }
+
+    #[test]
+    fn refinement_breaks_coarse_ties() {
+        // Two candidates both tie near 1.0 coarsely: the identical image
+        // and a similar-but-different flower (5 petals vs 6). Refinement
+        // must rank the identical one first.
+        let mut db = ImageDatabase::new(coarse_params()).unwrap();
+        let exact = flower(0.5, 6);
+        let similar = flower(0.52, 5);
+        let images = [exact.clone(), similar];
+        db.insert_image("exact", &images[0]).unwrap();
+        db.insert_image("similar", &images[1]).unwrap();
+
+        let coarse = db.top_k(&exact, 2).unwrap();
+        assert_eq!(coarse.len(), 2);
+
+        let refine = RefineParams::from_coarse(db.params());
+        let refined = db
+            .refine_ranking(&exact, &coarse, &refine, |id| images.get(id).cloned())
+            .unwrap();
+        assert_eq!(refined[0].name, "exact");
+        assert!(
+            refined[0].similarity >= refined[1].similarity,
+            "refined ranking must put the identical image first"
+        );
+    }
+
+    #[test]
+    fn unfetchable_candidates_keep_coarse_scores() {
+        let mut db = ImageDatabase::new(coarse_params()).unwrap();
+        let img = flower(0.5, 6);
+        db.insert_image("only", &img).unwrap();
+        let coarse = db.top_k(&img, 1).unwrap();
+        let refine = RefineParams::from_coarse(db.params());
+        let refined = db.refine_ranking(&img, &coarse, &refine, |_| None).unwrap();
+        assert_eq!(refined[0].similarity, coarse[0].similarity);
+    }
+
+    #[test]
+    fn invalid_refine_params_rejected() {
+        let db = ImageDatabase::new(coarse_params()).unwrap();
+        let img = flower(0.5, 6);
+        let mut refine = RefineParams::from_coarse(db.params());
+        refine.candidates = 0;
+        assert!(db.refine_ranking(&img, &[], &refine, |_| None).is_err());
+        let mut refine = RefineParams::from_coarse(db.params());
+        refine.fine.sliding.stride = 3;
+        assert!(db.refine_ranking(&img, &[], &refine, |_| None).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Image regions: the unit of WALRUS similarity.
+//!
+//! A region is a cluster of sliding windows with similar signatures. It
+//! carries: the cluster centroid signature, the bounding box of member
+//! signatures (the alternate representation of Definition 4.1), the coarse
+//! pixel bitmap of the area its windows cover, and bookkeeping counts.
+
+use crate::bitmap::RegionBitmap;
+use crate::params::SignatureKind;
+use walrus_rstar::Rect;
+
+/// One extracted region of an image.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Cluster centroid in signature space.
+    pub centroid: Vec<f32>,
+    /// Per-dimension minimum of member signatures.
+    pub bbox_min: Vec<f32>,
+    /// Per-dimension maximum of member signatures.
+    pub bbox_max: Vec<f32>,
+    /// Coarse bitmap of pixels covered by the region's member windows.
+    pub bitmap: RegionBitmap,
+    /// Number of sliding windows in the cluster.
+    pub window_count: usize,
+}
+
+impl Region {
+    /// Signature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.centroid.len()
+    }
+
+    /// Pixel area covered by this region (from the coarse bitmap).
+    pub fn area(&self) -> usize {
+        self.bitmap.area()
+    }
+
+    /// The rectangle this region is indexed under: a degenerate point for
+    /// centroid signatures, the signature bounding box otherwise.
+    pub fn index_rect(&self, kind: SignatureKind) -> Rect {
+        match kind {
+            SignatureKind::Centroid => {
+                Rect::point(&self.centroid).expect("centroid coordinates are finite")
+            }
+            SignatureKind::BoundingBox => {
+                Rect::new(self.bbox_min.clone(), self.bbox_max.clone())
+                    .expect("bbox built from finite member signatures")
+            }
+        }
+    }
+
+    /// L2 distance between this region's centroid and another's.
+    pub fn centroid_distance(&self, other: &Region) -> f32 {
+        walrus_wavelet::sliding::l2_distance(&self.centroid, &other.centroid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_region() -> Region {
+        let mut bitmap = RegionBitmap::new(64, 64, 16);
+        bitmap.mark_window(0, 0, 32, 32);
+        Region {
+            centroid: vec![0.5, 0.1, 0.2, 0.0],
+            bbox_min: vec![0.4, 0.05, 0.15, -0.1],
+            bbox_max: vec![0.6, 0.15, 0.25, 0.1],
+            bitmap,
+            window_count: 9,
+        }
+    }
+
+    #[test]
+    fn area_comes_from_bitmap() {
+        let r = demo_region();
+        assert_eq!(r.area(), 32 * 32);
+        assert_eq!(r.dims(), 4);
+    }
+
+    #[test]
+    fn centroid_index_rect_is_point() {
+        let r = demo_region();
+        let rect = r.index_rect(SignatureKind::Centroid);
+        assert_eq!(rect.min(), rect.max());
+        assert_eq!(rect.min(), r.centroid.as_slice());
+    }
+
+    #[test]
+    fn bbox_index_rect_spans_members() {
+        let r = demo_region();
+        let rect = r.index_rect(SignatureKind::BoundingBox);
+        assert_eq!(rect.min(), r.bbox_min.as_slice());
+        assert_eq!(rect.max(), r.bbox_max.as_slice());
+        assert!(rect.area() > 0.0);
+    }
+
+    #[test]
+    fn centroid_distance_is_euclidean() {
+        let a = demo_region();
+        let mut b = demo_region();
+        b.centroid = vec![0.5, 0.1, 0.2, 1.0];
+        assert!((a.centroid_distance(&b) - 1.0).abs() < 1e-6);
+        assert_eq!(a.centroid_distance(&a), 0.0);
+    }
+}

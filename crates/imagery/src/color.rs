@@ -1,0 +1,337 @@
+//! Color spaces and conversions.
+//!
+//! The WALRUS paper stores images in YCC (YCbCr) for its headline results and
+//! reports RGB numbers in §6.6; related systems use YIQ (Jacobs et al.) and
+//! HSV. All conversions here operate on `f32` pixels with RGB in `[0, 1]`.
+//!
+//! The conversion graph is a star centred on RGB: every space converts to and
+//! from RGB, and arbitrary pairs are routed through RGB by [`convert`].
+
+use crate::image::{Channel, Image};
+use crate::{ImageError, Result};
+
+/// The color spaces understood by the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColorSpace {
+    /// Red, green, blue in `[0, 1]`.
+    Rgb,
+    /// Luma plus blue/red chroma (YCbCr a.k.a. "YCC" in the paper), all
+    /// shifted into `[0, 1]` (chroma stored as `value + 0.5`).
+    Ycc,
+    /// NTSC luma/in-phase/quadrature; I and Q are signed.
+    Yiq,
+    /// Hue (`[0, 1)` wrapping), saturation, value.
+    Hsv,
+    /// Single luma channel.
+    Gray,
+}
+
+impl ColorSpace {
+    /// Number of channels an image in this space carries.
+    pub fn channel_count(self) -> usize {
+        match self {
+            ColorSpace::Gray => 1,
+            _ => 3,
+        }
+    }
+
+    /// Short lowercase name, e.g. for CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColorSpace::Rgb => "rgb",
+            ColorSpace::Ycc => "ycc",
+            ColorSpace::Yiq => "yiq",
+            ColorSpace::Hsv => "hsv",
+            ColorSpace::Gray => "gray",
+        }
+    }
+}
+
+/// Converts one RGB pixel to YCbCr with chroma recentred to `[0,1]`
+/// (ITU-R BT.601 full-range coefficients).
+#[inline]
+pub fn rgb_to_ycc(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = (b - y) * 0.564 + 0.5;
+    let cr = (r - y) * 0.713 + 0.5;
+    (y, cb, cr)
+}
+
+/// Inverse of [`rgb_to_ycc`].
+#[inline]
+pub fn ycc_to_rgb(y: f32, cb: f32, cr: f32) -> (f32, f32, f32) {
+    let cb = cb - 0.5;
+    let cr = cr - 0.5;
+    let r = y + cr / 0.713;
+    let b = y + cb / 0.564;
+    let g = (y - 0.299 * r - 0.114 * b) / 0.587;
+    (r, g, b)
+}
+
+/// Converts one RGB pixel to YIQ (NTSC matrix); I ∈ [-0.5957, 0.5957],
+/// Q ∈ [-0.5226, 0.5226].
+#[inline]
+pub fn rgb_to_yiq(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let i = 0.595716 * r - 0.274453 * g - 0.321263 * b;
+    let q = 0.211456 * r - 0.522591 * g + 0.311135 * b;
+    (y, i, q)
+}
+
+/// Inverse of [`rgb_to_yiq`].
+#[inline]
+pub fn yiq_to_rgb(y: f32, i: f32, q: f32) -> (f32, f32, f32) {
+    let r = y + 0.956296 * i + 0.621024 * q;
+    let g = y - 0.272122 * i - 0.647381 * q;
+    let b = y - 1.106989 * i + 1.704615 * q;
+    (r, g, b)
+}
+
+/// Converts one RGB pixel to HSV, all components scaled to `[0, 1]`.
+#[inline]
+pub fn rgb_to_hsv(r: f32, g: f32, b: f32) -> (f32, f32, f32) {
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    let v = max;
+    let s = if max > 0.0 { delta / max } else { 0.0 };
+    let h = if delta <= f32::EPSILON {
+        0.0
+    } else if (max - r).abs() <= f32::EPSILON {
+        (((g - b) / delta).rem_euclid(6.0)) / 6.0
+    } else if (max - g).abs() <= f32::EPSILON {
+        ((b - r) / delta + 2.0) / 6.0
+    } else {
+        ((r - g) / delta + 4.0) / 6.0
+    };
+    (h, s, v)
+}
+
+/// Inverse of [`rgb_to_hsv`].
+#[inline]
+pub fn hsv_to_rgb(h: f32, s: f32, v: f32) -> (f32, f32, f32) {
+    let h6 = (h.rem_euclid(1.0)) * 6.0;
+    let c = v * s;
+    let x = c * (1.0 - (h6.rem_euclid(2.0) - 1.0).abs());
+    let m = v - c;
+    let (r, g, b) = match h6 as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    (r + m, g + m, b + m)
+}
+
+/// BT.601 luma of an RGB pixel.
+#[inline]
+pub fn rgb_to_gray(r: f32, g: f32, b: f32) -> f32 {
+    0.299 * r + 0.587 * g + 0.114 * b
+}
+
+fn map_pixels(img: &Image, space: ColorSpace, f: impl Fn(f32, f32, f32) -> (f32, f32, f32)) -> Result<Image> {
+    let (w, h) = (img.width(), img.height());
+    let mut c0 = Channel::zeros(w, h)?;
+    let mut c1 = Channel::zeros(w, h)?;
+    let mut c2 = Channel::zeros(w, h)?;
+    let (s0, s1, s2) = (img.channel(0), img.channel(1), img.channel(2));
+    for y in 0..h {
+        for x in 0..w {
+            let (a, b, c) = f(s0.get(x, y), s1.get(x, y), s2.get(x, y));
+            c0.set(x, y, a);
+            c1.set(x, y, b);
+            c2.set(x, y, c);
+        }
+    }
+    Image::from_channels(vec![c0, c1, c2], space)
+}
+
+fn to_rgb(img: &Image) -> Result<Image> {
+    match img.space() {
+        ColorSpace::Rgb => Ok(img.clone()),
+        ColorSpace::Ycc => map_pixels(img, ColorSpace::Rgb, ycc_to_rgb),
+        ColorSpace::Yiq => map_pixels(img, ColorSpace::Rgb, yiq_to_rgb),
+        ColorSpace::Hsv => map_pixels(img, ColorSpace::Rgb, hsv_to_rgb),
+        ColorSpace::Gray => {
+            let g = img.channel(0).clone();
+            Image::from_channels(vec![g.clone(), g.clone(), g], ColorSpace::Rgb)
+        }
+    }
+}
+
+fn from_rgb(img: &Image, target: ColorSpace) -> Result<Image> {
+    debug_assert_eq!(img.space(), ColorSpace::Rgb);
+    match target {
+        ColorSpace::Rgb => Ok(img.clone()),
+        ColorSpace::Ycc => map_pixels(img, ColorSpace::Ycc, rgb_to_ycc),
+        ColorSpace::Yiq => map_pixels(img, ColorSpace::Yiq, rgb_to_yiq),
+        ColorSpace::Hsv => map_pixels(img, ColorSpace::Hsv, rgb_to_hsv),
+        ColorSpace::Gray => {
+            let (w, h) = (img.width(), img.height());
+            let g = Channel::from_fn(w, h, |x, y| {
+                rgb_to_gray(img.channel(0).get(x, y), img.channel(1).get(x, y), img.channel(2).get(x, y))
+            })?;
+            Image::from_channels(vec![g], ColorSpace::Gray)
+        }
+    }
+}
+
+/// Converts `img` to `target`, routing through RGB when necessary.
+///
+/// Grayscale is a lossy sink: converting Gray → anything replicates luma, so
+/// round trips through Gray do not restore chroma. That matches how the paper
+/// treats luma-only experiments.
+pub fn convert(img: &Image, target: ColorSpace) -> Result<Image> {
+    if img.space() == target {
+        return Ok(img.clone());
+    }
+    if img.space() == ColorSpace::Rgb {
+        return from_rgb(img, target);
+    }
+    let rgb = to_rgb(img)?;
+    if target == ColorSpace::Rgb {
+        return Ok(rgb);
+    }
+    from_rgb(&rgb, target).map_err(|e| match e {
+        ImageError::UnsupportedConversion { .. } => ImageError::UnsupportedConversion {
+            from: img.space(),
+            to: target,
+        },
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32, eps: f32) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    fn assert_rt(f: impl Fn(f32, f32, f32) -> (f32, f32, f32), g: impl Fn(f32, f32, f32) -> (f32, f32, f32)) {
+        for &(r, gg, b) in &[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 1.0),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 0.0, 1.0),
+            (0.25, 0.5, 0.75),
+            (0.9, 0.1, 0.4),
+        ] {
+            let (a, bb, c) = f(r, gg, b);
+            let (r2, g2, b2) = g(a, bb, c);
+            assert!(
+                close(r, r2, 1e-4) && close(gg, g2, 1e-4) && close(b, b2, 1e-4),
+                "round trip failed for ({r},{gg},{b}) -> ({r2},{g2},{b2})"
+            );
+        }
+    }
+
+    #[test]
+    fn ycc_round_trip() {
+        assert_rt(rgb_to_ycc, ycc_to_rgb);
+    }
+
+    #[test]
+    fn yiq_round_trip() {
+        assert_rt(rgb_to_yiq, yiq_to_rgb);
+    }
+
+    #[test]
+    fn hsv_round_trip() {
+        assert_rt(rgb_to_hsv, hsv_to_rgb);
+    }
+
+    #[test]
+    fn gray_of_white_is_one() {
+        assert!(close(rgb_to_gray(1.0, 1.0, 1.0), 1.0, 1e-6));
+        assert!(close(rgb_to_gray(0.0, 0.0, 0.0), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn luma_matches_between_ycc_and_yiq() {
+        let (y1, _, _) = rgb_to_ycc(0.3, 0.6, 0.1);
+        let (y2, _, _) = rgb_to_yiq(0.3, 0.6, 0.1);
+        assert!(close(y1, y2, 1e-6));
+    }
+
+    #[test]
+    fn neutral_gray_has_centered_chroma() {
+        let (_, cb, cr) = rgb_to_ycc(0.5, 0.5, 0.5);
+        assert!(close(cb, 0.5, 1e-6) && close(cr, 1e-6 + 0.5, 1e-5));
+        let (_, i, q) = rgb_to_yiq(0.5, 0.5, 0.5);
+        assert!(close(i, 0.0, 1e-5) && close(q, 0.0, 1e-5));
+    }
+
+    #[test]
+    fn hsv_of_primaries() {
+        let (h, s, v) = rgb_to_hsv(1.0, 0.0, 0.0);
+        assert!(close(h, 0.0, 1e-6) && close(s, 1.0, 1e-6) && close(v, 1.0, 1e-6));
+        let (h, _, _) = rgb_to_hsv(0.0, 1.0, 0.0);
+        assert!(close(h, 1.0 / 3.0, 1e-6));
+        let (h, _, _) = rgb_to_hsv(0.0, 0.0, 1.0);
+        assert!(close(h, 2.0 / 3.0, 1e-6));
+    }
+
+    #[test]
+    fn image_conversion_round_trip() {
+        let img = Image::from_fn(8, 8, ColorSpace::Rgb, |x, y, c| {
+            ((x * 7 + y * 3 + c * 5) % 11) as f32 / 11.0
+        })
+        .unwrap();
+        for target in [ColorSpace::Ycc, ColorSpace::Yiq, ColorSpace::Hsv] {
+            let conv = convert(&img, target).unwrap();
+            assert_eq!(conv.space(), target);
+            let back = convert(&conv, ColorSpace::Rgb).unwrap();
+            for c in 0..3 {
+                for (a, b) in back.channel(c).as_slice().iter().zip(img.channel(c).as_slice()) {
+                    assert!(close(*a, *b, 1e-3), "{target:?} channel {c}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_space_conversion_is_identity() {
+        let img = Image::zeros(3, 3, ColorSpace::Ycc).unwrap();
+        assert_eq!(convert(&img, ColorSpace::Ycc).unwrap(), img);
+    }
+
+    #[test]
+    fn cross_space_routes_through_rgb() {
+        let img = Image::from_fn(4, 4, ColorSpace::Ycc, |x, y, c| {
+            0.2 + 0.05 * ((x + y + c) % 5) as f32
+        })
+        .unwrap();
+        let hsv = convert(&img, ColorSpace::Hsv).unwrap();
+        assert_eq!(hsv.space(), ColorSpace::Hsv);
+        let back = convert(&hsv, ColorSpace::Ycc).unwrap();
+        for c in 0..3 {
+            for (a, b) in back.channel(c).as_slice().iter().zip(img.channel(c).as_slice()) {
+                assert!(close(*a, *b, 1e-3));
+            }
+        }
+    }
+
+    #[test]
+    fn gray_conversion_drops_chroma() {
+        let img = Image::from_fn(2, 2, ColorSpace::Rgb, |_, _, c| if c == 0 { 1.0 } else { 0.0 }).unwrap();
+        let gray = convert(&img, ColorSpace::Gray).unwrap();
+        assert_eq!(gray.channel_count(), 1);
+        assert!(close(gray.channel(0).get(0, 0), 0.299, 1e-5));
+        let rgb = convert(&gray, ColorSpace::Rgb).unwrap();
+        // All channels equal the luma after expansion.
+        assert!(close(rgb.channel(0).get(0, 0), rgb.channel(2).get(0, 0), 1e-6));
+    }
+
+    #[test]
+    fn channel_count_per_space() {
+        assert_eq!(ColorSpace::Gray.channel_count(), 1);
+        for s in [ColorSpace::Rgb, ColorSpace::Ycc, ColorSpace::Yiq, ColorSpace::Hsv] {
+            assert_eq!(s.channel_count(), 3);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! # walrus-imagery
+//!
+//! Image substrate for the WALRUS reproduction: multi-channel floating-point
+//! images, color-space conversions (RGB / YCC / YIQ / HSV / grayscale),
+//! plain-text and binary PPM/PGM codecs, and a deterministic synthetic scene
+//! generator that stands in for the paper's `misc` photo collection.
+//!
+//! The WALRUS paper (Natsev, Rastogi, Shim; SIGMOD 1999) used the
+//! ImageMagick library for decoding and color-space conversion and a 10 000
+//! image JPEG dataset downloaded from VIRAGE. Neither is available here, so
+//! this crate provides:
+//!
+//! * [`Image`] / [`Channel`] — resolution-independent `f32` pixel storage in
+//!   `[0, 1]`, the common currency of every other crate in the workspace.
+//! * [`color`] — the color spaces the paper mentions (RGB, YCC, YIQ, HSV).
+//! * [`ppm`] — PPM/PGM readers and writers for getting images in and out.
+//! * [`synth`] — labeled synthetic scenes (flowers, brick walls, sunsets,
+//!   lawns, …) with controlled object translation / scaling / color shifts,
+//!   which is exactly the ground truth the paper's retrieval-quality
+//!   experiments require.
+//!
+//! ## Example
+//!
+//! ```
+//! use walrus_imagery::{ColorSpace, Image};
+//!
+//! // Build an image procedurally, convert color spaces, crop.
+//! let img = Image::from_fn(32, 16, ColorSpace::Rgb, |x, _, c| {
+//!     if c == 0 { x as f32 / 31.0 } else { 0.25 }
+//! })?;
+//! let ycc = img.to_space(ColorSpace::Ycc)?;
+//! assert_eq!(ycc.space(), ColorSpace::Ycc);
+//! let patch = img.crop(8, 4, 16, 8)?;
+//! assert_eq!((patch.width(), patch.height()), (16, 8));
+//! # Ok::<(), walrus_imagery::ImageError>(())
+//! ```
+
+pub mod color;
+pub mod image;
+pub mod ops;
+pub mod ppm;
+pub mod synth;
+
+pub use color::ColorSpace;
+pub use image::{Channel, Image};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The requested dimensions are invalid (zero-sized, or mismatched with
+    /// the provided pixel buffer).
+    InvalidDimensions {
+        /// Width that was requested.
+        width: usize,
+        /// Height that was requested.
+        height: usize,
+        /// Length of the pixel buffer supplied, if any.
+        buffer_len: Option<usize>,
+    },
+    /// An operation required two images/channels of identical shape.
+    ShapeMismatch {
+        /// Shape of the left operand `(width, height, channels)`.
+        left: (usize, usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize, usize),
+    },
+    /// A crop or window fell outside the image bounds.
+    OutOfBounds {
+        /// Requested origin.
+        origin: (usize, usize),
+        /// Requested size.
+        size: (usize, usize),
+        /// Actual image size.
+        image: (usize, usize),
+    },
+    /// A PPM/PGM stream could not be parsed.
+    Codec(String),
+    /// A color-space conversion was requested that this crate does not define
+    /// (e.g. HSV → YIQ directly; go through RGB instead).
+    UnsupportedConversion {
+        /// Source space.
+        from: ColorSpace,
+        /// Destination space.
+        to: ColorSpace,
+    },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height, buffer_len } => match buffer_len {
+                Some(len) => write!(
+                    f,
+                    "invalid dimensions {width}x{height} for buffer of length {len}"
+                ),
+                None => write!(f, "invalid dimensions {width}x{height}"),
+            },
+            ImageError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            ImageError::OutOfBounds { origin, size, image } => write!(
+                f,
+                "window {size:?} at {origin:?} exceeds image bounds {image:?}"
+            ),
+            ImageError::Codec(msg) => write!(f, "codec error: {msg}"),
+            ImageError::UnsupportedConversion { from, to } => {
+                write!(f, "unsupported color conversion {from:?} -> {to:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ImageError>;

@@ -1,0 +1,37 @@
+//! Deterministic synthetic scene and dataset generation.
+//!
+//! The paper evaluates retrieval quality on the `misc` collection: 10 000
+//! JPEG photos downloaded from VIRAGE circa 1997 (flowers, brick walls,
+//! sunsets, dogs on lawns, seascapes, …). That collection is not available,
+//! and — more importantly — it carries no machine-readable ground truth about
+//! which images are "semantically related". This module substitutes a scene
+//! compositor that *constructs* that ground truth:
+//!
+//! * [`shapes`] — rasterizable primitives (ellipses, rectangles, flower
+//!   blobs with petals, triangles) with anti-aliased edges.
+//! * [`texture`] — procedural fills (solid, gradients, checkers, bricks,
+//!   stripes, value noise) so scenes have realistic local signatures rather
+//!   than flat color.
+//! * [`scene`] — a [`scene::Scene`] composes textured shapes over a textured
+//!   background and renders to an RGB [`crate::Image`]; objects can be
+//!   translated, scaled and color-shifted, which is exactly the family of
+//!   transformations WALRUS claims robustness to.
+//! * [`dataset`] — labeled image collections mirroring the paper's query
+//!   story: a *flower* class whose members contain the same flower object at
+//!   different positions/scales/counts, plus distractor classes (brick
+//!   walls, sunsets, lawns) that share global color composition with the
+//!   flower images. Single-signature methods confuse those distractors with
+//!   the flower class; region-based matching should not.
+//!
+//! All generation is seeded [`rand::rngs::StdRng`], so datasets are
+//! reproducible bit-for-bit across runs and platforms.
+
+pub mod dataset;
+pub mod scene;
+pub mod shapes;
+pub mod texture;
+
+pub use dataset::{DatasetSpec, ImageClass, LabeledImage, SyntheticDataset};
+pub use scene::{Scene, SceneObject};
+pub use shapes::Shape;
+pub use texture::Texture;

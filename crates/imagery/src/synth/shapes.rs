@@ -1,0 +1,217 @@
+//! Rasterizable shape primitives.
+//!
+//! Shapes are defined in a unit-local coordinate system: the shape occupies
+//! (roughly) the square `[-1, 1]²` and is placed into an image by the scene
+//! compositor, which supplies a centre and a scale in pixels. Coverage is
+//! evaluated per pixel with a smooth edge (≈1px feather) so that downstream
+//! wavelet signatures do not see artificial single-pixel staircases.
+
+/// A shape primitive in local coordinates `[-1, 1]²`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// Axis-aligned ellipse with the given x/y radii (≤ 1).
+    Ellipse {
+        /// Horizontal radius in local units.
+        rx: f32,
+        /// Vertical radius in local units.
+        ry: f32,
+    },
+    /// Axis-aligned rectangle with the given half-extents (≤ 1).
+    Rect {
+        /// Horizontal half-extent.
+        hx: f32,
+        /// Vertical half-extent.
+        hy: f32,
+    },
+    /// A stylized flower: `petals` elliptical lobes around a circular core.
+    /// This is the workhorse of the retrieval-quality experiments, standing
+    /// in for the red flowers of the paper's Figure 7/8 query.
+    Flower {
+        /// Number of petals (≥ 3 for a recognizable flower).
+        petals: u32,
+        /// Radius of the central disc, local units.
+        core_radius: f32,
+        /// Length of each petal measured from the centre.
+        petal_len: f32,
+        /// Half-width of each petal.
+        petal_width: f32,
+    },
+    /// Isoceles triangle pointing up, useful for sailboats / rooftops.
+    Triangle {
+        /// Half-width of the base.
+        half_base: f32,
+        /// Height from base to apex.
+        height: f32,
+    },
+}
+
+impl Shape {
+    /// Signed distance-ish coverage function: returns how far *inside* the
+    /// shape the local point `(x, y)` is, in local units. Positive inside,
+    /// negative outside; magnitude need only be meaningful near the boundary
+    /// (it is fed through a smoothstep with a sub-pixel feather).
+    pub fn inside_depth(&self, x: f32, y: f32) -> f32 {
+        match *self {
+            Shape::Ellipse { rx, ry } => {
+                // Normalized radial coordinate: 1 on the boundary.
+                let r = ((x / rx) * (x / rx) + (y / ry) * (y / ry)).sqrt();
+                (1.0 - r) * rx.min(ry)
+            }
+            Shape::Rect { hx, hy } => {
+                let dx = hx - x.abs();
+                let dy = hy - y.abs();
+                dx.min(dy)
+            }
+            Shape::Triangle { half_base, height } => {
+                // Base on y = +height/2, apex at y = -height/2 (image y grows
+                // downward, so the apex points "up" on screen).
+                let top = -height / 2.0;
+                let bottom = height / 2.0;
+                if y > bottom {
+                    return bottom - y;
+                }
+                // Width shrinks linearly from base to apex.
+                let t = ((y - top) / height).clamp(0.0, 1.0);
+                let w = half_base * t;
+                (w - x.abs()).min(y - top)
+            }
+            Shape::Flower { petals, core_radius, petal_len, petal_width } => {
+                let r = (x * x + y * y).sqrt();
+                let core = core_radius - r;
+                if petals == 0 {
+                    return core;
+                }
+                let theta = y.atan2(x);
+                // Angular distance to the nearest petal axis.
+                let sector = std::f32::consts::TAU / petals as f32;
+                let nearest = (theta / sector).round() * sector;
+                let dtheta = theta - nearest;
+                // Petal is an ellipse along its axis: radial extent
+                // [core_radius * 0.5, petal_len], angular half-width scaled so
+                // petals narrow towards the tip.
+                let mid = (core_radius * 0.5 + petal_len) / 2.0;
+                let half_span = (petal_len - core_radius * 0.5) / 2.0;
+                let along = (r - mid) / half_span;
+                let across = (r * dtheta) / petal_width;
+                let petal = (1.0 - (along * along + across * across).sqrt()) * petal_width;
+                core.max(petal)
+            }
+        }
+    }
+
+    /// Fractional pixel coverage at local point `(x, y)` given the feather
+    /// width `feather` (in local units; the compositor passes ~1px).
+    pub fn coverage(&self, x: f32, y: f32, feather: f32) -> f32 {
+        let d = self.inside_depth(x, y);
+        if feather <= 0.0 {
+            return if d >= 0.0 { 1.0 } else { 0.0 };
+        }
+        smoothstep((d / feather + 1.0) / 2.0)
+    }
+
+    /// Loose local-space bounding half-extent (for rasterization culling).
+    pub fn bounding_half_extent(&self) -> f32 {
+        match *self {
+            Shape::Ellipse { rx, ry } => rx.max(ry),
+            Shape::Rect { hx, hy } => hx.max(hy),
+            Shape::Triangle { half_base, height } => half_base.max(height / 2.0),
+            Shape::Flower { core_radius, petal_len, .. } => petal_len.max(core_radius),
+        }
+    }
+}
+
+#[inline]
+fn smoothstep(t: f32) -> f32 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ellipse_centre_inside_far_outside() {
+        let e = Shape::Ellipse { rx: 0.5, ry: 0.8 };
+        assert!(e.inside_depth(0.0, 0.0) > 0.0);
+        assert!(e.inside_depth(0.9, 0.0) < 0.0);
+        assert!(e.inside_depth(0.0, 0.95) < 0.0);
+        // Boundary is approximately zero.
+        assert!(e.inside_depth(0.5, 0.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rect_depth_is_chebyshev_like() {
+        let r = Shape::Rect { hx: 0.5, hy: 0.25 };
+        assert!(r.inside_depth(0.0, 0.0) > 0.0);
+        assert!((r.inside_depth(0.5, 0.0)).abs() < 1e-6);
+        assert!(r.inside_depth(0.6, 0.0) < 0.0);
+        assert!(r.inside_depth(0.0, 0.3) < 0.0);
+    }
+
+    #[test]
+    fn triangle_apex_and_base() {
+        let t = Shape::Triangle { half_base: 0.6, height: 1.0 };
+        // Centre of mass region is inside.
+        assert!(t.inside_depth(0.0, 0.2) > 0.0);
+        // Above the apex is outside.
+        assert!(t.inside_depth(0.0, -0.6) < 0.0);
+        // Past the base is outside.
+        assert!(t.inside_depth(0.0, 0.6) < 0.0);
+        // Wide at the base, narrow at the apex.
+        assert!(t.inside_depth(0.5, 0.45) > 0.0);
+        assert!(t.inside_depth(0.5, -0.4) < 0.0);
+    }
+
+    #[test]
+    fn flower_has_core_and_petals() {
+        let f = Shape::Flower { petals: 6, core_radius: 0.25, petal_len: 0.9, petal_width: 0.18 };
+        // Core.
+        assert!(f.inside_depth(0.0, 0.0) > 0.0);
+        // On a petal axis (theta = 0), midway out: inside a petal.
+        assert!(f.inside_depth(0.5, 0.0) > 0.0);
+        // Between petals at the same radius: outside.
+        let half_sector = std::f32::consts::TAU / 12.0;
+        let (x, y) = (0.5 * half_sector.cos(), 0.5 * half_sector.sin());
+        assert!(f.inside_depth(x, y) < 0.0, "between petals should be background");
+        // Beyond petal tips: outside.
+        assert!(f.inside_depth(0.99, 0.0) < 0.0);
+    }
+
+    #[test]
+    fn coverage_is_monotone_across_edge() {
+        let e = Shape::Ellipse { rx: 0.5, ry: 0.5 };
+        let feather = 0.05;
+        let inside = e.coverage(0.0, 0.0, feather);
+        let edge = e.coverage(0.5, 0.0, feather);
+        let outside = e.coverage(0.7, 0.0, feather);
+        assert_eq!(inside, 1.0);
+        assert!(edge > 0.4 && edge < 0.6, "edge coverage ≈ 0.5, got {edge}");
+        assert_eq!(outside, 0.0);
+    }
+
+    #[test]
+    fn zero_feather_is_hard_edge() {
+        let e = Shape::Rect { hx: 0.5, hy: 0.5 };
+        assert_eq!(e.coverage(0.0, 0.0, 0.0), 1.0);
+        assert_eq!(e.coverage(0.9, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bounding_extent_contains_shape() {
+        for shape in [
+            Shape::Ellipse { rx: 0.4, ry: 0.9 },
+            Shape::Rect { hx: 0.7, hy: 0.2 },
+            Shape::Triangle { half_base: 0.8, height: 0.9 },
+            Shape::Flower { petals: 5, core_radius: 0.2, petal_len: 0.85, petal_width: 0.15 },
+        ] {
+            let ext = shape.bounding_half_extent();
+            // Sample a ring just outside the bounding extent: must be outside.
+            for k in 0..16 {
+                let a = k as f32 / 16.0 * std::f32::consts::TAU;
+                let (x, y) = ((ext * 1.05) * a.cos(), (ext * 1.05) * a.sin());
+                assert!(shape.inside_depth(x, y) <= 0.0, "{shape:?} leaked past bound at {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Procedural texture fills.
+//!
+//! Every texture is evaluated at absolute image coordinates so that a texture
+//! "shows through" a shape consistently regardless of where the shape moved —
+//! except `Local`-phase options that anchor to the object, used when a
+//! translated object must carry its texture with it (the WALRUS robustness
+//! scenario).
+
+/// RGB color, components nominally in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgb(pub f32, pub f32, pub f32);
+
+impl Rgb {
+    /// Linear interpolation `self → other` at `t ∈ [0,1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        Rgb(
+            self.0 + (other.0 - self.0) * t,
+            self.1 + (other.1 - self.1) * t,
+            self.2 + (other.2 - self.2) * t,
+        )
+    }
+
+    /// Channel-wise addition with clamping, used for color shifts.
+    pub fn shifted(self, dr: f32, dg: f32, db: f32) -> Rgb {
+        Rgb(
+            (self.0 + dr).clamp(0.0, 1.0),
+            (self.1 + dg).clamp(0.0, 1.0),
+            (self.2 + db).clamp(0.0, 1.0),
+        )
+    }
+}
+
+/// A procedural fill evaluated per pixel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Texture {
+    /// Uniform color.
+    Solid(Rgb),
+    /// Vertical gradient: `top` at v=0 to `bottom` at v=1 (v is the
+    /// normalized y coordinate within the fill's reference frame).
+    VerticalGradient {
+        /// Color at the top edge.
+        top: Rgb,
+        /// Color at the bottom edge.
+        bottom: Rgb,
+    },
+    /// Checkerboard with `cell` pixel cells alternating two colors.
+    Checker {
+        /// First cell color.
+        a: Rgb,
+        /// Second cell color.
+        b: Rgb,
+        /// Cell side length in pixels (≥ 1).
+        cell: u32,
+    },
+    /// Horizontal stripes of `period` pixels, `duty` fraction color `a`.
+    Stripes {
+        /// Stripe color.
+        a: Rgb,
+        /// Gap color.
+        b: Rgb,
+        /// Stripe period in pixels (≥ 1).
+        period: u32,
+        /// Fraction of the period occupied by `a`.
+        duty: f32,
+    },
+    /// Running-bond brick pattern: bricks of `w × h` pixels separated by
+    /// 1-pixel mortar lines, odd rows offset by half a brick.
+    Bricks {
+        /// Brick color.
+        brick: Rgb,
+        /// Mortar color.
+        mortar: Rgb,
+        /// Brick width in pixels (≥ 2).
+        w: u32,
+        /// Brick height in pixels (≥ 2).
+        h: u32,
+    },
+    /// Deterministic value noise between two colors: smooth at `scale`
+    /// pixels, hashed from integer lattice points (no RNG state needed, so
+    /// the same coordinates always give the same color).
+    Noise {
+        /// Color at noise value 0.
+        a: Rgb,
+        /// Color at noise value 1.
+        b: Rgb,
+        /// Feature size in pixels (≥ 1).
+        scale: u32,
+        /// Extra seed mixed into the lattice hash.
+        seed: u32,
+    },
+}
+
+impl Texture {
+    /// Evaluates the fill at absolute pixel `(x, y)`; `(fw, fh)` is the size
+    /// of the reference frame (image or object bounding box) used to
+    /// normalize gradients.
+    pub fn eval(&self, x: f32, y: f32, fw: f32, fh: f32) -> Rgb {
+        let _ = fw;
+        match *self {
+            Texture::Solid(c) => c,
+            Texture::VerticalGradient { top, bottom } => {
+                let v = if fh > 0.0 { (y / fh).clamp(0.0, 1.0) } else { 0.0 };
+                top.lerp(bottom, v)
+            }
+            Texture::Checker { a, b, cell } => {
+                let cell = cell.max(1) as i64;
+                let cx = (x.floor() as i64).div_euclid(cell);
+                let cy = (y.floor() as i64).div_euclid(cell);
+                if (cx + cy).rem_euclid(2) == 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            Texture::Stripes { a, b, period, duty } => {
+                let period = period.max(1) as f32;
+                let phase = (y.rem_euclid(period)) / period;
+                if phase < duty.clamp(0.0, 1.0) {
+                    a
+                } else {
+                    b
+                }
+            }
+            Texture::Bricks { brick, mortar, w, h } => {
+                let w = w.max(2) as i64;
+                let h = h.max(2) as i64;
+                let yi = y.floor() as i64;
+                let row = yi.div_euclid(h);
+                let y_in = yi.rem_euclid(h);
+                let offset = if row.rem_euclid(2) == 1 { w / 2 } else { 0 };
+                let x_in = (x.floor() as i64 + offset).rem_euclid(w);
+                if y_in == 0 || x_in == 0 {
+                    mortar
+                } else {
+                    brick
+                }
+            }
+            Texture::Noise { a, b, scale, seed } => {
+                let s = scale.max(1) as f32;
+                let gx = x / s;
+                let gy = y / s;
+                let x0 = gx.floor();
+                let y0 = gy.floor();
+                let tx = smooth(gx - x0);
+                let ty = smooth(gy - y0);
+                let (x0, y0) = (x0 as i64, y0 as i64);
+                let v00 = lattice(x0, y0, seed);
+                let v10 = lattice(x0 + 1, y0, seed);
+                let v01 = lattice(x0, y0 + 1, seed);
+                let v11 = lattice(x0 + 1, y0 + 1, seed);
+                let v = (v00 * (1.0 - tx) + v10 * tx) * (1.0 - ty) + (v01 * (1.0 - tx) + v11 * tx) * ty;
+                a.lerp(b, v)
+            }
+        }
+    }
+
+    /// Returns a copy with every constituent color shifted by `(dr, dg, db)`
+    /// — the "color shift" robustness transform from the paper's §1.1.
+    pub fn color_shifted(&self, dr: f32, dg: f32, db: f32) -> Texture {
+        let s = |c: Rgb| c.shifted(dr, dg, db);
+        match *self {
+            Texture::Solid(c) => Texture::Solid(s(c)),
+            Texture::VerticalGradient { top, bottom } => {
+                Texture::VerticalGradient { top: s(top), bottom: s(bottom) }
+            }
+            Texture::Checker { a, b, cell } => Texture::Checker { a: s(a), b: s(b), cell },
+            Texture::Stripes { a, b, period, duty } => {
+                Texture::Stripes { a: s(a), b: s(b), period, duty }
+            }
+            Texture::Bricks { brick, mortar, w, h } => {
+                Texture::Bricks { brick: s(brick), mortar: s(mortar), w, h }
+            }
+            Texture::Noise { a, b, scale, seed } => Texture::Noise { a: s(a), b: s(b), scale, seed },
+        }
+    }
+}
+
+#[inline]
+fn smooth(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Deterministic hash of a lattice point to `[0, 1]`.
+#[inline]
+fn lattice(x: i64, y: i64, seed: u32) -> f32 {
+    let mut h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ ((seed as u64) << 32 | seed as u64);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RED: Rgb = Rgb(1.0, 0.0, 0.0);
+    const BLUE: Rgb = Rgb(0.0, 0.0, 1.0);
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(RED.lerp(BLUE, 0.0), RED);
+        assert_eq!(RED.lerp(BLUE, 1.0), BLUE);
+        let mid = RED.lerp(BLUE, 0.5);
+        assert!((mid.0 - 0.5).abs() < 1e-6 && (mid.2 - 0.5).abs() < 1e-6);
+        // Clamped outside [0,1].
+        assert_eq!(RED.lerp(BLUE, -2.0), RED);
+    }
+
+    #[test]
+    fn shifted_clamps() {
+        let c = Rgb(0.9, 0.5, 0.05).shifted(0.3, -0.2, -0.1);
+        assert_eq!(c, Rgb(1.0, 0.3, 0.0));
+    }
+
+    #[test]
+    fn gradient_interpolates_vertically() {
+        let t = Texture::VerticalGradient { top: RED, bottom: BLUE };
+        assert_eq!(t.eval(5.0, 0.0, 10.0, 10.0), RED);
+        assert_eq!(t.eval(5.0, 10.0, 10.0, 10.0), BLUE);
+        let mid = t.eval(0.0, 5.0, 10.0, 10.0);
+        assert!((mid.0 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checker_alternates() {
+        let t = Texture::Checker { a: RED, b: BLUE, cell: 2 };
+        assert_eq!(t.eval(0.0, 0.0, 8.0, 8.0), RED);
+        assert_eq!(t.eval(2.0, 0.0, 8.0, 8.0), BLUE);
+        assert_eq!(t.eval(2.0, 2.0, 8.0, 8.0), RED);
+        // Negative coordinates also alternate consistently.
+        assert_eq!(t.eval(-1.0, 0.0, 8.0, 8.0), BLUE);
+    }
+
+    #[test]
+    fn stripes_respect_duty_cycle() {
+        let t = Texture::Stripes { a: RED, b: BLUE, period: 10, duty: 0.3 };
+        assert_eq!(t.eval(0.0, 0.0, 1.0, 1.0), RED);
+        assert_eq!(t.eval(0.0, 2.9, 1.0, 1.0), RED);
+        assert_eq!(t.eval(0.0, 3.1, 1.0, 1.0), BLUE);
+        assert_eq!(t.eval(0.0, 9.9, 1.0, 1.0), BLUE);
+        assert_eq!(t.eval(0.0, 10.0, 1.0, 1.0), RED);
+    }
+
+    #[test]
+    fn bricks_have_mortar_lines_and_offset_rows() {
+        let t = Texture::Bricks { brick: RED, mortar: BLUE, w: 8, h: 4 };
+        // Mortar on the top edge of each row.
+        assert_eq!(t.eval(3.0, 0.0, 1.0, 1.0), BLUE);
+        assert_eq!(t.eval(3.0, 4.0, 1.0, 1.0), BLUE);
+        // Brick interior.
+        assert_eq!(t.eval(3.0, 2.0, 1.0, 1.0), RED);
+        // Vertical mortar at x=0 on even rows; on odd rows it moves by w/2.
+        assert_eq!(t.eval(0.0, 2.0, 1.0, 1.0), BLUE);
+        assert_eq!(t.eval(4.0, 6.0, 1.0, 1.0), BLUE);
+        assert_eq!(t.eval(0.0, 6.0, 1.0, 1.0), RED);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_in_range() {
+        let t = Texture::Noise { a: RED, b: BLUE, scale: 4, seed: 7 };
+        let v1 = t.eval(13.7, 22.1, 64.0, 64.0);
+        let v2 = t.eval(13.7, 22.1, 64.0, 64.0);
+        assert_eq!(v1, v2);
+        for i in 0..50 {
+            let c = t.eval(i as f32 * 1.3, i as f32 * 0.7, 64.0, 64.0);
+            for v in [c.0, c.1, c.2] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_seed_changes_field() {
+        let a = Texture::Noise { a: RED, b: BLUE, scale: 4, seed: 1 };
+        let b = Texture::Noise { a: RED, b: BLUE, scale: 4, seed: 2 };
+        let differs = (0..20).any(|i| {
+            a.eval(i as f32 * 3.1, i as f32 * 5.7, 64.0, 64.0)
+                != b.eval(i as f32 * 3.1, i as f32 * 5.7, 64.0, 64.0)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn color_shift_applies_to_all_variants() {
+        let tex = Texture::Bricks { brick: Rgb(0.5, 0.2, 0.1), mortar: Rgb(0.7, 0.7, 0.7), w: 8, h: 4 };
+        let shifted = tex.color_shifted(0.1, 0.0, 0.0);
+        match shifted {
+            Texture::Bricks { brick, mortar, .. } => {
+                assert!((brick.0 - 0.6).abs() < 1e-6);
+                assert!((mortar.0 - 0.8).abs() < 1e-6);
+            }
+            _ => panic!("variant changed"),
+        }
+    }
+}

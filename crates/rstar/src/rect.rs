@@ -1,0 +1,298 @@
+//! Dynamic-dimension axis-aligned rectangles.
+//!
+//! All geometric accumulations (area, margin, overlap) are done in `f64`:
+//! 12-dimensional products of sub-unit extents underflow `f32` quickly, and
+//! the R\* heuristics compare exactly those products.
+
+use crate::{RStarError, Result};
+
+/// An axis-aligned box `[min, max]` in `d` dimensions. Points are degenerate
+/// rectangles with `min == max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    min: Vec<f32>,
+    max: Vec<f32>,
+}
+
+impl Rect {
+    /// Creates a rectangle, validating `min[d] ≤ max[d]` and finiteness.
+    pub fn new(min: Vec<f32>, max: Vec<f32>) -> Result<Self> {
+        if min.len() != max.len() {
+            return Err(RStarError::InvalidRect(format!(
+                "min has {} dims, max has {}",
+                min.len(),
+                max.len()
+            )));
+        }
+        if min.is_empty() {
+            return Err(RStarError::InvalidRect("zero-dimensional rectangle".into()));
+        }
+        for (d, (&a, &b)) in min.iter().zip(&max).enumerate() {
+            if !a.is_finite() || !b.is_finite() {
+                return Err(RStarError::InvalidRect(format!("non-finite coordinate in dim {d}")));
+            }
+            if a > b {
+                return Err(RStarError::InvalidRect(format!("min {a} > max {b} in dim {d}")));
+            }
+        }
+        Ok(Self { min, max })
+    }
+
+    /// A degenerate rectangle at `point`.
+    pub fn point(point: &[f32]) -> Result<Self> {
+        Self::new(point.to_vec(), point.to_vec())
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn min(&self) -> &[f32] {
+        &self.min
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn max(&self) -> &[f32] {
+        &self.max
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> Vec<f32> {
+        self.min.iter().zip(&self.max).map(|(&a, &b)| (a + b) / 2.0).collect()
+    }
+
+    /// Hyper-volume (product of extents).
+    pub fn area(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(&a, &b)| (b - a) as f64)
+            .product()
+    }
+
+    /// Margin: sum of extents (the R\* split's axis-selection criterion).
+    pub fn margin(&self) -> f64 {
+        self.min.iter().zip(&self.max).map(|(&a, &b)| (b - a) as f64).sum()
+    }
+
+    /// True when `self` and `other` intersect (closed boxes: touching
+    /// counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((&amin, &amax), (&bmin, &bmax))| amin <= bmax && bmin <= amax)
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((&amin, &amax), (&bmin, &bmax))| amin <= bmin && bmax <= amax)
+    }
+
+    /// Volume of the intersection (0 when disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let mut v = 1.0f64;
+        for ((&amin, &amax), (&bmin, &bmax)) in
+            self.min.iter().zip(&self.max).zip(other.min.iter().zip(&other.max))
+        {
+            let lo = amin.max(bmin);
+            let hi = amax.min(bmax);
+            if lo > hi {
+                return 0.0;
+            }
+            v *= (hi - lo) as f64;
+        }
+        v
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dims(), other.dims());
+        Rect {
+            min: self.min.iter().zip(&other.min).map(|(&a, &b)| a.min(b)).collect(),
+            max: self.max.iter().zip(&other.max).map(|(&a, &b)| a.max(b)).collect(),
+        }
+    }
+
+    /// Grows to contain `other`, in place.
+    pub fn union_in_place(&mut self, other: &Rect) {
+        for (a, &b) in self.min.iter_mut().zip(&other.min) {
+            if b < *a {
+                *a = b;
+            }
+        }
+        for (a, &b) in self.max.iter_mut().zip(&other.max) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// Area increase required to absorb `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Rectangle extended by `eps` on every side — the paper's "bounding
+    /// rectangles of regions in the query image are extended by ε" probe.
+    pub fn extended(&self, eps: f32) -> Rect {
+        Rect {
+            min: self.min.iter().map(|&v| v - eps).collect(),
+            max: self.max.iter().map(|&v| v + eps).collect(),
+        }
+    }
+
+    /// Squared minimum L2 distance from `point` to this rectangle (0 when
+    /// the point is inside) — the kNN priority metric.
+    pub fn min_dist_sq(&self, point: &[f32]) -> f64 {
+        debug_assert_eq!(self.dims(), point.len());
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(point)
+            .map(|((&lo, &hi), &p)| {
+                let d = if p < lo {
+                    lo - p
+                } else if p > hi {
+                    p - hi
+                } else {
+                    0.0
+                };
+                (d as f64) * (d as f64)
+            })
+            .sum()
+    }
+
+    /// Squared distance between centres (forced-reinsert ordering).
+    pub fn center_dist_sq(&self, other: &Rect) -> f64 {
+        self.center()
+            .iter()
+            .zip(other.center())
+            .map(|(&a, b)| (a as f64 - b as f64) * (a as f64 - b as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(min: &[f32], max: &[f32]) -> Rect {
+        Rect::new(min.to_vec(), max.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Rect::new(vec![0.0], vec![1.0]).is_ok());
+        assert!(Rect::new(vec![2.0], vec![1.0]).is_err());
+        assert!(Rect::new(vec![0.0, 0.0], vec![1.0]).is_err());
+        assert!(Rect::new(vec![], vec![]).is_err());
+        assert!(Rect::new(vec![f32::NAN], vec![1.0]).is_err());
+        assert!(Rect::new(vec![0.0], vec![f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn point_rect_has_zero_area_and_margin() {
+        let p = Rect::point(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.margin(), 0.0);
+        assert_eq!(p.center(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let b = r(&[0.0, 0.0, 0.0], &[2.0, 3.0, 4.0]);
+        assert_eq!(b.area(), 24.0);
+        assert_eq!(b.margin(), 9.0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        assert!(a.intersects(&r(&[1.0, 1.0], &[3.0, 3.0])));
+        assert!(a.intersects(&r(&[2.0, 0.0], &[3.0, 1.0]))); // touching counts
+        assert!(!a.intersects(&r(&[2.1, 0.0], &[3.0, 1.0])));
+        assert!(!a.intersects(&r(&[0.0, 3.0], &[1.0, 4.0])));
+        // Overlap in one dim but not the other is no intersection.
+        assert!(!a.intersects(&r(&[0.5, 5.0], &[1.5, 6.0])));
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(&[0.0, 0.0], &[4.0, 4.0]);
+        assert!(a.contains(&r(&[1.0, 1.0], &[2.0, 2.0])));
+        assert!(a.contains(&a.clone()));
+        assert!(!a.contains(&r(&[1.0, 1.0], &[5.0, 2.0])));
+        assert!(!r(&[1.0, 1.0], &[2.0, 2.0]).contains(&a));
+    }
+
+    #[test]
+    fn overlap_area_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        assert_eq!(a.overlap_area(&r(&[1.0, 1.0], &[3.0, 3.0])), 1.0);
+        assert_eq!(a.overlap_area(&r(&[5.0, 5.0], &[6.0, 6.0])), 0.0);
+        assert_eq!(a.overlap_area(&a.clone()), 4.0);
+        // Touching boxes overlap with zero volume.
+        assert_eq!(a.overlap_area(&r(&[2.0, 0.0], &[3.0, 2.0])), 0.0);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[2.0, 2.0], &[3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.min(), &[0.0, 0.0]);
+        assert_eq!(u.max(), &[3.0, 3.0]);
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+        assert_eq!(a.enlargement(&r(&[0.2, 0.2], &[0.8, 0.8])), 0.0);
+        let mut c = a.clone();
+        c.union_in_place(&b);
+        assert_eq!(c, u);
+    }
+
+    #[test]
+    fn extension_by_epsilon() {
+        let p = Rect::point(&[1.0, 1.0]).unwrap().extended(0.5);
+        assert_eq!(p.min(), &[0.5, 0.5]);
+        assert_eq!(p.max(), &[1.5, 1.5]);
+        assert_eq!(p.area(), 1.0);
+    }
+
+    #[test]
+    fn min_dist_sq_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        assert_eq!(a.min_dist_sq(&[1.0, 1.0]), 0.0); // inside
+        assert_eq!(a.min_dist_sq(&[3.0, 1.0]), 1.0); // right of box
+        assert_eq!(a.min_dist_sq(&[3.0, 3.0]), 2.0); // corner
+        assert_eq!(a.min_dist_sq(&[-2.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    fn center_dist_sq() {
+        let a = Rect::point(&[0.0, 0.0]).unwrap();
+        let b = Rect::point(&[3.0, 4.0]).unwrap();
+        assert_eq!(a.center_dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn high_dimensional_area_uses_f64() {
+        // 12 extents of 0.01: product = 1e-24, representable in f64 but
+        // denormal-adjacent in f32 products.
+        let min = vec![0.0f32; 12];
+        let max = vec![0.01f32; 12];
+        let b = Rect::new(min, max).unwrap();
+        assert!(b.area() > 0.0);
+        assert!((b.area() - 1e-24).abs() / 1e-24 < 1e-3);
+    }
+}

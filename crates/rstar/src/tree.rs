@@ -1,0 +1,883 @@
+//! The R\*-tree index.
+//!
+//! Faithful to Beckmann et al. (SIGMOD 1990) in the heuristics that matter
+//! for query quality:
+//!
+//! * **ChooseSubtree** — at the level above the leaves, pick the child whose
+//!   *overlap enlargement* is minimal (ties: area enlargement, then area);
+//!   higher up, minimal area enlargement.
+//! * **Forced reinsertion** — on the first leaf overflow of an insertion,
+//!   the `p` entries farthest from the node centre are removed and
+//!   reinserted, which defers splits and improves packing. (Reinsertion is
+//!   applied at the leaf level, where WALRUS's workload concentrates.)
+//! * **R\* split** — choose the split axis by minimal margin sum over all
+//!   `(m…M+1−m)` distributions of both sortings, then the distribution with
+//!   minimal overlap (ties: minimal combined area).
+//!
+//! Deletion condenses underflowing nodes by reinserting their entries, the
+//! classic R-tree strategy, so the tree stays height-balanced.
+
+use crate::rect::Rect;
+use crate::{RStarError, Result};
+
+/// Tree shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RStarParams {
+    /// Maximum entries per node (`M`), ≥ 4.
+    pub max_entries: usize,
+    /// Minimum entries per node (`m`), in `[2, M/2]`.
+    pub min_entries: usize,
+    /// Entries removed by forced reinsertion (`p`), in `[1, M − m]`;
+    /// the R\* paper recommends 30% of `M`.
+    pub reinsert_count: usize,
+}
+
+impl Default for RStarParams {
+    fn default() -> Self {
+        Self { max_entries: 16, min_entries: 6, reinsert_count: 5 }
+    }
+}
+
+impl RStarParams {
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_entries < 4 {
+            return Err(RStarError::BadParams("max_entries must be >= 4".into()));
+        }
+        if self.min_entries < 2 || self.min_entries > self.max_entries / 2 {
+            return Err(RStarError::BadParams(format!(
+                "min_entries {} must be in [2, {}]",
+                self.min_entries,
+                self.max_entries / 2
+            )));
+        }
+        if self.reinsert_count < 1 || self.reinsert_count > self.max_entries - self.min_entries {
+            return Err(RStarError::BadParams(format!(
+                "reinsert_count {} must be in [1, {}]",
+                self.reinsert_count,
+                self.max_entries - self.min_entries
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LeafEntry<V> {
+    rect: Rect,
+    value: V,
+}
+
+#[derive(Debug, Clone)]
+struct ChildEntry<V> {
+    rect: Rect,
+    node: Box<Node<V>>,
+}
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Leaf(Vec<LeafEntry<V>>),
+    Internal(Vec<ChildEntry<V>>),
+}
+
+impl<V> Node<V> {
+    fn bounding_rect(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(entries) => {
+                let mut it = entries.iter();
+                let mut r = it.next()?.rect.clone();
+                for e in it {
+                    r.union_in_place(&e.rect);
+                }
+                Some(r)
+            }
+            Node::Internal(children) => {
+                let mut it = children.iter();
+                let mut r = it.next()?.rect.clone();
+                for c in it {
+                    r.union_in_place(&c.rect);
+                }
+                Some(r)
+            }
+        }
+    }
+
+    fn entry_count(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Internal(c) => c.len(),
+        }
+    }
+}
+
+/// An in-memory R\*-tree mapping rectangles (or points) to values.
+#[derive(Debug, Clone)]
+pub struct RStarTree<V> {
+    root: Node<V>,
+    dims: usize,
+    params: RStarParams,
+    len: usize,
+}
+
+impl<V> RStarTree<V> {
+    /// Creates an empty tree over `dims`-dimensional rectangles.
+    pub fn new(dims: usize, params: RStarParams) -> Result<Self> {
+        params.validate()?;
+        if dims == 0 {
+            return Err(RStarError::BadParams("dimensionality must be >= 1".into()));
+        }
+        Ok(Self { root: Node::Leaf(Vec::new()), dims, params, len: 0 })
+    }
+
+    /// Creates an empty tree with default parameters.
+    pub fn with_dims(dims: usize) -> Result<Self> {
+        Self::new(dims, RStarParams::default())
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal(children) = node {
+            h += 1;
+            node = &children[0].node;
+        }
+        h
+    }
+
+    /// Assembles a tree from pre-packed leaf groups (see [`crate::bulk`]).
+    /// Each group becomes one leaf; upper levels are packed from runs of
+    /// sibling nodes, rebalancing tails so occupancy stays within `[m, M]`.
+    pub(crate) fn from_packed_leaves(
+        dims: usize,
+        params: RStarParams,
+        groups: Vec<Vec<(Rect, V)>>,
+    ) -> Self {
+        debug_assert!(!groups.is_empty());
+        let len = groups.iter().map(|g| g.len()).sum();
+        let mut level: Vec<ChildEntry<V>> = groups
+            .into_iter()
+            .map(|g| {
+                make_child(Node::Leaf(
+                    g.into_iter().map(|(rect, value)| LeafEntry { rect, value }).collect(),
+                ))
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(params.max_entries));
+            let mut rest = level;
+            while !rest.is_empty() {
+                let mut take = params.max_entries.min(rest.len());
+                let remaining = rest.len() - take;
+                if remaining > 0 && remaining < params.min_entries {
+                    take = rest.len() - params.min_entries;
+                }
+                let tail = rest.split_off(take);
+                next.push(make_child(Node::Internal(rest)));
+                rest = tail;
+            }
+            level = next;
+        }
+        let root = match level.pop() {
+            Some(c) => *c.node,
+            None => Node::Leaf(Vec::new()),
+        };
+        Self { root, dims, params, len }
+    }
+
+    /// Inserts `rect → value`.
+    pub fn insert(&mut self, rect: Rect, value: V) -> Result<()> {
+        if rect.dims() != self.dims {
+            return Err(RStarError::DimensionMismatch { expected: self.dims, got: rect.dims() });
+        }
+        self.insert_entry(LeafEntry { rect, value }, true);
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_entry(&mut self, entry: LeafEntry<V>, allow_reinsert: bool) {
+        let mut allow = allow_reinsert;
+        let (split, reinserts) = insert_rec(&mut self.root, entry, &self.params, &mut allow);
+        if let Some(sibling) = split {
+            self.grow_root(sibling);
+        }
+        for e in reinserts {
+            let mut no_reinsert = false;
+            let (split, extra) = insert_rec(&mut self.root, e, &self.params, &mut no_reinsert);
+            debug_assert!(extra.is_empty());
+            if let Some(sibling) = split {
+                self.grow_root(sibling);
+            }
+        }
+    }
+
+    fn grow_root(&mut self, sibling: ChildEntry<V>) {
+        let old = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+        let old_rect = old.bounding_rect().expect("split root cannot be empty");
+        self.root =
+            Node::Internal(vec![ChildEntry { rect: old_rect, node: Box::new(old) }, sibling]);
+    }
+
+    /// All `(rect, value)` pairs whose rectangle intersects `query`.
+    pub fn search_intersecting(&self, query: &Rect) -> Result<Vec<(&Rect, &V)>> {
+        if query.dims() != self.dims {
+            return Err(RStarError::DimensionMismatch { expected: self.dims, got: query.dims() });
+        }
+        let mut out = Vec::new();
+        search_rec(&self.root, query, &mut out);
+        Ok(out)
+    }
+
+    /// All entries whose rectangle lies within L2 distance `eps` of `point`
+    /// (for point entries this is the exact ε-ball query WALRUS issues for
+    /// centroid signatures; for box entries it is the ε-extended overlap
+    /// test of Definition 4.1).
+    pub fn search_within(&self, point: &[f32], eps: f32) -> Result<Vec<(&Rect, &V)>> {
+        if point.len() != self.dims {
+            return Err(RStarError::DimensionMismatch { expected: self.dims, got: point.len() });
+        }
+        let probe = Rect::point(point)?.extended(eps);
+        let eps_sq = (eps as f64) * (eps as f64);
+        let mut out = Vec::new();
+        search_rec(&self.root, &probe, &mut out);
+        out.retain(|(r, _)| r.min_dist_sq(point) <= eps_sq);
+        Ok(out)
+    }
+
+    /// The `k` entries nearest to `point` by minimum L2 distance to their
+    /// rectangle, ascending (best-first branch-and-bound).
+    pub fn nearest_k(&self, point: &[f32], k: usize) -> Result<Vec<(&Rect, &V, f64)>> {
+        if point.len() != self.dims {
+            return Err(RStarError::DimensionMismatch { expected: self.dims, got: point.len() });
+        }
+        if k == 0 || self.len == 0 {
+            return Ok(Vec::new());
+        }
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Min-heap over (distance, frontier item).
+        enum Item<'a, V> {
+            Node(&'a Node<V>),
+            Entry(&'a Rect, &'a V),
+        }
+        struct Keyed<'a, V>(f64, Item<'a, V>);
+        impl<V> PartialEq for Keyed<'_, V> {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl<V> Eq for Keyed<'_, V> {}
+        impl<V> PartialOrd for Keyed<'_, V> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<V> Ord for Keyed<'_, V> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<Keyed<V>>> = BinaryHeap::new();
+        heap.push(Reverse(Keyed(0.0, Item::Node(&self.root))));
+        let mut out = Vec::with_capacity(k);
+        while let Some(Reverse(Keyed(dist, item))) = heap.pop() {
+            match item {
+                Item::Node(Node::Leaf(entries)) => {
+                    for e in entries {
+                        heap.push(Reverse(Keyed(e.rect.min_dist_sq(point), Item::Entry(&e.rect, &e.value))));
+                    }
+                }
+                Item::Node(Node::Internal(children)) => {
+                    for c in children {
+                        heap.push(Reverse(Keyed(c.rect.min_dist_sq(point), Item::Node(&c.node))));
+                    }
+                }
+                Item::Entry(rect, value) => {
+                    out.push((rect, value, dist.sqrt()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes one entry matching `rect` exactly whose value equals `value`.
+    /// Returns true when an entry was removed.
+    pub fn remove(&mut self, rect: &Rect, value: &V) -> Result<bool>
+    where
+        V: PartialEq,
+    {
+        if rect.dims() != self.dims {
+            return Err(RStarError::DimensionMismatch { expected: self.dims, got: rect.dims() });
+        }
+        let mut orphans = Vec::new();
+        let removed = remove_rec(&mut self.root, rect, value, self.params.min_entries, &mut orphans);
+        if removed {
+            self.len -= 1;
+            // Shrink the root while it is an internal node with one child.
+            loop {
+                match &mut self.root {
+                    Node::Internal(children) if children.len() == 1 => {
+                        let child = children.pop().expect("length checked");
+                        self.root = *child.node;
+                    }
+                    Node::Internal(children) if children.is_empty() => {
+                        self.root = Node::Leaf(Vec::new());
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            for e in orphans {
+                self.insert_entry(e, false);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Visits every stored `(rect, value)` pair.
+    pub fn for_each(&self, mut f: impl FnMut(&Rect, &V)) {
+        fn walk<V>(node: &Node<V>, f: &mut impl FnMut(&Rect, &V)) {
+            match node {
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        f(&e.rect, &e.value);
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in children {
+                        walk(&c.node, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut f);
+    }
+
+    /// Checks structural invariants (used by tests): bounding rectangles
+    /// contain their subtrees, all leaves at the same depth, node occupancy
+    /// within `[m, M]` except the root. Panics on violation.
+    pub fn check_invariants(&self) {
+        fn depth_of<V>(node: &Node<V>) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Internal(children) => 1 + depth_of(&children[0].node),
+            }
+        }
+        fn walk<V>(node: &Node<V>, params: &RStarParams, is_root: bool, expected_depth: usize) -> usize {
+            match node {
+                Node::Leaf(entries) => {
+                    assert_eq!(expected_depth, 1, "leaves must share a depth");
+                    if !is_root {
+                        assert!(entries.len() >= params.min_entries, "leaf underflow");
+                    }
+                    assert!(entries.len() <= params.max_entries, "leaf overflow");
+                    entries.len()
+                }
+                Node::Internal(children) => {
+                    if !is_root {
+                        assert!(children.len() >= params.min_entries, "internal underflow");
+                    } else {
+                        assert!(children.len() >= 2, "internal root needs >= 2 children");
+                    }
+                    assert!(children.len() <= params.max_entries, "internal overflow");
+                    let mut count = 0;
+                    for c in children {
+                        let sub = c.node.bounding_rect().expect("child cannot be empty");
+                        assert!(c.rect.contains(&sub), "stale child bounding rect");
+                        count += walk(&c.node, params, false, expected_depth - 1);
+                    }
+                    count
+                }
+            }
+        }
+        let depth = depth_of(&self.root);
+        let counted = walk(&self.root, &self.params, true, depth);
+        assert_eq!(counted, self.len, "length bookkeeping diverged");
+    }
+}
+
+fn search_rec<'a, V>(node: &'a Node<V>, query: &Rect, out: &mut Vec<(&'a Rect, &'a V)>) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if e.rect.intersects(query) {
+                    out.push((&e.rect, &e.value));
+                }
+            }
+        }
+        Node::Internal(children) => {
+            for c in children {
+                if c.rect.intersects(query) {
+                    search_rec(&c.node, query, out);
+                }
+            }
+        }
+    }
+}
+
+fn insert_rec<V>(
+    node: &mut Node<V>,
+    entry: LeafEntry<V>,
+    params: &RStarParams,
+    allow_reinsert: &mut bool,
+) -> (Option<ChildEntry<V>>, Vec<LeafEntry<V>>) {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push(entry);
+            if entries.len() <= params.max_entries {
+                return (None, Vec::new());
+            }
+            if *allow_reinsert {
+                *allow_reinsert = false;
+                let reinserts = take_farthest(entries, params.reinsert_count);
+                return (None, reinserts);
+            }
+            let sibling = split_entries(entries, params, |e| &e.rect);
+            (Some(make_child(Node::Leaf(sibling))), Vec::new())
+        }
+        Node::Internal(children) => {
+            let i = choose_subtree(children, &entry.rect);
+            let (split, reinserts) = insert_rec(&mut children[i].node, entry, params, allow_reinsert);
+            children[i].rect =
+                children[i].node.bounding_rect().expect("child cannot become empty on insert");
+            let mut my_split = None;
+            if let Some(sibling) = split {
+                children.push(sibling);
+                if children.len() > params.max_entries {
+                    let sibling_children = split_entries(children, params, |c| &c.rect);
+                    my_split = Some(make_child(Node::Internal(sibling_children)));
+                }
+            }
+            (my_split, reinserts)
+        }
+    }
+}
+
+fn make_child<V>(node: Node<V>) -> ChildEntry<V> {
+    let rect = node.bounding_rect().expect("split halves are non-empty");
+    ChildEntry { rect, node: Box::new(node) }
+}
+
+/// R\* ChooseSubtree: minimum overlap enlargement when children are leaves,
+/// otherwise minimum area enlargement (ties broken by area).
+fn choose_subtree<V>(children: &[ChildEntry<V>], rect: &Rect) -> usize {
+    let leaf_level = matches!(*children[0].node, Node::Leaf(_));
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for (i, c) in children.iter().enumerate() {
+        let enlarged = c.rect.union(rect);
+        let area_enl = enlarged.area() - c.rect.area();
+        let overlap_enl = if leaf_level {
+            let mut delta = 0.0;
+            for (j, o) in children.iter().enumerate() {
+                if i != j {
+                    delta += enlarged.overlap_area(&o.rect) - c.rect.overlap_area(&o.rect);
+                }
+            }
+            delta
+        } else {
+            0.0
+        };
+        let key = (overlap_enl, area_enl, c.rect.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Removes the `p` entries whose centres are farthest from the node centre
+/// (the R\* forced-reinsert set), returning them closest-first as the paper
+/// recommends for re-insertion order.
+fn take_farthest<V>(entries: &mut Vec<LeafEntry<V>>, p: usize) -> Vec<LeafEntry<V>> {
+    let mut bounding = entries[0].rect.clone();
+    for e in entries.iter().skip(1) {
+        bounding.union_in_place(&e.rect);
+    }
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        bounding
+            .center_dist_sq(&entries[b].rect)
+            .partial_cmp(&bounding.center_dist_sq(&entries[a].rect))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut to_remove: Vec<usize> = order.into_iter().take(p).collect();
+    to_remove.sort_unstable_by(|a, b| b.cmp(a));
+    let mut removed: Vec<LeafEntry<V>> = to_remove.into_iter().map(|i| entries.swap_remove(i)).collect();
+    removed.reverse(); // farthest removed last → reinsert closest-first
+    removed
+}
+
+/// The R\* split. Generic over leaf entries and child entries via `rect_of`.
+/// Splits `items` in place: the retained half stays, the other is returned.
+fn split_entries<T>(items: &mut Vec<T>, params: &RStarParams, rect_of: impl Fn(&T) -> &Rect) -> Vec<T> {
+    let m = params.min_entries;
+    let total = items.len();
+    debug_assert!(total >= 2 * m);
+    let dims = rect_of(&items[0]).dims();
+
+    // Choose the split axis: the one minimizing the margin sum over all
+    // legal distributions of both (by-min and by-max) sortings.
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dims {
+        let mut margin_sum = 0.0;
+        for by_max in [false, true] {
+            let order = sorted_order(items, axis, by_max, &rect_of);
+            for k in m..=total - m {
+                let (bb1, bb2) = group_rects(items, &order, k, &rect_of);
+                margin_sum += bb1.margin() + bb2.margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // Choose the distribution on that axis: minimal overlap, then area.
+    let mut best: Option<(Vec<usize>, usize)> = None;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for by_max in [false, true] {
+        let order = sorted_order(items, best_axis, by_max, &rect_of);
+        for k in m..=total - m {
+            let (bb1, bb2) = group_rects(items, &order, k, &rect_of);
+            let key = (bb1.overlap_area(&bb2), bb1.area() + bb2.area());
+            if key < best_key {
+                best_key = key;
+                best = Some((order.clone(), k));
+            }
+        }
+    }
+    let (order, k) = best.expect("at least one distribution exists");
+
+    // Partition according to the winning distribution.
+    let mut in_second = vec![false; total];
+    for &i in &order[k..] {
+        in_second[i] = true;
+    }
+    let mut first = Vec::with_capacity(k);
+    let mut second = Vec::with_capacity(total - k);
+    for (i, item) in items.drain(..).enumerate() {
+        if in_second[i] {
+            second.push(item);
+        } else {
+            first.push(item);
+        }
+    }
+    *items = first;
+    second
+}
+
+fn sorted_order<T>(items: &[T], axis: usize, by_max: bool, rect_of: &impl Fn(&T) -> &Rect) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (rect_of(&items[a]), rect_of(&items[b]));
+        let (ka, kb) = if by_max {
+            (ra.max()[axis], rb.max()[axis])
+        } else {
+            (ra.min()[axis], rb.min()[axis])
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+fn group_rects<T>(items: &[T], order: &[usize], k: usize, rect_of: &impl Fn(&T) -> &Rect) -> (Rect, Rect) {
+    let mut bb1 = rect_of(&items[order[0]]).clone();
+    for &i in &order[1..k] {
+        bb1.union_in_place(rect_of(&items[i]));
+    }
+    let mut bb2 = rect_of(&items[order[k]]).clone();
+    for &i in &order[k + 1..] {
+        bb2.union_in_place(rect_of(&items[i]));
+    }
+    (bb1, bb2)
+}
+
+/// Removes one matching entry; collects entries of condensed (underflowed)
+/// subtrees into `orphans`. Returns whether the entry was found.
+fn remove_rec<V: PartialEq>(
+    node: &mut Node<V>,
+    rect: &Rect,
+    value: &V,
+    min_entries: usize,
+    orphans: &mut Vec<LeafEntry<V>>,
+) -> bool {
+    match node {
+        Node::Leaf(entries) => {
+            if let Some(pos) = entries.iter().position(|e| &e.rect == rect && &e.value == value) {
+                entries.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Internal(children) => {
+            for i in 0..children.len() {
+                if !children[i].rect.intersects(rect) {
+                    continue;
+                }
+                if remove_rec(&mut children[i].node, rect, value, min_entries, orphans) {
+                    if children[i].node.entry_count() < min_entries {
+                        // Condense: dissolve the child, reinsert its entries.
+                        let child = children.remove(i);
+                        collect_entries(*child.node, orphans);
+                    } else {
+                        children[i].rect = children[i]
+                            .node
+                            .bounding_rect()
+                            .expect("non-underflowed child is non-empty");
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+fn collect_entries<V>(node: Node<V>, out: &mut Vec<LeafEntry<V>>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries),
+        Node::Internal(children) => {
+            for c in children {
+                collect_entries(*c.node, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(coords: &[f32]) -> Rect {
+        Rect::point(coords).unwrap()
+    }
+
+    fn grid_points(n: usize) -> Vec<(Rect, usize)> {
+        // n² points on an integer grid, ids row-major.
+        let mut out = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                out.push((pt(&[x as f32, y as f32]), y * n + x));
+            }
+        }
+        out
+    }
+
+    fn build(points: &[(Rect, usize)]) -> RStarTree<usize> {
+        let mut t = RStarTree::with_dims(points[0].0.dims()).unwrap();
+        for (r, v) in points {
+            t.insert(r.clone(), *v).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RStarTree<usize> = RStarTree::with_dims(2).unwrap();
+        assert!(t.is_empty());
+        assert!(t.search_intersecting(&pt(&[0.0, 0.0])).unwrap().is_empty());
+        assert!(t.search_within(&[0.0, 0.0], 10.0).unwrap().is_empty());
+        assert!(t.nearest_k(&[0.0, 0.0], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn intersection_query_matches_linear_scan() {
+        let points = grid_points(12);
+        let t = build(&points);
+        t.check_invariants();
+        let query = Rect::new(vec![2.5, 3.5], vec![7.0, 9.0]).unwrap();
+        let mut got: Vec<usize> =
+            t.search_intersecting(&query).unwrap().into_iter().map(|(_, &v)| v).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .filter(|(r, _)| r.intersects(&query))
+            .map(|(_, v)| *v)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn within_query_matches_linear_scan() {
+        let points = grid_points(10);
+        let t = build(&points);
+        for (center, eps) in [([4.2f32, 4.8], 1.5f32), ([0.0, 0.0], 3.0), ([9.0, 9.0], 0.5)] {
+            let mut got: Vec<usize> =
+                t.search_within(&center, eps).unwrap().into_iter().map(|(_, &v)| v).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = points
+                .iter()
+                .filter(|(r, _)| r.min_dist_sq(&center) <= (eps as f64) * (eps as f64))
+                .map(|(_, v)| *v)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "center {center:?} eps {eps}");
+        }
+    }
+
+    #[test]
+    fn nearest_k_matches_linear_scan() {
+        let points = grid_points(9);
+        let t = build(&points);
+        let q = [3.3f32, 6.1];
+        let got = t.nearest_k(&q, 5).unwrap();
+        assert_eq!(got.len(), 5);
+        // Distances ascend.
+        for w in got.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+        let mut want: Vec<(f64, usize)> = points
+            .iter()
+            .map(|(r, v)| (r.min_dist_sq(&q).sqrt(), *v))
+            .collect();
+        want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let got_dists: Vec<f64> = got.iter().map(|g| g.2).collect();
+        let want_dists: Vec<f64> = want.iter().take(5).map(|w| w.0).collect();
+        for (a, b) in got_dists.iter().zip(&want_dists) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn box_entries_intersection() {
+        let mut t = RStarTree::with_dims(2).unwrap();
+        let boxes = [
+            (Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]).unwrap(), 0usize),
+            (Rect::new(vec![1.0, 1.0], vec![4.0, 3.0]).unwrap(), 1),
+            (Rect::new(vec![5.0, 5.0], vec![6.0, 6.0]).unwrap(), 2),
+        ];
+        for (r, v) in &boxes {
+            t.insert(r.clone(), *v).unwrap();
+        }
+        let hits = t.search_intersecting(&Rect::new(vec![1.5, 1.5], vec![1.6, 1.6]).unwrap()).unwrap();
+        let mut ids: Vec<usize> = hits.iter().map(|(_, &v)| v).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn invariants_hold_under_bulk_insertion() {
+        // Pseudo-random 12-d points — the WALRUS signature shape.
+        let mut t = RStarTree::with_dims(12).unwrap();
+        let mut state = 1u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f32 / 1000.0
+        };
+        for i in 0..800 {
+            let p: Vec<f32> = (0..12).map(|_| next()).collect();
+            t.insert(Rect::point(&p).unwrap(), i).unwrap();
+        }
+        assert_eq!(t.len(), 800);
+        assert!(t.height() > 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_rects_allowed() {
+        let mut t = RStarTree::with_dims(2).unwrap();
+        for i in 0..50 {
+            t.insert(pt(&[1.0, 1.0]), i).unwrap();
+        }
+        assert_eq!(t.len(), 50);
+        t.check_invariants();
+        assert_eq!(t.search_within(&[1.0, 1.0], 0.0).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn remove_and_requery() {
+        let points = grid_points(8);
+        let mut t = build(&points);
+        assert!(t.remove(&pt(&[3.0, 3.0]), &(3 * 8 + 3)).unwrap());
+        assert!(!t.remove(&pt(&[3.0, 3.0]), &(3 * 8 + 3)).unwrap(), "already gone");
+        assert_eq!(t.len(), 63);
+        t.check_invariants();
+        let hits = t.search_within(&[3.0, 3.0], 0.1).unwrap();
+        assert!(hits.is_empty());
+        // Every other point is still findable.
+        for (r, v) in &points {
+            if *v != 3 * 8 + 3 {
+                let found = t.search_within(r.min(), 0.0).unwrap();
+                assert!(found.iter().any(|(_, &got)| got == *v), "lost point {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_everything_empties_tree() {
+        let points = grid_points(6);
+        let mut t = build(&points);
+        for (r, v) in &points {
+            assert!(t.remove(r, v).unwrap());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        // Insert again after emptying.
+        t.insert(pt(&[0.5, 0.5]), 999).unwrap();
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let points = grid_points(7);
+        let t = build(&points);
+        let mut seen = [false; 49];
+        t.for_each(|_, &v| seen[v] = true);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut t: RStarTree<usize> = RStarTree::with_dims(3).unwrap();
+        assert!(t.insert(pt(&[1.0, 2.0]), 0).is_err());
+        assert!(t.search_within(&[1.0], 0.5).is_err());
+        assert!(t.nearest_k(&[1.0, 2.0, 3.0, 4.0], 1).is_err());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(RStarParams { max_entries: 3, min_entries: 2, reinsert_count: 1 }.validate().is_err());
+        assert!(RStarParams { max_entries: 16, min_entries: 9, reinsert_count: 1 }.validate().is_err());
+        assert!(RStarParams { max_entries: 16, min_entries: 6, reinsert_count: 11 }
+            .validate()
+            .is_err());
+        assert!(RStarParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn clustered_data_still_balanced() {
+        // Two tight clusters far apart: splits must not degenerate.
+        let mut t = RStarTree::with_dims(2).unwrap();
+        for i in 0..200 {
+            let off = (i % 14) as f32 * 0.001;
+            t.insert(pt(&[off, off]), i).unwrap();
+            t.insert(pt(&[100.0 + off, 100.0 - off]), 1000 + i).unwrap();
+        }
+        t.check_invariants();
+        let near_origin = t.search_within(&[0.0, 0.0], 1.0).unwrap();
+        assert_eq!(near_origin.len(), 200);
+    }
+}

@@ -1,0 +1,123 @@
+//! # walrus-wavelet
+//!
+//! Wavelet substrate for the WALRUS reproduction (Natsev, Rastogi, Shim;
+//! SIGMOD 1999):
+//!
+//! * [`haar1d`] — the one-dimensional Haar transform of paper §3.1
+//!   (pairwise averaging + differencing, with the paper's level
+//!   normalization) and its inverse.
+//! * [`haar2d`] — the two-dimensional *non-standard* decomposition of paper
+//!   §3.2 / Figure 2 (`computeWavelet`), plus the standard decomposition and
+//!   inverses, used for correctness cross-checks.
+//! * [`daubechies`] — periodic Daubechies-D4 transforms (1-D and separable
+//!   2-D multi-level), the wavelet family used by the WBIIS baseline the
+//!   paper compares against.
+//! * [`sliding`] — the paper's core §5.2 machinery: `s×s` signatures for all
+//!   dyadic sliding windows, computed both naively (`O(N·ω²_max)`) and with
+//!   the dynamic-programming algorithm of Figures 4 and 5
+//!   (`O(N·S·log ω_max)`), which this crate verifies agree exactly.
+//! * [`quantize`] — coefficient truncation (largest-magnitude-k) and sign
+//!   quantization used by the Jacobs et al. FMIQ baseline.
+//!
+//! ## Conventions
+//!
+//! Coordinates are 0-based `(x, y)` with `x` the column, matching
+//! `walrus-imagery`. Transforms store the overall average at `[0, 0]` and
+//! detail coefficients in the paper's quadrant layout. "Raw" transforms keep
+//! the plain average/difference values of Figure 2 (no level scaling); the
+//! normalization of §3.1/§3.2 is applied as an explicit, invertible step so
+//! that the DP and naive algorithms can be compared bit-for-bit on raw
+//! output.
+
+pub mod daubechies;
+pub mod haar1d;
+pub mod haar2d;
+pub mod quantize;
+pub mod sliding;
+
+pub use sliding::{SlidingParams, WindowSignature};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveletError {
+    /// Input length/side must be a power of two (and ≥ 1).
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// A 2-D transform needs a square input.
+    NotSquare {
+        /// Actual width.
+        width: usize,
+        /// Actual height.
+        height: usize,
+    },
+    /// Sliding-window parameters are inconsistent (see
+    /// [`sliding::SlidingParams::validate`]).
+    BadParams(String),
+    /// The image is smaller than the smallest requested window.
+    ImageTooSmall {
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+        /// Minimum window size requested.
+        omega_min: usize,
+    },
+}
+
+impl std::fmt::Display for WaveletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveletError::NotPowerOfTwo { len } => write!(f, "length {len} is not a power of two"),
+            WaveletError::NotSquare { width, height } => {
+                write!(f, "input must be square, got {width}x{height}")
+            }
+            WaveletError::BadParams(msg) => write!(f, "bad sliding-window parameters: {msg}"),
+            WaveletError::ImageTooSmall { width, height, omega_min } => write!(
+                f,
+                "image {width}x{height} smaller than minimum window {omega_min}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WaveletError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WaveletError>;
+
+/// Returns true when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// `log2` of a power of two.
+#[inline]
+pub fn log2(n: usize) -> u32 {
+    debug_assert!(is_pow2(n));
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_predicate() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(is_pow2(1024));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(3));
+        assert!(!is_pow2(12));
+    }
+
+    #[test]
+    fn log2_of_powers() {
+        assert_eq!(log2(1), 0);
+        assert_eq!(log2(2), 1);
+        assert_eq!(log2(256), 8);
+    }
+}

@@ -1,0 +1,178 @@
+//! Coefficient truncation and quantization.
+//!
+//! Jacobs, Finkelstein and Salesin's "fast multiresolution image querying"
+//! (\[JFS95\], reimplemented in `walrus-baselines`) keeps only the 40–60
+//! largest-magnitude wavelet coefficients per channel and "harshly
+//! quantizes" them to their sign (+1 / −1), discarding magnitude. This
+//! module provides those operations plus the sparse signature type the
+//! baseline stores.
+
+/// A truncated, sign-quantized wavelet signature: the flat indices of the
+/// retained coefficients, split by sign. Indices within each list are sorted
+/// ascending, enabling linear-time overlap counting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedSignature {
+    /// Indices of retained positive coefficients.
+    pub positive: Vec<u32>,
+    /// Indices of retained negative coefficients.
+    pub negative: Vec<u32>,
+}
+
+impl QuantizedSignature {
+    /// Number of retained coefficients.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// True when no coefficients were retained.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+
+    /// Number of indices present *with the same sign* in both signatures —
+    /// the matching term of the Jacobs bitmap metric.
+    pub fn matches(&self, other: &QuantizedSignature) -> usize {
+        sorted_overlap(&self.positive, &other.positive) + sorted_overlap(&self.negative, &other.negative)
+    }
+}
+
+/// Indices of the `k` largest-magnitude entries of `coeffs`, excluding index
+/// 0 (the DC/average term, which Jacobs et al. handle separately). Ties are
+/// broken by lower index for determinism.
+pub fn top_k_indices(coeffs: &[f32], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (1..coeffs.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        coeffs[b as usize]
+            .abs()
+            .partial_cmp(&coeffs[a as usize].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Builds a sign-quantized signature from dense coefficients, retaining the
+/// `k` largest-magnitude non-DC entries.
+pub fn quantize(coeffs: &[f32], k: usize) -> QuantizedSignature {
+    let kept = top_k_indices(coeffs, k);
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    for i in kept {
+        if coeffs[i as usize] >= 0.0 {
+            positive.push(i);
+        } else {
+            negative.push(i);
+        }
+    }
+    QuantizedSignature { positive, negative }
+}
+
+/// Zeroes all but the `k` largest-magnitude non-DC coefficients in place and
+/// returns how many were kept — dense truncation for reconstruction-error
+/// experiments.
+pub fn truncate_in_place(coeffs: &mut [f32], k: usize) -> usize {
+    let keep = top_k_indices(coeffs, k);
+    let keep_set: std::collections::HashSet<u32> = keep.iter().copied().collect();
+    for (i, c) in coeffs.iter_mut().enumerate().skip(1) {
+        if !keep_set.contains(&(i as u32)) {
+            *c = 0.0;
+        }
+    }
+    keep.len()
+}
+
+fn sorted_overlap(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_selects_largest_magnitudes() {
+        let coeffs = [9.0, 0.1, -5.0, 0.2, 3.0, -0.05];
+        let top = top_k_indices(&coeffs, 2);
+        assert_eq!(top, vec![2, 4]); // |−5| and |3|; DC at 0 excluded
+    }
+
+    #[test]
+    fn top_k_excludes_dc_even_when_largest() {
+        let coeffs = [100.0, 1.0, 2.0];
+        assert_eq!(top_k_indices(&coeffs, 5), vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_with_zero_k() {
+        assert!(top_k_indices(&[1.0, 2.0, 3.0], 0).is_empty());
+    }
+
+    #[test]
+    fn quantize_splits_by_sign() {
+        let coeffs = [0.0, 4.0, -3.0, 2.0, -1.0];
+        let q = quantize(&coeffs, 3);
+        assert_eq!(q.positive, vec![1, 3]);
+        assert_eq!(q.negative, vec![2]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn matches_counts_same_signed_overlap() {
+        let a = QuantizedSignature { positive: vec![1, 3, 5], negative: vec![2, 8] };
+        let b = QuantizedSignature { positive: vec![3, 5, 9], negative: vec![2, 4] };
+        assert_eq!(a.matches(&b), 3); // {3, 5} positive + {2} negative
+        // A coefficient retained with opposite signs does not match.
+        let c = QuantizedSignature { positive: vec![2], negative: vec![3] };
+        assert_eq!(a.matches(&c), 0);
+    }
+
+    #[test]
+    fn matches_is_symmetric() {
+        let a = quantize(&[0.0, 1.0, -2.0, 3.0, -4.0, 5.0], 3);
+        let b = quantize(&[0.0, -1.0, -2.0, 3.0, 4.0, 0.1], 3);
+        assert_eq!(a.matches(&b), b.matches(&a));
+    }
+
+    #[test]
+    fn self_match_equals_len() {
+        let q = quantize(&[0.0, 1.0, -2.0, 0.5, -0.1, 3.0], 4);
+        assert_eq!(q.matches(&q), q.len());
+    }
+
+    #[test]
+    fn truncate_zeroes_the_rest() {
+        let mut coeffs = vec![7.0, 0.1, -5.0, 0.2, 3.0];
+        let kept = truncate_in_place(&mut coeffs, 2);
+        assert_eq!(kept, 2);
+        assert_eq!(coeffs, vec![7.0, 0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn truncate_keeps_everything_when_k_large() {
+        let mut coeffs = vec![1.0, 2.0, 3.0];
+        let kept = truncate_in_place(&mut coeffs, 10);
+        assert_eq!(kept, 2);
+        assert_eq!(coeffs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_signature() {
+        let q = quantize(&[5.0], 10);
+        assert!(q.is_empty());
+        assert_eq!(q.matches(&q), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! The dynamic-programming sliding-window algorithm (paper §5.2,
+//! Figures 3–5).
+//!
+//! ## The identity the algorithm rests on
+//!
+//! For the non-standard Haar decomposition, the upper-left `m × m` corner of
+//! the transform of a `ω × ω` window equals the full transform of the window
+//! box-averaged down to `m × m` (verified in `haar2d::tests`). Since a
+//! signature only needs the `s × s` corner, each window can be represented
+//! by the truncated transform of side `m(ω) = min(ω, s)` — this is what
+//! makes the paper's "exactly NS" auxiliary-space bound hold — and the
+//! truncation is *closed under merging*: the truncated transform of a
+//! `ω × ω` window is computed from the `m(ω)/2 × m(ω)/2` corners of its four
+//! `ω/2` sub-windows by the paper's `computeSingleWindow` —
+//!
+//! 1. `copyBlocks` tiles the three detail quadrants of the output from the
+//!    corresponding quadrants of the four inputs (Figure 3), and
+//! 2. recursion computes the output's upper-left quadrant (the transform of
+//!    the averages matrix `A`) from the inputs' upper-left quadrants,
+//!    bottoming out at `2 × 2` with one round of averaging/differencing over
+//!    the four input DC values (Figure 4, steps 2–5).
+//!
+//! ## Sweep
+//!
+//! `computeSlidingWindows` (Figure 5) iterates `ω = 2, 4, …, ω_max`. Level
+//! `ω` keeps windows rooted at multiples of `dist = min(ω, t)`; because all
+//! quantities are powers of two, the roots of the four sub-windows of any
+//! level-`ω` window always lie on the level-`ω/2` grid. Total work is
+//! `O(N·S·log ω_max)` versus the naive `O(N·ω²_max)`.
+
+use crate::haar2d;
+use crate::sliding::{normalize_signature_matrix, SlidingParams, WindowSignature};
+use crate::{Result, WaveletError};
+
+/// The per-level storage of the DP sweep: the truncated (side `m`) raw
+/// wavelet transforms of every window of one size, for one channel.
+#[derive(Debug, Clone)]
+pub struct WindowGrid {
+    /// Window side this level represents.
+    pub omega: usize,
+    /// Stride between adjacent window roots.
+    pub dist: usize,
+    /// Number of root positions horizontally.
+    pub cols: usize,
+    /// Number of root positions vertically.
+    pub rows: usize,
+    /// Side of the stored transform corner (`min(ω, max(s, 2))`, or 1 at
+    /// level 1 — the floor of 2 keeps the merge base case well-formed when
+    /// `s = 1`).
+    pub m: usize,
+    data: Vec<f32>,
+}
+
+impl WindowGrid {
+    /// Level-1 grid: every pixel is its own 1×1 window whose "transform" is
+    /// the raw intensity (paper Figure 5: `W¹[i,j]` initialization).
+    pub fn level1(plane: &[f32], width: usize, height: usize) -> Self {
+        debug_assert_eq!(plane.len(), width * height);
+        Self { omega: 1, dist: 1, cols: width, rows: height, m: 1, data: plane.to_vec() }
+    }
+
+    /// Borrow the stored `m × m` transform of the window at grid cell
+    /// `(col, row)`.
+    #[inline]
+    pub fn cell(&self, col: usize, row: usize) -> &[f32] {
+        let sz = self.m * self.m;
+        let idx = (row * self.cols + col) * sz;
+        &self.data[idx..idx + sz]
+    }
+
+    /// Grid cell holding the window rooted at pixel `(x, y)`; panics if the
+    /// root is not on this level's grid.
+    #[inline]
+    pub fn cell_at(&self, x: usize, y: usize) -> &[f32] {
+        debug_assert!(x % self.dist == 0 && y % self.dist == 0);
+        self.cell(x / self.dist, y / self.dist)
+    }
+
+    /// Builds the next level (`2ω`) from this one. Returns `None` when a
+    /// `2ω` window no longer fits in the image.
+    pub fn merge_next(&self, width: usize, height: usize, params: &SlidingParams) -> Option<Self> {
+        let omega = self.omega * 2;
+        if omega > width || omega > height {
+            return None;
+        }
+        let dist = params.dist(omega);
+        let cols = (width - omega) / dist + 1;
+        let rows = (height - omega) / dist + 1;
+        let m = omega.min(params.s.max(2));
+        let half = omega / 2;
+        let mut data = vec![0.0f32; cols * rows * m * m];
+        let out_sz = m * m;
+        for row in 0..rows {
+            let y = row * dist;
+            for col in 0..cols {
+                let x = col * dist;
+                let w1 = self.cell_at(x, y);
+                let w2 = self.cell_at(x + half, y);
+                let w3 = self.cell_at(x, y + half);
+                let w4 = self.cell_at(x + half, y + half);
+                let idx = (row * cols + col) * out_sz;
+                compute_single_window(w1, w2, w3, w4, self.m, &mut data[idx..idx + out_sz], m);
+            }
+        }
+        Some(Self { omega, dist, cols, rows, m, data })
+    }
+
+    /// Extracts the `s × s` signature corner of the window at `(col, row)`,
+    /// level-normalized.
+    pub fn signature(&self, col: usize, row: usize, s: usize) -> Vec<f32> {
+        debug_assert!(s <= self.m);
+        let mut sig = haar2d::corner(self.cell(col, row), self.m, s);
+        normalize_signature_matrix(&mut sig, s);
+        sig
+    }
+}
+
+/// The paper's `computeSingleWindow` (Figure 4): computes the truncated
+/// (`m × m`) transform of a window from the `m/2 × m/2` corners of the
+/// transforms of its four sub-windows. `W1..W4` are the top-left, top-right,
+/// bottom-left and bottom-right sub-windows; `in_stride` is the row stride
+/// of the input slices (their stored side, ≥ `m/2`); `out` is an `m × m`
+/// row-major buffer.
+pub fn compute_single_window(
+    w1: &[f32],
+    w2: &[f32],
+    w3: &[f32],
+    w4: &[f32],
+    in_stride: usize,
+    out: &mut [f32],
+    m: usize,
+) {
+    debug_assert!(m >= 2 && m.is_power_of_two());
+    debug_assert!(in_stride >= m / 2);
+    debug_assert_eq!(out.len(), m * m);
+    let out_stride = m;
+    let mut size = m;
+    // Iterative version of the paper's tail recursion: copyBlocks at sizes
+    // m, m/2, …, 4, then the 2×2 base case (Figure 4 steps 2–5).
+    while size > 2 {
+        copy_blocks(w1, w2, w3, w4, in_stride, out, out_stride, size);
+        size /= 2;
+    }
+    let a1 = w1[0];
+    let a2 = w2[0];
+    let a3 = w3[0];
+    let a4 = w4[0];
+    out[0] = (a1 + a2 + a3 + a4) / 4.0;
+    out[1] = (-a1 + a2 - a3 + a4) / 4.0; // horizontal detail
+    out[out_stride] = (-a1 - a2 + a3 + a4) / 4.0; // vertical detail
+    out[out_stride + 1] = (a1 - a2 - a3 + a4) / 4.0; // diagonal detail
+}
+
+/// The paper's `copyBlocks` (Figure 3): tiles the three detail quadrants of
+/// the size-`size` output corner from the size-`size/4` detail quadrants of
+/// the four inputs. Each output quadrant `[q, 0] / [0, q] / [q, q]`
+/// (`q = size/2`) is a 2×2 mosaic of the inputs' corresponding quadrants
+/// (`h = size/4`), laid out by the sub-windows' spatial positions.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's procedure signature
+fn copy_blocks(
+    w1: &[f32],
+    w2: &[f32],
+    w3: &[f32],
+    w4: &[f32],
+    in_stride: usize,
+    out: &mut [f32],
+    out_stride: usize,
+    size: usize,
+) {
+    debug_assert!(size >= 4);
+    let q = size / 2;
+    let h = size / 4;
+    let inputs = [(w1, 0usize, 0usize), (w2, 1, 0), (w3, 0, 1), (w4, 1, 1)];
+    for &(qx, qy) in &[(1usize, 0usize), (0, 1), (1, 1)] {
+        // Output quadrant origin and input quadrant origin.
+        let (ox, oy) = (qx * q, qy * q);
+        let (ix, iy) = (qx * h, qy * h);
+        for &(input, tx, ty) in &inputs {
+            for j in 0..h {
+                let src = (iy + j) * in_stride + ix;
+                let dst = (oy + ty * h + j) * out_stride + ox + tx * h;
+                if h == 1 {
+                    // Single-coefficient rows dominate the merge at small
+                    // quadrant sizes; a direct store avoids memcpy overhead.
+                    out[dst] = input[src];
+                } else {
+                    out[dst..dst + h].copy_from_slice(&input[src..src + h]);
+                }
+            }
+        }
+    }
+}
+
+/// The paper's `computeSlidingWindows` (Figure 5): computes `s × s`
+/// signatures for all sliding windows with sizes in `[ω_min, ω_max]` via
+/// the dynamic-programming merge. Output order matches
+/// [`super::naive::compute_signatures_naive`] exactly.
+///
+/// ```
+/// use walrus_wavelet::sliding::compute_signatures;
+/// use walrus_wavelet::SlidingParams;
+///
+/// let plane: Vec<f32> = (0..16 * 16).map(|i| (i % 7) as f32 / 7.0).collect();
+/// let params = SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 4 };
+/// let sigs = compute_signatures(&[&plane], 16, 16, &params)?;
+/// assert_eq!(sigs.len(), 9); // 3×3 roots at stride 4
+/// assert_eq!(sigs[0].coeffs.len(), 4); // 2×2 signature, one channel
+/// # Ok::<(), walrus_wavelet::WaveletError>(())
+/// ```
+pub fn compute_signatures(
+    planes: &[&[f32]],
+    width: usize,
+    height: usize,
+    params: &SlidingParams,
+) -> Result<Vec<WindowSignature>> {
+    params.validate()?;
+    if planes.is_empty() {
+        return Err(WaveletError::BadParams("no channel planes supplied".into()));
+    }
+    for p in planes {
+        if p.len() != width * height {
+            return Err(WaveletError::NotSquare { width, height: p.len() / width.max(1) });
+        }
+    }
+    if width < params.omega_min || height < params.omega_min {
+        return Err(WaveletError::ImageTooSmall { width, height, omega_min: params.omega_min });
+    }
+
+    let mut grids: Vec<WindowGrid> =
+        planes.iter().map(|p| WindowGrid::level1(p, width, height)).collect();
+    let mut out = Vec::with_capacity(params.total_windows(width, height));
+    let mut omega = 2usize;
+    while omega <= params.omega_max {
+        let mut next = Vec::with_capacity(grids.len());
+        for g in &grids {
+            match g.merge_next(width, height, params) {
+                Some(n) => next.push(n),
+                None => return Ok(out),
+            }
+        }
+        grids = next;
+        if omega >= params.omega_min {
+            let (cols, rows, dist) = (grids[0].cols, grids[0].rows, grids[0].dist);
+            for row in 0..rows {
+                for col in 0..cols {
+                    let mut coeffs = Vec::with_capacity(params.signature_dims(planes.len()));
+                    for g in &grids {
+                        coeffs.extend_from_slice(&g.signature(col, row, params.s));
+                    }
+                    out.push(WindowSignature { x: col * dist, y: row * dist, omega, coeffs });
+                }
+            }
+        }
+        omega *= 2;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sliding::compute_signatures_naive;
+
+    fn demo_plane(width: usize, height: usize, salt: usize) -> Vec<f32> {
+        (0..width * height)
+            .map(|i| ((i * 31 + salt * 13 + 7) % 19) as f32 / 19.0)
+            .collect()
+    }
+
+    fn assert_same(a: &[WindowSignature], b: &[WindowSignature], tol: f32) {
+        assert_eq!(a.len(), b.len(), "window counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!((x.x, x.y, x.omega), (y.x, y.y, y.omega), "window order differs");
+            assert_eq!(x.coeffs.len(), y.coeffs.len());
+            for (c, d) in x.coeffs.iter().zip(&y.coeffs) {
+                assert!(
+                    (c - d).abs() <= tol,
+                    "window ({}, {}, ω={}) coeff {c} vs {d}",
+                    x.x,
+                    x.y,
+                    x.omega
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_naive_square_image() {
+        let plane = demo_plane(32, 32, 0);
+        let params = SlidingParams { s: 2, omega_min: 2, omega_max: 32, stride: 2 };
+        let dp = compute_signatures(&[&plane], 32, 32, &params).unwrap();
+        let naive = compute_signatures_naive(&[&plane], 32, 32, &params).unwrap();
+        assert_same(&dp, &naive, 1e-4);
+    }
+
+    #[test]
+    fn dp_matches_naive_rectangular_image() {
+        let plane = demo_plane(48, 24, 1);
+        let params = SlidingParams { s: 4, omega_min: 4, omega_max: 16, stride: 4 };
+        let dp = compute_signatures(&[&plane], 48, 24, &params).unwrap();
+        let naive = compute_signatures_naive(&[&plane], 48, 24, &params).unwrap();
+        assert_same(&dp, &naive, 1e-4);
+    }
+
+    #[test]
+    fn dp_matches_naive_multi_channel() {
+        let a = demo_plane(16, 16, 2);
+        let b = demo_plane(16, 16, 3);
+        let c = demo_plane(16, 16, 4);
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 8, stride: 1 };
+        let dp = compute_signatures(&[&a, &b, &c], 16, 16, &params).unwrap();
+        let naive = compute_signatures_naive(&[&a, &b, &c], 16, 16, &params).unwrap();
+        assert_same(&dp, &naive, 1e-4);
+    }
+
+    #[test]
+    fn dp_matches_naive_large_signature() {
+        // s = ω/2 and s = ω edge cases.
+        let plane = demo_plane(16, 16, 5);
+        for s in [8usize, 16] {
+            let params = SlidingParams { s, omega_min: 16, omega_max: 16, stride: 16 };
+            let dp = compute_signatures(&[&plane], 16, 16, &params).unwrap();
+            let naive = compute_signatures_naive(&[&plane], 16, 16, &params).unwrap();
+            assert_same(&dp, &naive, 1e-4);
+        }
+    }
+
+    #[test]
+    fn dp_matches_naive_s1() {
+        // Degenerate 1×1 signatures (pure window means).
+        let plane = demo_plane(16, 16, 6);
+        let params = SlidingParams { s: 1, omega_min: 2, omega_max: 16, stride: 1 };
+        let dp = compute_signatures(&[&plane], 16, 16, &params).unwrap();
+        let naive = compute_signatures_naive(&[&plane], 16, 16, &params).unwrap();
+        assert_same(&dp, &naive, 1e-4);
+    }
+
+    #[test]
+    fn dp_matches_naive_stride_larger_than_small_windows() {
+        // t = 8 > ω for ω ∈ {2, 4}: effective stride collapses to ω.
+        let plane = demo_plane(32, 32, 7);
+        let params = SlidingParams { s: 2, omega_min: 2, omega_max: 16, stride: 8 };
+        let dp = compute_signatures(&[&plane], 32, 32, &params).unwrap();
+        let naive = compute_signatures_naive(&[&plane], 32, 32, &params).unwrap();
+        assert_same(&dp, &naive, 1e-4);
+    }
+
+    #[test]
+    fn single_window_merge_reproduces_full_transform() {
+        // Merge the four quadrant transforms of an 8×8 image and compare
+        // against the direct transform.
+        let side = 8;
+        let img = demo_plane(side, side, 8);
+        let full = haar2d::nonstandard_forward(&img, side).unwrap();
+        let mut quads = Vec::new();
+        for &(qx, qy) in &[(0usize, 0usize), (1, 0), (0, 1), (1, 1)] {
+            let mut q = Vec::with_capacity(16);
+            for j in 0..4 {
+                for i in 0..4 {
+                    q.push(img[(qy * 4 + j) * side + qx * 4 + i]);
+                }
+            }
+            quads.push(haar2d::nonstandard_forward(&q, 4).unwrap());
+        }
+        let mut merged = vec![0.0f32; side * side];
+        compute_single_window(&quads[0], &quads[1], &quads[2], &quads[3], 4, &mut merged, side);
+        for (a, b) in merged.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn level1_grid_is_the_plane() {
+        let plane = demo_plane(4, 3, 9);
+        let g = WindowGrid::level1(&plane, 4, 3);
+        assert_eq!(g.cols, 4);
+        assert_eq!(g.rows, 3);
+        assert_eq!(g.cell(2, 1), &plane[6..7]);
+    }
+
+    #[test]
+    fn merge_stops_when_window_exceeds_image() {
+        let plane = demo_plane(8, 8, 10);
+        let params = SlidingParams { s: 2, omega_min: 2, omega_max: 64, stride: 1 };
+        let sigs = compute_signatures(&[&plane], 8, 8, &params).unwrap();
+        assert!(sigs.iter().all(|s| s.omega <= 8));
+        let naive = compute_signatures_naive(&[&plane], 8, 8, &params).unwrap();
+        assert_same(&sigs, &naive, 1e-4);
+    }
+
+    #[test]
+    fn grid_dimensions_follow_stride_rule() {
+        let plane = demo_plane(32, 32, 11);
+        let params = SlidingParams { s: 2, omega_min: 2, omega_max: 8, stride: 4 };
+        let l1 = WindowGrid::level1(&plane, 32, 32);
+        let l2 = l1.merge_next(32, 32, &params).unwrap();
+        assert_eq!((l2.omega, l2.dist), (2, 2));
+        assert_eq!(l2.cols, (32 - 2) / 2 + 1);
+        let l4 = l2.merge_next(32, 32, &params).unwrap();
+        assert_eq!((l4.omega, l4.dist), (4, 4));
+        let l8 = l4.merge_next(32, 32, &params).unwrap();
+        assert_eq!((l8.omega, l8.dist), (8, 4));
+        assert_eq!(l8.cols, (32 - 8) / 4 + 1);
+        assert_eq!(l8.m, 2); // min(8, s) = s: the paper's NS space bound
+    }
+}

@@ -1,0 +1,224 @@
+//! Summed-area-table (integral image) sliding-window signatures — an
+//! alternative algorithm beyond the paper.
+//!
+//! The paper's key identity (proved in `haar2d` and used by its DP) is that
+//! a window's `s × s` signature equals the non-standard transform of the
+//! window box-averaged down to `s × s`. But box averages of arbitrary
+//! rectangles are *O(1)* given a summed-area table (Crow 1984): each of the
+//! `s²` block averages is four table lookups. That gives every window's
+//! signature in `O(S)` after an `O(N)` prefix pass — total
+//! `O(N + W·S·(1 + log s))` with *no* dependence on `ω` at all, versus the
+//! paper's `O(N·S·log ω_max)` DP which pays for every intermediate level.
+//!
+//! Two further advantages: windows need not be powers of two aligned to the
+//! DP's grid (any root/size with `ω` divisible by `s` works), and the
+//! auxiliary memory is one `f64` table per channel instead of per-level
+//! coefficient grids.
+//!
+//! The output is verified identical to the naive and DP algorithms in the
+//! tests below; the `bench` crate's `ablation_integral` harness measures
+//! the speedup.
+
+use crate::haar2d;
+use crate::sliding::{normalize_signature_matrix, SlidingParams, WindowSignature};
+use crate::{Result, WaveletError};
+
+/// A summed-area table over one channel plane: `sat[y][x]` is the sum of
+/// all pixels in the rectangle `[0, x) × [0, y)` (exclusive), stored with a
+/// one-row/column apron so sums need no boundary cases. Accumulation is in
+/// `f64`: megapixel sums of `f32` values lose the low bits otherwise.
+#[derive(Debug, Clone)]
+pub struct SummedAreaTable {
+    width: usize,
+    height: usize,
+    sums: Vec<f64>,
+}
+
+impl SummedAreaTable {
+    /// Builds the table in one pass, `O(width × height)`.
+    pub fn build(plane: &[f32], width: usize, height: usize) -> Self {
+        debug_assert_eq!(plane.len(), width * height);
+        let stride = width + 1;
+        let mut sums = vec![0.0f64; stride * (height + 1)];
+        for y in 0..height {
+            let mut row = 0.0f64;
+            for x in 0..width {
+                row += plane[y * width + x] as f64;
+                sums[(y + 1) * stride + (x + 1)] = sums[y * stride + (x + 1)] + row;
+            }
+        }
+        Self { width, height, sums }
+    }
+
+    /// Sum of the pixel rectangle `[x0, x1) × [y0, y1)` in O(1).
+    #[inline]
+    pub fn rect_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        debug_assert!(x0 <= x1 && x1 <= self.width && y0 <= y1 && y1 <= self.height);
+        let s = self.width + 1;
+        self.sums[y1 * s + x1] + self.sums[y0 * s + x0]
+            - self.sums[y0 * s + x1]
+            - self.sums[y1 * s + x0]
+    }
+
+    /// Mean of the pixel rectangle `[x0, x1) × [y0, y1)`.
+    #[inline]
+    pub fn rect_mean(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f32 {
+        let n = ((x1 - x0) * (y1 - y0)) as f64;
+        (self.rect_sum(x0, y0, x1, y1) / n) as f32
+    }
+}
+
+/// Computes the same signatures as [`super::compute_signatures`] via
+/// summed-area tables. Output order and values match the DP and naive
+/// algorithms exactly (up to `f32` rounding).
+pub fn compute_signatures_integral(
+    planes: &[&[f32]],
+    width: usize,
+    height: usize,
+    params: &SlidingParams,
+) -> Result<Vec<WindowSignature>> {
+    params.validate()?;
+    if planes.is_empty() {
+        return Err(WaveletError::BadParams("no channel planes supplied".into()));
+    }
+    for p in planes {
+        if p.len() != width * height {
+            return Err(WaveletError::NotSquare { width, height: p.len() / width.max(1) });
+        }
+    }
+    if width < params.omega_min || height < params.omega_min {
+        return Err(WaveletError::ImageTooSmall { width, height, omega_min: params.omega_min });
+    }
+
+    let tables: Vec<SummedAreaTable> =
+        planes.iter().map(|p| SummedAreaTable::build(p, width, height)).collect();
+    let s = params.s;
+    let mut out = Vec::with_capacity(params.total_windows(width, height));
+    let mut avg = vec![0.0f32; s * s];
+    let mut omega = params.omega_min;
+    while omega <= params.omega_max {
+        if omega > width || omega > height {
+            break;
+        }
+        let dist = params.dist(omega);
+        let block = omega / s; // s divides ω: both are powers of two, s ≤ ω
+        let mut y = 0;
+        while y + omega <= height {
+            let mut x = 0;
+            while x + omega <= width {
+                let mut coeffs = Vec::with_capacity(params.signature_dims(planes.len()));
+                for table in &tables {
+                    // s×s box averages of the window, each O(1).
+                    for by in 0..s {
+                        for bx in 0..s {
+                            avg[by * s + bx] = table.rect_mean(
+                                x + bx * block,
+                                y + by * block,
+                                x + (bx + 1) * block,
+                                y + (by + 1) * block,
+                            );
+                        }
+                    }
+                    let mut sig = haar2d::nonstandard_forward(&avg, s)?;
+                    normalize_signature_matrix(&mut sig, s);
+                    coeffs.extend_from_slice(&sig);
+                }
+                out.push(WindowSignature { x, y, omega, coeffs });
+                x += dist;
+            }
+            y += dist;
+        }
+        omega *= 2;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sliding::{compute_signatures, compute_signatures_naive};
+
+    fn demo_plane(width: usize, height: usize, salt: usize) -> Vec<f32> {
+        (0..width * height).map(|i| ((i * 29 + salt * 17 + 3) % 23) as f32 / 23.0).collect()
+    }
+
+    #[test]
+    fn sat_rect_sums_match_brute_force() {
+        let (w, h) = (7, 5);
+        let plane = demo_plane(w, h, 0);
+        let sat = SummedAreaTable::build(&plane, w, h);
+        for (x0, y0, x1, y1) in [(0, 0, 7, 5), (0, 0, 1, 1), (2, 1, 6, 4), (3, 3, 3, 5), (6, 0, 7, 5)] {
+            let mut want = 0.0f64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    want += plane[y * w + x] as f64;
+                }
+            }
+            let got = sat.rect_sum(x0, y0, x1, y1);
+            assert!((got - want).abs() < 1e-9, "({x0},{y0})-({x1},{y1}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_rect_sums_to_zero() {
+        let plane = demo_plane(4, 4, 1);
+        let sat = SummedAreaTable::build(&plane, 4, 4);
+        assert_eq!(sat.rect_sum(2, 2, 2, 2), 0.0);
+        assert_eq!(sat.rect_sum(0, 3, 4, 3), 0.0);
+    }
+
+    #[test]
+    fn integral_matches_naive_and_dp() {
+        let plane = demo_plane(32, 24, 2);
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 16, stride: 4 };
+        let integral = compute_signatures_integral(&[&plane], 32, 24, &params).unwrap();
+        let naive = compute_signatures_naive(&[&plane], 32, 24, &params).unwrap();
+        let dp = compute_signatures(&[&plane], 32, 24, &params).unwrap();
+        assert_eq!(integral.len(), naive.len());
+        assert_eq!(integral.len(), dp.len());
+        for ((a, b), c) in integral.iter().zip(&naive).zip(&dp) {
+            assert_eq!((a.x, a.y, a.omega), (b.x, b.y, b.omega));
+            for ((x, y), z) in a.coeffs.iter().zip(&b.coeffs).zip(&c.coeffs) {
+                assert!((x - y).abs() < 1e-4, "integral vs naive: {x} vs {y}");
+                assert!((x - z).abs() < 1e-4, "integral vs dp: {x} vs {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn integral_matches_naive_multichannel_large_s() {
+        let a = demo_plane(16, 16, 3);
+        let b = demo_plane(16, 16, 4);
+        let params = SlidingParams { s: 8, omega_min: 8, omega_max: 16, stride: 2 };
+        let integral = compute_signatures_integral(&[&a, &b], 16, 16, &params).unwrap();
+        let naive = compute_signatures_naive(&[&a, &b], 16, 16, &params).unwrap();
+        assert_eq!(integral.len(), naive.len());
+        for (x, y) in integral.iter().zip(&naive) {
+            for (c, d) in x.coeffs.iter().zip(&y.coeffs) {
+                assert!((c - d).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs_like_the_others() {
+        let plane = demo_plane(4, 4, 5);
+        let params = SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 1 };
+        assert!(matches!(
+            compute_signatures_integral(&[&plane], 4, 4, &params),
+            Err(WaveletError::ImageTooSmall { .. })
+        ));
+        assert!(compute_signatures_integral(&[], 4, 4, &params).is_err());
+    }
+
+    #[test]
+    fn f64_accumulation_handles_large_planes() {
+        // A constant plane whose f32 prefix sums would drift; means must
+        // still be exact.
+        let (w, h) = (512, 256);
+        let plane = vec![0.1f32; w * h];
+        let sat = SummedAreaTable::build(&plane, w, h);
+        let mean = sat.rect_mean(0, 0, w, h);
+        assert!((mean - 0.1).abs() < 1e-6, "mean drifted to {mean}");
+    }
+}

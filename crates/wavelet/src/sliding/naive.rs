@@ -1,0 +1,162 @@
+//! The naive sliding-window signature algorithm.
+//!
+//! Each window is cropped from the raw pixels and transformed independently
+//! with the full `computeWavelet` procedure — `O(ω²)` work per window and
+//! `O(N·ω²_max)` overall (paper §5.2, "Discussion"). Kept as the baseline
+//! for the Figure 6 experiments and as the reference implementation the DP
+//! algorithm is verified against.
+
+use crate::haar2d;
+use crate::sliding::{normalize_signature_matrix, SlidingParams, WindowSignature};
+use crate::{Result, WaveletError};
+
+/// Computes signatures for all sliding windows of `planes` (one slice per
+/// color channel, each `width × height` row-major) using the naive
+/// per-window transform. Output order: window size ascending, then row-major
+/// root position.
+pub fn compute_signatures_naive(
+    planes: &[&[f32]],
+    width: usize,
+    height: usize,
+    params: &SlidingParams,
+) -> Result<Vec<WindowSignature>> {
+    params.validate()?;
+    if planes.is_empty() {
+        return Err(WaveletError::BadParams("no channel planes supplied".into()));
+    }
+    for p in planes {
+        if p.len() != width * height {
+            return Err(WaveletError::NotSquare { width, height: p.len() / width.max(1) });
+        }
+    }
+    if width < params.omega_min || height < params.omega_min {
+        return Err(WaveletError::ImageTooSmall { width, height, omega_min: params.omega_min });
+    }
+
+    let s = params.s;
+    let mut out = Vec::with_capacity(params.total_windows(width, height));
+    let mut omega = params.omega_min;
+    let mut window = Vec::new();
+    while omega <= params.omega_max {
+        if omega > width || omega > height {
+            break;
+        }
+        let dist = params.dist(omega);
+        let mut y = 0;
+        while y + omega <= height {
+            let mut x = 0;
+            while x + omega <= width {
+                let mut coeffs = Vec::with_capacity(params.signature_dims(planes.len()));
+                for plane in planes {
+                    crop_into(plane, width, x, y, omega, &mut window);
+                    // Full O(ω²) transform of the window, then keep the s×s
+                    // lowest band.
+                    let w = haar2d::nonstandard_forward(&window, omega)?;
+                    let mut sig = haar2d::corner(&w, omega, s);
+                    normalize_signature_matrix(&mut sig, s);
+                    coeffs.extend_from_slice(&sig);
+                }
+                out.push(WindowSignature { x, y, omega, coeffs });
+                x += dist;
+            }
+            y += dist;
+        }
+        omega *= 2;
+    }
+    Ok(out)
+}
+
+/// Copies the `omega × omega` window rooted at `(x, y)` out of a row-major
+/// plane into `dst` (cleared first).
+fn crop_into(plane: &[f32], width: usize, x: usize, y: usize, omega: usize, dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.reserve(omega * omega);
+    for row in y..y + omega {
+        dst.extend_from_slice(&plane[row * width + x..row * width + x + omega]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_plane(width: usize, height: usize) -> Vec<f32> {
+        (0..width * height).map(|i| ((i * 31 + 7) % 19) as f32 / 19.0).collect()
+    }
+
+    #[test]
+    fn produces_expected_window_count() {
+        let plane = demo_plane(16, 16);
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 8, stride: 4 };
+        let sigs = compute_signatures_naive(&[&plane], 16, 16, &params).unwrap();
+        assert_eq!(sigs.len(), params.total_windows(16, 16));
+    }
+
+    #[test]
+    fn signature_of_constant_window_is_dc_only() {
+        let plane = vec![0.5f32; 64];
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 4, stride: 4 };
+        let sigs = compute_signatures_naive(&[&plane], 8, 8, &params).unwrap();
+        for sig in sigs {
+            assert!((sig.coeffs[0] - 0.5).abs() < 1e-6);
+            assert!(sig.coeffs[1..].iter().all(|&c| c.abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn first_coefficient_is_window_mean() {
+        let plane = demo_plane(8, 8);
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 4, stride: 4 };
+        let sigs = compute_signatures_naive(&[&plane], 8, 8, &params).unwrap();
+        for sig in &sigs {
+            let mut mean = 0.0;
+            for dy in 0..4 {
+                for dx in 0..4 {
+                    mean += plane[(sig.y + dy) * 8 + sig.x + dx];
+                }
+            }
+            mean /= 16.0;
+            assert!((sig.coeffs[0] - mean).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn multi_channel_concatenates() {
+        let a = demo_plane(8, 8);
+        let b: Vec<f32> = a.iter().map(|v| 1.0 - v).collect();
+        let params = SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 8 };
+        let sigs = compute_signatures_naive(&[&a, &b], 8, 8, &params).unwrap();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].coeffs.len(), 8);
+        // Channel means are complementary.
+        assert!((sigs[0].coeffs[0] + sigs[0].coeffs[4] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_undersized_image() {
+        let plane = demo_plane(4, 4);
+        let params = SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 1 };
+        assert!(matches!(
+            compute_signatures_naive(&[&plane], 4, 4, &params),
+            Err(WaveletError::ImageTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_planes_and_bad_lengths() {
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 4, stride: 1 };
+        assert!(compute_signatures_naive(&[], 8, 8, &params).is_err());
+        let short = vec![0.0f32; 10];
+        assert!(compute_signatures_naive(&[&short], 8, 8, &params).is_err());
+    }
+
+    #[test]
+    fn non_square_images_supported() {
+        let plane = demo_plane(16, 8);
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 8, stride: 4 };
+        let sigs = compute_signatures_naive(&[&plane], 16, 8, &params).unwrap();
+        // ω=4: 4 × 2 roots; ω=8: 3 × 1 roots.
+        assert_eq!(sigs.len(), 8 + 3);
+        assert!(sigs.iter().all(|s| s.x + s.omega <= 16 && s.y + s.omega <= 8));
+    }
+}

@@ -1,0 +1,87 @@
+//! Region explorer: visualize what WALRUS "sees" in an image.
+//!
+//! Extracts the regions of a synthetic scene at several cluster epsilons
+//! and writes, for each run, a PPM visualization in which every region's
+//! coarse bitmap is painted in a distinct color (regions can overlap; later
+//! regions paint over earlier ones). Also prints a per-region table:
+//! window count, covered area, and the centroid signature.
+//!
+//! Output files land in `target/region_explorer/`.
+//!
+//! Run: `cargo run --release -p walrus-examples --bin region_explorer`
+
+use walrus_core::viz::{region_overlay, OverlayOptions};
+use walrus_core::{extract_regions, WalrusParams};
+use walrus_imagery::synth::scene::{Scene, SceneObject};
+use walrus_imagery::synth::shapes::Shape;
+use walrus_imagery::synth::texture::{Rgb, Texture};
+use walrus_imagery::{ppm, Image};
+use walrus_wavelet::SlidingParams;
+
+fn demo_scene() -> Image {
+    Scene::new(Texture::Noise {
+        a: Rgb(0.08, 0.42, 0.12),
+        b: Rgb(0.15, 0.58, 0.2),
+        scale: 7,
+        seed: 11,
+    })
+    .with(SceneObject::new(
+        Shape::Flower { petals: 6, core_radius: 0.5, petal_len: 0.95, petal_width: 0.25 },
+        Texture::Solid(Rgb(0.85, 0.12, 0.18)),
+        (0.3, 0.4),
+        0.5,
+    ))
+    .with(SceneObject::new(
+        Shape::Rect { hx: 0.9, hy: 0.6 },
+        Texture::Bricks { brick: Rgb(0.7, 0.25, 0.15), mortar: Rgb(0.4, 0.3, 0.25), w: 12, h: 6 },
+        (0.75, 0.75),
+        0.4,
+    ))
+    .render(128, 96)
+    .expect("rendering a valid scene cannot fail")
+}
+
+fn main() {
+    let image = demo_scene();
+    let out_dir = std::path::Path::new("target/region_explorer");
+    std::fs::create_dir_all(out_dir).expect("can create output directory");
+    ppm::save_ppm(&image, out_dir.join("input.ppm")).expect("can write input image");
+    println!("wrote {}", out_dir.join("input.ppm").display());
+
+    for cluster_eps in [0.025f64, 0.05, 0.1] {
+        let params = WalrusParams {
+            sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 32, stride: 4 },
+            cluster_epsilon: cluster_eps,
+            ..WalrusParams::paper_defaults()
+        };
+        let regions = extract_regions(&image, &params).expect("extraction succeeds");
+        println!("\ncluster epsilon {cluster_eps}: {} regions", regions.len());
+        println!(
+            "{:>3} {:>8} {:>10} {:>9}  signature centroid (Y/Cb/Cr means)",
+            "id", "windows", "area_px", "coverage"
+        );
+        for (i, r) in regions.iter().enumerate() {
+            println!(
+                "{:>3} {:>8} {:>10} {:>8.1}%  [{:.3} {:.3} {:.3}]",
+                i,
+                r.window_count,
+                r.area(),
+                100.0 * r.bitmap.coverage(),
+                r.centroid[0],
+                r.centroid[4],
+                r.centroid[8],
+            );
+        }
+
+        // Paint each region's bitmap cells over a dimmed copy of the image.
+        let vis = region_overlay(&image, &regions, OverlayOptions::default())
+            .expect("overlay rendering succeeds");
+        let path = out_dir.join(format!("regions_eps{:.3}.ppm", cluster_eps));
+        ppm::save_ppm(&vis, &path).expect("can write visualization");
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "\nOpen the PPM files with any image viewer: tighter epsilons split\n\
+         the scene into more, smaller regions; looser ones merge it."
+    );
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for the WALRUS workspace; see `tests/` targets.

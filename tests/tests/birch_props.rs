@@ -1,0 +1,121 @@
+//! Property-based tests for the BIRCH substrate: CF algebra laws and
+//! clustering invariants over arbitrary point clouds.
+
+use proptest::prelude::*;
+use walrus_birch::{precluster, BirchParams, CfTree, ClusteringFeature};
+
+fn points(dims: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-2.0f32..2.0, dims), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cf_merge_is_associative_and_commutative(pts in points(3, 3..30)) {
+        let third = pts.len() / 3;
+        let cf_of = |slice: &[Vec<f32>]| {
+            let mut cf = ClusteringFeature::empty(3);
+            for p in slice {
+                cf.add_point(p);
+            }
+            cf
+        };
+        let a = cf_of(&pts[..third]);
+        let b = cf_of(&pts[third..2 * third]);
+        let c = cf_of(&pts[2 * third..]);
+        let ab_c = a.merged(&b).merged(&c);
+        let a_bc = a.merged(&b.merged(&c));
+        let ba_c = b.merged(&a).merged(&c);
+        prop_assert_eq!(ab_c.count(), a_bc.count());
+        for ((x, y), z) in ab_c.centroid().iter().zip(a_bc.centroid()).zip(ba_c.centroid()) {
+            prop_assert!((x - y).abs() < 1e-9);
+            prop_assert!((x - z).abs() < 1e-9);
+        }
+        prop_assert!((ab_c.radius() - a_bc.radius()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cf_radius_bounds_member_rms(pts in points(2, 2..40)) {
+        // Radius = RMS distance to centroid, computed incrementally, must
+        // match the direct computation.
+        let mut cf = ClusteringFeature::empty(2);
+        for p in &pts {
+            cf.add_point(p);
+        }
+        let c = cf.centroid();
+        let rms = (pts
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&c)
+                    .map(|(&v, m)| (v as f64 - m) * (v as f64 - m))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / pts.len() as f64)
+            .sqrt();
+        prop_assert!((cf.radius() - rms).abs() < 1e-6, "{} vs {}", cf.radius(), rms);
+    }
+
+    #[test]
+    fn tree_conserves_points_and_respects_threshold(
+        pts in points(3, 1..120),
+        threshold in 0.0f64..0.5,
+    ) {
+        let mut tree = CfTree::new(3, BirchParams { threshold, ..Default::default() }).unwrap();
+        for p in &pts {
+            tree.insert(p).unwrap();
+        }
+        prop_assert_eq!(tree.num_points(), pts.len() as u64);
+        let entries = tree.leaf_entry_clones();
+        let total: u64 = entries.iter().map(|e| e.count()).sum();
+        prop_assert_eq!(total, pts.len() as u64);
+        for e in &entries {
+            prop_assert!(e.radius() <= threshold + 1e-9, "radius {} > {}", e.radius(), threshold);
+        }
+        // Mass-weighted centroid is conserved.
+        for d in 0..3 {
+            let direct: f64 = pts.iter().map(|p| p[d] as f64).sum();
+            let via_cf: f64 = entries.iter().map(|e| e.centroid()[d] * e.count() as f64).sum();
+            prop_assert!((direct - via_cf).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn precluster_membership_partitions_input(pts in points(2, 1..80), eps in 0.0f64..0.6) {
+        let result = precluster(&pts, eps, None).unwrap();
+        prop_assert_eq!(result.assignments.len(), pts.len());
+        let mut seen = vec![false; pts.len()];
+        for (c, cluster) in result.clusters.iter().enumerate() {
+            for &m in &cluster.members {
+                prop_assert!(!seen[m], "point {} assigned twice", m);
+                seen[m] = true;
+                prop_assert_eq!(result.assignments[m], c);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every point must belong to a cluster");
+    }
+
+    #[test]
+    fn precluster_centroid_inside_member_bbox(pts in points(4, 1..60)) {
+        let result = precluster(&pts, 0.2, None).unwrap();
+        for cluster in &result.clusters {
+            for ((c, lo), hi) in
+                cluster.centroid().iter().zip(&cluster.bbox_min).zip(&cluster.bbox_max)
+            {
+                prop_assert!(*c >= lo - 1e-5);
+                prop_assert!(*c <= hi + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_always_respected(pts in points(2, 10..150)) {
+        let budget = 8;
+        let result = precluster(&pts, 0.0, Some(budget)).unwrap();
+        prop_assert!(result.clusters.len() <= budget);
+        let total: usize = result.clusters.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(total, pts.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the imagery substrate: color-space round
+//! trips, PPM codec round trips, and geometric-operation algebra over
+//! arbitrary images.
+
+use proptest::prelude::*;
+use walrus_imagery::{color, ops, ppm, ColorSpace, Image};
+
+fn arb_image(max_side: usize) -> impl Strategy<Value = Image> {
+    arb_image_min(1, max_side)
+}
+
+fn arb_image_min(min_side: usize, max_side: usize) -> impl Strategy<Value = Image> {
+    (min_side..=max_side, min_side..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..=1.0, w * h * 3).prop_map(move |data| {
+            Image::from_fn(w, h, ColorSpace::Rgb, |x, y, c| data[(y * w + x) * 3 + c]).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn color_spaces_round_trip(img in arb_image(12)) {
+        for space in [ColorSpace::Ycc, ColorSpace::Yiq, ColorSpace::Hsv] {
+            let converted = img.to_space(space).unwrap();
+            let back = converted.to_space(ColorSpace::Rgb).unwrap();
+            for c in 0..3 {
+                for (a, b) in back.channel(c).as_slice().iter().zip(img.channel(c).as_slice()) {
+                    prop_assert!((a - b).abs() < 2e-3, "{space:?} channel {c}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luma_is_invariant_across_luma_spaces(img in arb_image(8)) {
+        let ycc = img.to_space(ColorSpace::Ycc).unwrap();
+        let yiq = img.to_space(ColorSpace::Yiq).unwrap();
+        for (a, b) in ycc.channel(0).as_slice().iter().zip(yiq.channel(0).as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ppm_round_trip_within_quantization(img in arb_image(10)) {
+        let mut buf = Vec::new();
+        ppm::write_ppm(&img, &mut buf).unwrap();
+        let back = ppm::parse_netpbm(&buf).unwrap();
+        prop_assert_eq!(back.width(), img.width());
+        prop_assert_eq!(back.height(), img.height());
+        for c in 0..3 {
+            for (a, b) in back.channel(c).as_slice().iter().zip(img.channel(c).as_slice()) {
+                prop_assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ppm_parser_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Fuzz the codec: arbitrary bytes must parse or error, not panic.
+        let _ = ppm::parse_netpbm(&bytes);
+    }
+
+    #[test]
+    fn ppm_parser_never_panics_on_header_like_noise(
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+        magic in prop::sample::select(vec!["P2", "P3", "P5", "P6"]),
+    ) {
+        let mut bytes = magic.as_bytes().to_vec();
+        bytes.push(b'\n');
+        bytes.extend(tail);
+        let _ = ppm::parse_netpbm(&bytes);
+    }
+
+    #[test]
+    fn flips_and_rotations_form_a_group(img in arb_image(9)) {
+        prop_assert_eq!(ops::flip_horizontal(&ops::flip_horizontal(&img)), img.clone());
+        prop_assert_eq!(ops::flip_vertical(&ops::flip_vertical(&img)), img.clone());
+        prop_assert_eq!(ops::rotate180(&ops::rotate180(&img)), img.clone());
+        prop_assert_eq!(ops::rotate270(&ops::rotate90(&img)), img.clone());
+        prop_assert_eq!(
+            ops::rotate90(&ops::rotate90(&img)),
+            ops::rotate180(&img)
+        );
+        // Flips commute with 180° rotation.
+        prop_assert_eq!(
+            ops::rotate180(&ops::flip_horizontal(&img)),
+            ops::flip_vertical(&img)
+        );
+    }
+
+    #[test]
+    fn geometric_ops_preserve_pixel_multiset_mean(img in arb_image(9)) {
+        let mean = img.channel(0).mean();
+        for transformed in [
+            ops::flip_horizontal(&img),
+            ops::rotate90(&img),
+            ops::rotate180(&img),
+            ops::rotate270(&img),
+        ] {
+            prop_assert!((transformed.channel(0).mean() - mean).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dither_preserves_global_mean(img in arb_image_min(8, 16), levels in 2u32..6) {
+        // Error diffusion needs area to diffuse into: tiny images can only
+        // round, so the property is stated for images of at least 8×8.
+        let d = ops::dither(&img, levels).unwrap();
+        for c in 0..3 {
+            let a = img.channel(c).mean();
+            let b = d.channel(c).mean();
+            // Error diffusion conserves mass up to boundary losses.
+            prop_assert!((a - b).abs() < 0.12, "channel {c}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn blur_is_a_contraction(img in arb_image(12), radius in 1usize..4) {
+        let b = ops::box_blur(&img, radius);
+        for c in 0..3 {
+            prop_assert!(b.channel(c).variance() <= img.channel(c).variance() + 1e-6);
+            let lo = img.channel(c).as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = img.channel(c).as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            for &v in b.channel(c).as_slice() {
+                prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "blur left the value range");
+            }
+        }
+    }
+
+    #[test]
+    fn resize_round_trip_preserves_constant_images(v in 0.0f32..=1.0, w in 2usize..12, h in 2usize..12) {
+        let img = Image::from_fn(w, h, ColorSpace::Rgb, |_, _, _| v).unwrap();
+        let up = img.resize_bilinear(w * 2, h * 2).unwrap();
+        let down = up.resize_bilinear(w, h).unwrap();
+        for &x in down.channel(0).as_slice() {
+            prop_assert!((x - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gray_conversion_is_a_convex_combination(img in arb_image(8)) {
+        let gray = color::convert(&img, ColorSpace::Gray).unwrap();
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let p = img.pixel(x, y);
+                let lo = p.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = p.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let g = gray.channel(0).get(x, y);
+                prop_assert!(g >= lo - 1e-5 && g <= hi + 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the image-matching algorithms: dominance
+//! relations (quick ≥ exact ≥ greedy in covered area), validity of selected
+//! pair sets, similarity bounds, and symmetry.
+
+use proptest::prelude::*;
+use walrus_core::bitmap::RegionBitmap;
+use walrus_core::matching::{score_exact, score_greedy, score_quick, MatchPair};
+use walrus_core::{Region, SimilarityKind};
+
+const W: usize = 64;
+const H: usize = 48;
+const AREA: usize = W * H;
+
+#[derive(Debug, Clone)]
+struct Inst {
+    q: Vec<Region>,
+    t: Vec<Region>,
+    pairs: Vec<MatchPair>,
+}
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    proptest::collection::vec((0usize..W - 8, 0usize..H - 8, 4usize..24, 4usize..20), 1..4)
+        .prop_map(|windows| {
+            let mut bitmap = RegionBitmap::new(W, H, 16);
+            for (x, y, w, h) in &windows {
+                bitmap.mark_window(*x, *y, *w, *h);
+            }
+            Region {
+                centroid: vec![0.0; 4],
+                bbox_min: vec![0.0; 4],
+                bbox_max: vec![0.0; 4],
+                bitmap,
+                window_count: windows.len(),
+            }
+        })
+}
+
+fn instance() -> impl Strategy<Value = Inst> {
+    (
+        proptest::collection::vec(region_strategy(), 1..5),
+        proptest::collection::vec(region_strategy(), 1..5),
+        proptest::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..9),
+    )
+        .prop_map(|(q, t, raw_pairs)| {
+            let pairs = raw_pairs
+                .into_iter()
+                .map(|(a, b)| MatchPair { q: a.index(q.len()), t: b.index(t.len()) })
+                .collect();
+            Inst { q, t, pairs }
+        })
+}
+
+fn one_to_one(pairs: &[MatchPair]) -> bool {
+    let mut qs: Vec<usize> = pairs.iter().map(|p| p.q).collect();
+    let mut ts: Vec<usize> = pairs.iter().map(|p| p.t).collect();
+    qs.sort_unstable();
+    ts.sort_unstable();
+    let ql = qs.len();
+    let tl = ts.len();
+    qs.dedup();
+    ts.dedup();
+    qs.len() == ql && ts.len() == tl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominance_chain_holds(inst in instance()) {
+        let quick = score_quick(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+        let greedy = score_greedy(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+        let exact = score_exact(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+        let cov = |s: &walrus_core::matching::MatchScore| s.covered_query_area + s.covered_target_area;
+        // Quick relaxes the one-to-one constraint: it covers at least what
+        // the exact one-to-one optimum covers; exact dominates greedy.
+        prop_assert!(cov(&quick) >= cov(&exact), "quick {} < exact {}", cov(&quick), cov(&exact));
+        prop_assert!(cov(&exact) >= cov(&greedy), "exact {} < greedy {}", cov(&exact), cov(&greedy));
+    }
+
+    #[test]
+    fn selected_sets_are_valid_matchings(inst in instance()) {
+        let greedy = score_greedy(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+        let exact = score_exact(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+        prop_assert!(one_to_one(&greedy.pairs_used));
+        prop_assert!(one_to_one(&exact.pairs_used));
+        // Every selected pair came from the input.
+        for p in greedy.pairs_used.iter().chain(&exact.pairs_used) {
+            prop_assert!(inst.pairs.contains(p));
+        }
+    }
+
+    #[test]
+    fn similarity_bounded_for_all_variants(inst in instance()) {
+        for kind in [SimilarityKind::Symmetric, SimilarityKind::QueryFraction, SimilarityKind::MinImage] {
+            for f in [score_quick, score_greedy, score_exact] {
+                let s = f(&inst.q, &inst.t, &inst.pairs, AREA, AREA, kind);
+                prop_assert!((0.0..=1.0).contains(&s.similarity), "{kind:?}: {}", s.similarity);
+                prop_assert!(s.covered_query_area <= AREA);
+                prop_assert!(s.covered_target_area <= AREA);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_under_role_swap(inst in instance()) {
+        let swapped: Vec<MatchPair> =
+            inst.pairs.iter().map(|p| MatchPair { q: p.t, t: p.q }).collect();
+        for f in [score_quick, score_exact] {
+            let ab = f(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+            let ba = f(&inst.t, &inst.q, &swapped, AREA, AREA, SimilarityKind::Symmetric);
+            prop_assert!((ab.similarity - ba.similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_pairs_never_hurt_quick(inst in instance()) {
+        // Quick union is monotone in the pair set.
+        if inst.pairs.len() >= 2 {
+            let half = &inst.pairs[..inst.pairs.len() / 2];
+            let part = score_quick(&inst.q, &inst.t, half, AREA, AREA, SimilarityKind::Symmetric);
+            let full = score_quick(&inst.q, &inst.t, &inst.pairs, AREA, AREA, SimilarityKind::Symmetric);
+            prop_assert!(full.similarity >= part.similarity - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_pairs_score_zero(q in proptest::collection::vec(region_strategy(), 1..4), t in proptest::collection::vec(region_strategy(), 1..4)) {
+        for f in [score_quick, score_greedy, score_exact] {
+            let s = f(&q, &t, &[], AREA, AREA, SimilarityKind::Symmetric);
+            prop_assert_eq!(s.similarity, 0.0);
+            prop_assert!(s.pairs_used.is_empty());
+        }
+    }
+}

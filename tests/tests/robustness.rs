@@ -1,0 +1,143 @@
+//! Robustness tests for the perturbations the paper's §1.1 enumerates:
+//! "resolution changes, dithering effects, color shifts, orientation, size,
+//! and location". Each test perturbs a query image and checks that WALRUS
+//! still retrieves the original from a database with distractors.
+
+use walrus_core::{ImageDatabase, WalrusParams};
+use walrus_imagery::ops;
+use walrus_imagery::synth::scene::{Scene, SceneObject};
+use walrus_imagery::synth::shapes::Shape;
+use walrus_imagery::synth::texture::{Rgb, Texture};
+use walrus_imagery::Image;
+use walrus_wavelet::SlidingParams;
+
+fn params() -> WalrusParams {
+    WalrusParams {
+        sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 32, stride: 4 },
+        ..WalrusParams::paper_defaults()
+    }
+}
+
+fn target() -> Image {
+    Scene::new(Texture::Noise {
+        a: Rgb(0.08, 0.42, 0.12),
+        b: Rgb(0.14, 0.55, 0.18),
+        scale: 6,
+        seed: 5,
+    })
+    .with(SceneObject::new(
+        Shape::Flower { petals: 6, core_radius: 0.5, petal_len: 0.95, petal_width: 0.25 },
+        Texture::Solid(Rgb(0.85, 0.12, 0.18)),
+        (0.4, 0.5),
+        0.55,
+    ))
+    .render(128, 96)
+    .unwrap()
+}
+
+fn distractors() -> Vec<(String, Image)> {
+    let mut out: Vec<(String, Image)> = vec![(
+        "bricks".to_string(),
+        Scene::new(Texture::Bricks {
+            brick: Rgb(0.72, 0.22, 0.14),
+            mortar: Rgb(0.38, 0.28, 0.22),
+            w: 16,
+            h: 8,
+        })
+        .render(128, 96)
+        .unwrap(),
+    )];
+    out.push((
+        "ocean".to_string(),
+        Scene::new(Texture::VerticalGradient { top: Rgb(0.35, 0.55, 0.85), bottom: Rgb(0.1, 0.25, 0.55) })
+            .render(128, 96)
+            .unwrap(),
+    ));
+    out.push((
+        "checker".to_string(),
+        Scene::new(Texture::Checker { a: Rgb(0.9, 0.9, 0.2), b: Rgb(0.2, 0.2, 0.8), cell: 6 })
+            .render(128, 96)
+            .unwrap(),
+    ));
+    out
+}
+
+fn db_with_target() -> ImageDatabase {
+    let mut db = ImageDatabase::new(params()).unwrap();
+    db.insert_image("target", &target()).unwrap();
+    for (name, img) in distractors() {
+        db.insert_image(&name, &img).unwrap();
+    }
+    db
+}
+
+fn assert_target_wins(db: &ImageDatabase, query: &Image, label: &str) {
+    let top = db.top_k(query, 1).unwrap();
+    assert!(!top.is_empty(), "{label}: nothing retrieved");
+    assert_eq!(top[0].name, "target", "{label}: wrong winner (sim {:.3})", top[0].similarity);
+}
+
+#[test]
+fn survives_dithering() {
+    let db = db_with_target();
+    for levels in [2u32, 4, 8] {
+        let q = ops::dither(&target(), levels).unwrap();
+        assert_target_wins(&db, &q, &format!("dither to {levels} levels"));
+    }
+}
+
+#[test]
+fn survives_resolution_change() {
+    let db = db_with_target();
+    // Downscale then upscale back: information lost, layout preserved.
+    let small = target().resize_bilinear(64, 48).unwrap();
+    let restored = small.resize_bilinear(128, 96).unwrap();
+    assert_target_wins(&db, &restored, "half-resolution round trip");
+    // Query at a different absolute size entirely.
+    let q = target().resize_bilinear(96, 72).unwrap();
+    assert_target_wins(&db, &q, "three-quarter resolution");
+}
+
+#[test]
+fn survives_mild_color_shift() {
+    let db = db_with_target();
+    let q = ops::color_shift(&target(), 0.03, -0.02, 0.03).unwrap();
+    assert_target_wins(&db, &q, "mild color shift");
+}
+
+#[test]
+fn survives_mild_blur() {
+    let db = db_with_target();
+    let q = ops::box_blur(&target(), 1);
+    assert_target_wins(&db, &q, "radius-1 blur");
+}
+
+#[test]
+fn survives_flips() {
+    // Region signatures carry no location, so a mirrored image has the
+    // same region set (modulo window tiling at the edges).
+    let db = db_with_target();
+    assert_target_wins(&db, &ops::flip_horizontal(&target()), "horizontal flip");
+    assert_target_wins(&db, &ops::flip_vertical(&target()), "vertical flip");
+    assert_target_wins(&db, &ops::rotate180(&target()), "180 degree rotation");
+}
+
+#[test]
+fn large_color_shift_degrades_similarity() {
+    // Sanity: robustness is not "accepts anything" — a drastic shift must
+    // lower the score even when the target still wins or drops out.
+    let db = db_with_target();
+    let exact = db.top_k(&target(), 1).unwrap()[0].similarity;
+    let shifted = ops::color_shift(&target(), 0.35, -0.3, 0.0).unwrap();
+    let outcome = db.query(&shifted).unwrap();
+    let shifted_sim = outcome
+        .matches
+        .iter()
+        .find(|m| m.name == "target")
+        .map(|m| m.similarity)
+        .unwrap_or(0.0);
+    assert!(
+        shifted_sim < exact - 0.05,
+        "drastic shift should cost similarity: exact {exact:.3}, shifted {shifted_sim:.3}"
+    );
+}
