@@ -1,14 +1,22 @@
 //! `walrus` — command-line WALRUS image indexing and similarity search.
 //!
 //! ```text
-//! walrus index  <db-file> <image.ppm>...   build/extend a database from PPM/PGM files
-//! walrus query  <db-file> <image.ppm>      rank database images by similarity
-//! walrus scene  <db-file> <image.ppm> <x> <y> <w> <h>
-//!                                          query by a marked sub-scene
-//! walrus remove <db-file> <id>             remove an image by id
-//! walrus info   <db-file>                  database statistics
-//! walrus demo   <db-file>                  populate with synthetic demo images
+//! walrus index  <db> <image.ppm>...   build/extend a database from PPM/PGM files
+//! walrus query  <db> <image.ppm>      rank database images by similarity
+//! walrus scene  <db> <image.ppm> <x> <y> <w> <h>
+//!                                     query by a marked sub-scene
+//! walrus remove <db> <id>             remove an image by id
+//! walrus info   <db>                  database statistics
+//! walrus demo   <db>                  populate with synthetic demo images
+//! walrus open   <dir>                 create/open a crash-safe store directory
+//! walrus recover <dir>                recover a store and report what was repaired
+//! walrus compact <dir>                fold the write-ahead log into a snapshot
 //! ```
+//!
+//! `<db>` is either a single snapshot file (e.g. `db.walrus`) or a *store
+//! directory* managed by the durability layer (snapshot + write-ahead log;
+//! create one with `walrus open mystore`). Commands auto-detect which they
+//! were given: an existing directory is treated as a durable store.
 //!
 //! Options (before the subcommand arguments):
 //!   `-k <n>`          number of results for `query`/`scene` (default 10)
@@ -21,6 +29,7 @@
 
 use std::process::ExitCode;
 use walrus_core::persist;
+use walrus_core::recovery::{DurableDatabase, RecoveryReport};
 use walrus_core::scene_query::SceneRect;
 use walrus_core::{ImageDatabase, WalrusParams};
 use walrus_imagery::{ppm, ColorSpace, Image};
@@ -62,8 +71,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(&opts, rest),
         "scene" => cmd_scene(&opts, rest),
         "remove" => cmd_remove(rest),
-        "info" => cmd_info(rest),
+        "info" => cmd_info(&opts, rest),
         "demo" => cmd_demo(&opts, rest),
+        "open" => cmd_open(&opts, rest),
+        "recover" => cmd_recover(&opts, rest),
+        "compact" => cmd_compact(&opts, rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -130,49 +142,128 @@ fn params_for(opts: &Options) -> Result<WalrusParams, String> {
     Ok(params)
 }
 
-fn load_db(path: &str) -> Result<ImageDatabase, String> {
-    persist::load_from_file(path).map_err(|e| format!("cannot load {path}: {e}"))
+/// A database handle that is either a plain snapshot file or a durable
+/// store directory. Mutations on a durable store commit through its WAL;
+/// snapshot files are saved explicitly (and atomically) after mutating.
+enum DbHandle {
+    File { db: ImageDatabase, path: String },
+    Durable(Box<DurableDatabase>),
 }
 
-fn load_or_create_db(path: &str, opts: &Options) -> Result<ImageDatabase, String> {
-    if std::path::Path::new(path).exists() {
-        load_db(path)
-    } else {
-        ImageDatabase::new(params_for(opts)?).map_err(|e| e.to_string())
+impl DbHandle {
+    fn db(&self) -> &ImageDatabase {
+        match self {
+            DbHandle::File { db, .. } => db,
+            DbHandle::Durable(store) => store.db(),
+        }
+    }
+
+    fn insert_image(&mut self, name: &str, image: &Image) -> Result<usize, String> {
+        match self {
+            DbHandle::File { db, .. } => db.insert_image(name, image),
+            DbHandle::Durable(store) => store.insert_image(name, image),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn remove_image(&mut self, id: usize) -> Result<(), String> {
+        match self {
+            DbHandle::File { db, .. } => db.remove_image(id),
+            DbHandle::Durable(store) => store.remove_image(id),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// Persists a snapshot-file handle; durable stores already committed
+    /// every mutation through the WAL.
+    fn finish(&self) -> Result<(), String> {
+        match self {
+            DbHandle::File { db, path } => {
+                persist::save_to_file(db, path).map_err(|e| format!("cannot save {path}: {e}"))
+            }
+            DbHandle::Durable(_) => Ok(()),
+        }
     }
 }
 
-fn save_db(db: &ImageDatabase, path: &str) -> Result<(), String> {
-    persist::save_to_file(db, path).map_err(|e| format!("cannot save {path}: {e}"))
+fn is_store_dir(path: &str) -> bool {
+    std::path::Path::new(path).is_dir()
+}
+
+fn open_durable(path: &str, opts: &Options) -> Result<(DurableDatabase, RecoveryReport), String> {
+    DurableDatabase::open(path, params_for(opts)?)
+        .map_err(|e| format!("cannot open store {path}: {e}"))
+}
+
+/// Opens an existing database (file or store directory) read-only.
+fn load_handle(path: &str, opts: &Options) -> Result<DbHandle, String> {
+    if is_store_dir(path) {
+        let (store, _) = open_durable(path, opts)?;
+        Ok(DbHandle::Durable(Box::new(store)))
+    } else {
+        let db =
+            persist::load_from_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        Ok(DbHandle::File { db, path: path.to_string() })
+    }
+}
+
+/// Opens a database for mutation, creating a snapshot file if the path
+/// does not exist yet.
+fn load_or_create_handle(path: &str, opts: &Options) -> Result<DbHandle, String> {
+    if is_store_dir(path) || std::path::Path::new(path).exists() {
+        load_handle(path, opts)
+    } else {
+        let db = ImageDatabase::new(params_for(opts)?).map_err(|e| e.to_string())?;
+        Ok(DbHandle::File { db, path: path.to_string() })
+    }
 }
 
 fn load_image(path: &str) -> Result<Image, String> {
     ppm::load_netpbm(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
+fn print_report(report: &RecoveryReport) {
+    println!(
+        "recovery: snapshot {} (lsn {}), {} wal record(s) replayed, {} skipped",
+        if report.snapshot_loaded { "loaded" } else { "absent" },
+        report.snapshot_lsn,
+        report.records_replayed,
+        report.records_skipped,
+    );
+    if report.torn_tail_truncated {
+        println!("recovery: truncated a torn wal tail ({} bytes)", report.truncated_bytes);
+    }
+}
+
 fn cmd_index(opts: &Options, rest: &[String]) -> Result<(), String> {
     let Some((db_path, images)) = rest.split_first() else {
-        return Err("usage: walrus index <db-file> <image.ppm>...".into());
+        return Err("usage: walrus index <db> <image.ppm>...".into());
     };
     if images.is_empty() {
         return Err("no images to index".into());
     }
-    let mut db = load_or_create_db(db_path, opts)?;
+    let mut handle = load_or_create_handle(db_path, opts)?;
     for path in images {
         let image = load_image(path)?;
-        let id = db.insert_image(path, &image).map_err(|e| format!("{path}: {e}"))?;
-        println!("indexed {path} as id {id} ({} regions)", db.image(id).expect("just inserted").regions.len());
+        let id = handle.insert_image(path, &image).map_err(|e| format!("{path}: {e}"))?;
+        let regions = handle.db().image(id).map(|i| i.regions.len()).unwrap_or(0);
+        println!("indexed {path} as id {id} ({regions} regions)");
     }
-    save_db(&db, db_path)?;
-    println!("database {db_path}: {} images, {} regions", db.len(), db.num_regions());
+    handle.finish()?;
+    println!(
+        "database {db_path}: {} images, {} regions",
+        handle.db().len(),
+        handle.db().num_regions()
+    );
     Ok(())
 }
 
 fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
     let [db_path, image_path] = rest else {
-        return Err("usage: walrus query <db-file> <image.ppm>".into());
+        return Err("usage: walrus query <db> <image.ppm>".into());
     };
-    let db = load_db(db_path)?;
+    let handle = load_handle(db_path, opts)?;
+    let db = handle.db();
     let query = load_image(image_path)?;
     let outcome = match opts.eps {
         Some(eps) => db.query_with_epsilon(&query, eps),
@@ -191,9 +282,9 @@ fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
 
 fn cmd_scene(opts: &Options, rest: &[String]) -> Result<(), String> {
     let [db_path, image_path, x, y, w, h] = rest else {
-        return Err("usage: walrus scene <db-file> <image.ppm> <x> <y> <w> <h>".into());
+        return Err("usage: walrus scene <db> <image.ppm> <x> <y> <w> <h>".into());
     };
-    let db = load_db(db_path)?;
+    let handle = load_handle(db_path, opts)?;
     let query = load_image(image_path)?;
     let rect = SceneRect {
         x: x.parse().map_err(|_| "bad x")?,
@@ -201,7 +292,7 @@ fn cmd_scene(opts: &Options, rest: &[String]) -> Result<(), String> {
         width: w.parse().map_err(|_| "bad w")?,
         height: h.parse().map_err(|_| "bad h")?,
     };
-    let outcome = db.query_scene(&query, rect, 0.0).map_err(|e| e.to_string())?;
+    let outcome = handle.db().query_scene(&query, rect, 0.0).map_err(|e| e.to_string())?;
     println!("scene {rect:?}: {} candidate images", outcome.stats.distinct_images);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
@@ -209,25 +300,33 @@ fn cmd_scene(opts: &Options, rest: &[String]) -> Result<(), String> {
 
 fn cmd_remove(rest: &[String]) -> Result<(), String> {
     let [db_path, id] = rest else {
-        return Err("usage: walrus remove <db-file> <id>".into());
+        return Err("usage: walrus remove <db> <id>".into());
     };
-    let mut db = load_db(db_path)?;
+    let mut handle = load_handle(db_path, &Options::default())?;
     let id: usize = id.parse().map_err(|_| "bad id")?;
-    db.remove_image(id).map_err(|e| e.to_string())?;
-    save_db(&db, db_path)?;
-    println!("removed id {id}; {} images remain", db.len());
+    handle.remove_image(id)?;
+    handle.finish()?;
+    println!("removed id {id}; {} images remain", handle.db().len());
     Ok(())
 }
 
-fn cmd_info(rest: &[String]) -> Result<(), String> {
+fn cmd_info(opts: &Options, rest: &[String]) -> Result<(), String> {
     let [db_path] = rest else {
-        return Err("usage: walrus info <db-file>".into());
+        return Err("usage: walrus info <db>".into());
     };
-    let db = load_db(db_path)?;
+    let handle = load_handle(db_path, opts)?;
+    let db = handle.db();
     let p = db.params();
     println!("database: {db_path}");
     println!("  images:  {}", db.len());
     println!("  regions: {}", db.num_regions());
+    if let DbHandle::Durable(store) = &handle {
+        println!(
+            "  wal:     {} bytes, {} record(s) since last checkpoint",
+            store.wal_len(),
+            store.records_since_checkpoint()
+        );
+    }
     println!(
         "  params:  windows {}..{} stride {}, signature {}x{} per {} channel(s) ({}), \
          eps_c {}, eps {}, tau {}",
@@ -243,16 +342,14 @@ fn cmd_info(rest: &[String]) -> Result<(), String> {
         p.tau,
     );
     for img in db.image_slots().iter().flatten() {
-        {
-            println!(
-                "  [{}] {} {}x{} ({} regions)",
-                img.id,
-                img.name,
-                img.width,
-                img.height,
-                img.regions.len()
-            );
-        }
+        println!(
+            "  [{}] {} {}x{} ({} regions)",
+            img.id,
+            img.name,
+            img.width,
+            img.height,
+            img.regions.len()
+        );
     }
     Ok(())
 }
@@ -260,9 +357,9 @@ fn cmd_info(rest: &[String]) -> Result<(), String> {
 fn cmd_demo(opts: &Options, rest: &[String]) -> Result<(), String> {
     use walrus_imagery::synth::dataset::{DatasetSpec, ImageClass, SyntheticDataset};
     let [db_path] = rest else {
-        return Err("usage: walrus demo <db-file>".into());
+        return Err("usage: walrus demo <db>".into());
     };
-    let mut db = load_or_create_db(db_path, opts)?;
+    let mut handle = load_or_create_handle(db_path, opts)?;
     let dataset = SyntheticDataset::generate(DatasetSpec {
         images_per_class: 4,
         width: 128,
@@ -272,11 +369,64 @@ fn cmd_demo(opts: &Options, rest: &[String]) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
     for img in &dataset.images {
-        db.insert_image(&img.name, &img.image).map_err(|e| e.to_string())?;
+        handle.insert_image(&img.name, &img.image)?;
     }
-    save_db(&db, db_path)?;
+    handle.finish()?;
     println!("populated {db_path} with {} synthetic images", dataset.len());
     println!("try: walrus info {db_path}");
+    Ok(())
+}
+
+fn cmd_open(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [dir] = rest else {
+        return Err("usage: walrus open <dir>".into());
+    };
+    let (store, report) = open_durable(dir, opts)?;
+    print_report(&report);
+    println!(
+        "store {dir}: {} images, {} regions, wal {} bytes",
+        store.len(),
+        store.db().num_regions(),
+        store.wal_len()
+    );
+    Ok(())
+}
+
+fn cmd_recover(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [dir] = rest else {
+        return Err("usage: walrus recover <dir>".into());
+    };
+    if !is_store_dir(dir) {
+        return Err(format!("{dir} is not a store directory"));
+    }
+    let (store, report) = open_durable(dir, opts)?;
+    print_report(&report);
+    println!(
+        "store {dir} is consistent: {} images, {} regions, {} wal record(s) pending checkpoint",
+        store.len(),
+        store.db().num_regions(),
+        store.records_since_checkpoint()
+    );
+    Ok(())
+}
+
+fn cmd_compact(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [dir] = rest else {
+        return Err("usage: walrus compact <dir>".into());
+    };
+    if !is_store_dir(dir) {
+        return Err(format!("{dir} is not a store directory"));
+    }
+    let (mut store, report) = open_durable(dir, opts)?;
+    print_report(&report);
+    let before = store.wal_len();
+    store.checkpoint().map_err(|e| format!("checkpoint failed: {e}"))?;
+    println!(
+        "compacted {dir}: wal {} -> {} bytes, snapshot covers {} images",
+        before,
+        store.wal_len(),
+        store.len()
+    );
     Ok(())
 }
 
@@ -305,6 +455,11 @@ fn print_usage() {
            remove <db> <id>                  remove an image\n\
            info   <db>                       show database statistics\n\
            demo   <db>                       populate with synthetic images\n\
+           open   <dir>                      create/open a crash-safe store\n\
+           recover <dir>                     recover a store, report repairs\n\
+           compact <dir>                     fold the write-ahead log into a snapshot\n\
+         \n\
+         <db> is a snapshot file or a durable store directory (see `open`).\n\
          \n\
          options:\n\
            -k <n>                 results to print (default 10)\n\
@@ -320,6 +475,10 @@ mod tests {
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn load_db(path: &str) -> Result<ImageDatabase, String> {
+        persist::load_from_file(path).map_err(|e| format!("cannot load {path}: {e}"))
     }
 
     #[test]
@@ -371,11 +530,8 @@ mod tests {
 
         // Write a query image, query it.
         let query_path = dir.join("q.ppm");
-        let img = db.image(0).unwrap();
-        // Round-trip one of the demo images through PPM for the query.
         let synthetic = walrus_imagery::synth::dataset::timing_image(128, 96, 1).unwrap();
         ppm::save_ppm(&synthetic, &query_path).unwrap();
-        let _ = img;
         run(&s(&["-k", "3", "query", &db_str, query_path.to_str().unwrap()])).unwrap();
 
         // info + remove round trip.
@@ -417,6 +573,48 @@ mod tests {
         for p in [&db_path, &pa, &pb] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn durable_store_end_to_end() {
+        let base = std::env::temp_dir().join("walrus_cli_durable_test");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let store = base.join("store");
+        let store_str = store.to_str().unwrap().to_string();
+
+        // open creates the store directory.
+        run(&s(&["open", &store_str])).unwrap();
+        assert!(store.join("snapshot.walrus").exists());
+
+        // index into the durable store (auto-detected by directory).
+        let img = walrus_imagery::synth::dataset::timing_image(96, 64, 5).unwrap();
+        let ppm_path = base.join("i.ppm");
+        ppm::save_ppm(&img, &ppm_path).unwrap();
+        run(&s(&["index", &store_str, ppm_path.to_str().unwrap()])).unwrap();
+        assert!(store.join("wal.log").exists());
+
+        // query, info, recover and compact all work against the store.
+        run(&s(&["query", &store_str, ppm_path.to_str().unwrap()])).unwrap();
+        run(&s(&["info", &store_str])).unwrap();
+        run(&s(&["recover", &store_str])).unwrap();
+        run(&s(&["compact", &store_str])).unwrap();
+
+        // After compaction the image lives in the snapshot.
+        let db = load_db(store.join("snapshot.walrus").to_str().unwrap()).unwrap();
+        assert_eq!(db.len(), 1);
+
+        // remove commits through the WAL.
+        run(&s(&["remove", &store_str, "0"])).unwrap();
+        run(&s(&["recover", &store_str])).unwrap();
+
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn recover_and_compact_reject_plain_files() {
+        assert!(run(&s(&["recover", "/nonexistent/not-a-dir"])).is_err());
+        assert!(run(&s(&["compact", "/nonexistent/not-a-dir"])).is_err());
     }
 
     #[test]

@@ -347,6 +347,22 @@ impl SharedDatabase {
     pub fn is_empty(&self) -> bool {
         self.inner.read().is_empty()
     }
+
+    /// Number of indexed regions (shared lock).
+    pub fn num_regions(&self) -> usize {
+        self.inner.read().num_regions()
+    }
+
+    /// Atomically snapshots the database to `path` (shared lock held for
+    /// serialization only; see [`crate::persist::save_to_file`]).
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        crate::persist::save_to_file(&self.inner.read(), path)
+    }
+
+    /// Loads a snapshot (v1 or v2) into a fresh shared handle.
+    pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(Self::new(crate::persist::load_from_file(path)?))
+    }
 }
 
 #[cfg(test)]

@@ -64,20 +64,26 @@
 //! ```
 
 pub mod bitmap;
+pub mod crc32;
 pub mod database;
 pub mod extract;
 pub mod matching;
 pub mod params;
 pub mod persist;
+pub mod recovery;
 pub mod refine;
 pub mod region;
 pub mod scene_query;
+pub mod storage;
 pub mod viz;
+pub mod wal;
 
 pub use database::{ImageDatabase, QueryOutcome, QueryStats, RankedImage};
 pub use extract::extract_regions;
 pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
+pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;
+pub use storage::{DiskIo, StorageIo};
 
 /// Errors produced by this crate.
 #[derive(Debug)]
@@ -94,6 +100,12 @@ pub enum WalrusError {
     BadParams(String),
     /// The referenced image id is not in the database.
     UnknownImage(usize),
+    /// An underlying storage operation failed (the durable state on disk is
+    /// unchanged or recoverable; retrying or re-opening is safe).
+    Io(std::io::Error),
+    /// Stored bytes (snapshot or write-ahead log) failed validation: bad
+    /// magic, checksum mismatch, torn structure, or an impossible value.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for WalrusError {
@@ -105,6 +117,8 @@ impl std::fmt::Display for WalrusError {
             WalrusError::Index(e) => write!(f, "index error: {e}"),
             WalrusError::BadParams(msg) => write!(f, "bad parameters: {msg}"),
             WalrusError::UnknownImage(id) => write!(f, "unknown image id {id}"),
+            WalrusError::Io(e) => write!(f, "io error: {e}"),
+            WalrusError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
         }
     }
 }
@@ -116,6 +130,7 @@ impl std::error::Error for WalrusError {
             WalrusError::Wavelet(e) => Some(e),
             WalrusError::Birch(e) => Some(e),
             WalrusError::Index(e) => Some(e),
+            WalrusError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -142,6 +157,12 @@ impl From<walrus_birch::BirchError> for WalrusError {
 impl From<walrus_rstar::RStarError> for WalrusError {
     fn from(e: walrus_rstar::RStarError) -> Self {
         WalrusError::Index(e)
+    }
+}
+
+impl From<std::io::Error> for WalrusError {
+    fn from(e: std::io::Error) -> Self {
+        WalrusError::Io(e)
     }
 }
 

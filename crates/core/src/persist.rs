@@ -1,5 +1,5 @@
 //! Database persistence: serialize an [`crate::ImageDatabase`] to a compact
-//! binary image and load it back.
+//! binary snapshot and load it back.
 //!
 //! The paper's deployment stores regions in a *disk-based* R\*-tree (GiST)
 //! so the index survives restarts and scales past memory. This module
@@ -9,33 +9,99 @@
 //! The R\*-tree itself is rebuilt on load (bulk re-insertion), which keeps
 //! the format independent of index implementation details.
 //!
-//! Format (little-endian throughout):
+//! ## Format v2 (current; little-endian throughout)
 //!
 //! ```text
-//! magic "WALRUSDB" | u32 version | params block | u64 image_count
-//! per image: u64 id | name (u32 len + bytes) | u64 w | u64 h | u64 live(0/1)
-//!            u64 region_count | regions…
+//! magic "WALRUSDB" | u32 version=2 | u64 last_lsn
+//! | u32 params_len  | params block | u32 crc32(params block)
+//! | u64 images_len  | images block | u32 crc32(images block)
+//! | u32 crc32(everything above)
+//! ```
+//!
+//! `last_lsn` is the sequence number of the last write-ahead-log record
+//! folded into this snapshot (see [`crate::wal`]); standalone snapshots use
+//! 0. Every section carries its own CRC-32 and the file ends with a
+//! whole-file CRC-32, so truncation, bit rot and torn writes are detected
+//! deterministically instead of by accidental structural failure.
+//!
+//! ## Format v1 (legacy, still readable)
+//!
+//! ```text
+//! magic "WALRUSDB" | u32 version=1 | params block | images block
+//! ```
+//!
+//! The params/images block contents are identical across versions:
+//!
+//! ```text
+//! images block: u64 image_count, then per image:
+//!   u64 id | name (u32 len + bytes) | u64 w | u64 h | u64 live(0/1)
+//!   u64 region_count | regions…
 //! per region: u64 window_count | dims (u32) | centroid f32s | bbox_min | bbox_max
 //!             bitmap: u64 w,h,gw,gh | u64 word_count | u64 words…
 //! ```
+//!
+//! [`save_to_file`] is crash-safe: bytes go to a temporary file which is
+//! fsynced, renamed over the destination, and sealed with a directory
+//! fsync — a crash at any instant leaves either the old snapshot or the
+//! new one, never a torn file.
 
 use crate::bitmap::RegionBitmap;
+use crate::crc32::crc32;
 use crate::database::ImageDatabase;
 use crate::params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
 use crate::region::Region;
+use crate::storage::{DiskIo, StorageIo};
 use crate::{Result, WalrusError};
+use std::path::Path;
 use walrus_imagery::ColorSpace;
 use walrus_wavelet::SlidingParams;
 
 const MAGIC: &[u8; 8] = b"WALRUSDB";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
-/// Serializes the database to bytes.
+/// Serializes the database to bytes in the current (v2) format, with no
+/// WAL position (`last_lsn = 0`).
 pub fn save(db: &ImageDatabase) -> Vec<u8> {
+    save_with_lsn(db, 0)
+}
+
+/// Serializes the database in the v2 format, recording `last_lsn` as the
+/// sequence number of the last WAL record already reflected in it.
+pub fn save_with_lsn(db: &ImageDatabase, last_lsn: u64) -> Vec<u8> {
+    let mut params_block = Vec::with_capacity(128);
+    write_params(&mut params_block, db.params());
+    let images_block = write_images_block(db);
+
+    let mut out = Vec::with_capacity(images_block.len() + params_block.len() + 64);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION_V2);
+    put_u64(&mut out, last_lsn);
+    put_u32(&mut out, params_block.len() as u32);
+    out.extend_from_slice(&params_block);
+    put_u32(&mut out, crc32(&params_block));
+    put_u64(&mut out, images_block.len() as u64);
+    out.extend_from_slice(&images_block);
+    put_u32(&mut out, crc32(&images_block));
+    let file_crc = crc32(&out);
+    put_u32(&mut out, file_crc);
+    out
+}
+
+/// Serializes the database in the legacy v1 format (no checksums). Kept so
+/// compatibility with pre-v2 snapshots stays testable and downgrades remain
+/// possible.
+pub fn save_v1(db: &ImageDatabase) -> Vec<u8> {
     let mut out = Vec::with_capacity(4096);
     out.extend_from_slice(MAGIC);
-    put_u32(&mut out, VERSION);
+    put_u32(&mut out, VERSION_V1);
     write_params(&mut out, db.params());
+    out.extend_from_slice(&write_images_block(db));
+    out
+}
+
+fn write_images_block(db: &ImageDatabase) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
     let slots = db.image_slots();
     put_u64(&mut out, slots.len() as u64);
     for (id, slot) in slots.iter().enumerate() {
@@ -63,24 +129,111 @@ pub fn save(db: &ImageDatabase) -> Vec<u8> {
     out
 }
 
-/// Writes the database to a file.
-pub fn save_to_file(db: &ImageDatabase, path: impl AsRef<std::path::Path>) -> Result<()> {
-    std::fs::write(path, save(db)).map_err(|e| WalrusError::BadParams(format!("io error: {e}")))
+/// Writes the database to a file atomically (temp file → fsync → rename →
+/// directory fsync).
+pub fn save_to_file(db: &ImageDatabase, path: impl AsRef<Path>) -> Result<()> {
+    save_to_file_with(&DiskIo, db, path.as_ref(), 0)
 }
 
-/// Deserializes a database from bytes, rebuilding the spatial index.
+/// Like [`save_to_file`] but through a pluggable I/O layer and with an
+/// explicit WAL position. Used by the durable store and the
+/// crash-consistency tests.
+pub fn save_to_file_with(
+    io: &dyn StorageIo,
+    db: &ImageDatabase,
+    path: &Path,
+    last_lsn: u64,
+) -> Result<()> {
+    let bytes = save_with_lsn(db, last_lsn);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    io.write(tmp, &bytes)?;
+    io.fsync(tmp)?;
+    io.rename(tmp, path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    io.fsync(parent)?;
+    Ok(())
+}
+
+/// Deserializes a database from bytes (v1 or v2), rebuilding the spatial
+/// index.
 pub fn load(bytes: &[u8]) -> Result<ImageDatabase> {
+    load_with_lsn(bytes).map(|(db, _)| db)
+}
+
+/// Like [`load`] but also returns the snapshot's `last_lsn` (0 for v1
+/// snapshots, which predate the WAL).
+pub fn load_with_lsn(bytes: &[u8]) -> Result<(ImageDatabase, u64)> {
     let mut r = Reader { bytes, pos: 0 };
     let magic = r.take(8)?;
     if magic != MAGIC {
         return Err(corrupt("bad magic"));
     }
-    let version = r.u32()?;
-    if version != VERSION {
-        return Err(corrupt(&format!("unsupported version {version}")));
+    match r.u32()? {
+        VERSION_V1 => Ok((load_v1_body(&mut r)?, 0)),
+        VERSION_V2 => load_v2_body(bytes, &mut r),
+        other => Err(corrupt(&format!("unsupported version {other}"))),
     }
-    let params = read_params(&mut r)?;
+}
+
+fn load_v1_body(r: &mut Reader<'_>) -> Result<ImageDatabase> {
+    let params = read_params(r)?;
     let mut db = ImageDatabase::new(params)?;
+    read_images(r, &mut db)?;
+    if r.pos != r.bytes.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(db)
+}
+
+fn load_v2_body(bytes: &[u8], r: &mut Reader<'_>) -> Result<(ImageDatabase, u64)> {
+    // Whole-file integrity first: the trailing CRC covers every byte before
+    // it, so truncation, trailing garbage and bit rot all fail here.
+    if bytes.len() < r.pos + 4 {
+        return Err(corrupt("truncated"));
+    }
+    let body_end = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[body_end..].try_into().expect("length checked"));
+    if crc32(&bytes[..body_end]) != stored {
+        return Err(corrupt("whole-file checksum mismatch"));
+    }
+
+    let last_lsn = r.u64()?;
+    let params_len = r.u32()? as usize;
+    let params_block = r.framed(params_len)?;
+    let params_crc = r.u32()?;
+    if crc32(params_block) != params_crc {
+        return Err(corrupt("params section checksum mismatch"));
+    }
+    let images_len = r.u64()? as usize;
+    let images_block = r.framed(images_len)?;
+    let images_crc = r.u32()?;
+    if crc32(images_block) != images_crc {
+        return Err(corrupt("images section checksum mismatch"));
+    }
+    if r.pos != body_end {
+        return Err(corrupt("trailing bytes"));
+    }
+
+    let mut pr = Reader { bytes: params_block, pos: 0 };
+    let params = read_params(&mut pr)?;
+    if pr.pos != params_block.len() {
+        return Err(corrupt("params section has trailing bytes"));
+    }
+    let mut db = ImageDatabase::new(params)?;
+    let mut ir = Reader { bytes: images_block, pos: 0 };
+    read_images(&mut ir, &mut db)?;
+    if ir.pos != images_block.len() {
+        return Err(corrupt("images section has trailing bytes"));
+    }
+    Ok((db, last_lsn))
+}
+
+fn read_images(r: &mut Reader<'_>, db: &mut ImageDatabase) -> Result<()> {
     let image_count = r.u64()? as usize;
     if image_count > 100_000_000 {
         return Err(corrupt("implausible image count"));
@@ -99,9 +252,12 @@ pub fn load(bytes: &[u8]) -> Result<ImageDatabase> {
             return Err(corrupt("implausible region count"));
         }
         if live == 1 {
-            let mut regions = Vec::with_capacity(region_count);
+            // Cap the pre-allocation by what the input could possibly hold
+            // (a region is ≥ 48 bytes) so hostile counts cannot force a
+            // huge allocation before the first read fails.
+            let mut regions = Vec::with_capacity(region_count.min(r.remaining() / 48 + 1));
             for _ in 0..region_count {
-                regions.push(read_region(&mut r)?);
+                regions.push(read_region(r)?);
             }
             let got = db.insert_regions(&name, width, height, regions)?;
             debug_assert_eq!(got, id);
@@ -109,30 +265,35 @@ pub fn load(bytes: &[u8]) -> Result<ImageDatabase> {
             db.insert_tombstone();
         }
     }
-    if r.pos != bytes.len() {
-        return Err(corrupt("trailing bytes"));
-    }
-    Ok(db)
+    Ok(())
 }
 
-/// Reads a database from a file.
-pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<ImageDatabase> {
-    let bytes =
-        std::fs::read(path).map_err(|e| WalrusError::BadParams(format!("io error: {e}")))?;
-    load(&bytes)
+/// Reads a database from a file (v1 or v2).
+pub fn load_from_file(path: impl AsRef<Path>) -> Result<ImageDatabase> {
+    load_from_file_with(&DiskIo, path.as_ref()).map(|(db, _)| db)
+}
+
+/// Like [`load_from_file`] but through a pluggable I/O layer, also
+/// returning the snapshot's `last_lsn`.
+pub fn load_from_file_with(
+    io: &dyn StorageIo,
+    path: &Path,
+) -> Result<(ImageDatabase, u64)> {
+    let bytes = io.read(path)?;
+    load_with_lsn(&bytes)
 }
 
 fn corrupt(what: &str) -> WalrusError {
-    WalrusError::BadParams(format!("corrupt database image: {what}"))
+    WalrusError::Corrupt(format!("database snapshot: {what}"))
 }
 
 // --- primitive encoders -------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -144,7 +305,7 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
@@ -156,14 +317,14 @@ fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.bytes.len() - self.pos {
             return Err(corrupt("truncated"));
         }
         let s = &self.bytes[self.pos..self.pos + n];
@@ -171,11 +332,24 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    /// Bytes left to read.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes a length-prefixed frame whose size was already decoded.
+    fn framed(&mut self, len: usize) -> Result<&'a [u8]> {
+        if len > self.remaining() {
+            return Err(corrupt("section extends past end of file"));
+        }
+        self.take(len)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
     }
 
@@ -187,7 +361,7 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
     }
 
-    fn string(&mut self) -> Result<String> {
+    pub(crate) fn string(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         if len > 1 << 20 {
             return Err(corrupt("implausible string length"));
@@ -199,6 +373,9 @@ impl<'a> Reader<'a> {
         let len = self.u32()? as usize;
         if len > 1 << 24 {
             return Err(corrupt("implausible vector length"));
+        }
+        if len * 4 > self.remaining() {
+            return Err(corrupt("vector extends past end of input"));
         }
         (0..len).map(|_| self.f32()).collect()
     }
@@ -306,7 +483,7 @@ fn color_space_from_tag(tag: u32) -> Result<ColorSpace> {
 
 // --- regions ------------------------------------------------------------
 
-fn write_region(out: &mut Vec<u8>, r: &Region) {
+pub(crate) fn write_region(out: &mut Vec<u8>, r: &Region) {
     put_u64(out, r.window_count as u64);
     put_f32s(out, &r.centroid);
     put_f32s(out, &r.bbox_min);
@@ -323,7 +500,7 @@ fn write_region(out: &mut Vec<u8>, r: &Region) {
     }
 }
 
-fn read_region(r: &mut Reader<'_>) -> Result<Region> {
+pub(crate) fn read_region(r: &mut Reader<'_>) -> Result<Region> {
     let window_count = r.u64()? as usize;
     let centroid = r.f32s()?;
     let bbox_min = r.f32s()?;
@@ -338,6 +515,9 @@ fn read_region(r: &mut Reader<'_>) -> Result<Region> {
     let word_count = r.u64()? as usize;
     if word_count > 1 << 24 {
         return Err(corrupt("implausible bitmap size"));
+    }
+    if word_count * 8 > r.remaining() {
+        return Err(corrupt("bitmap extends past end of input"));
     }
     let mut words = Vec::with_capacity(word_count);
     for _ in 0..word_count {
@@ -433,6 +613,26 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_still_load() {
+        let db = populated();
+        let v1 = save_v1(&db);
+        assert_eq!(&v1[8..12], &1u32.to_le_bytes());
+        let (restored, lsn) = load_with_lsn(&v1).unwrap();
+        assert_eq!(lsn, 0, "v1 predates the WAL");
+        assert_eq!(restored.len(), db.len());
+        assert_eq!(restored.num_regions(), db.num_regions());
+        assert_eq!(restored.params(), db.params());
+    }
+
+    #[test]
+    fn lsn_round_trips() {
+        let db = populated();
+        let bytes = save_with_lsn(&db, 0xDEAD_BEEF);
+        let (_, lsn) = load_with_lsn(&bytes).unwrap();
+        assert_eq!(lsn, 0xDEAD_BEEF);
+    }
+
+    #[test]
     fn corrupt_inputs_rejected() {
         let db = populated();
         let good = save(&db);
@@ -448,10 +648,39 @@ mod tests {
         for cut in [0usize, 7, 11, 40, good.len() / 2, good.len() - 1] {
             assert!(load(&good[..cut]).is_err(), "cut at {cut} should fail");
         }
-        // Trailing garbage.
+        // Trailing garbage (breaks the whole-file checksum).
         let mut bad = good.clone();
         bad.push(0);
         assert!(load(&bad).is_err());
+    }
+
+    #[test]
+    fn v2_detects_every_single_byte_flip() {
+        // Unlike v1, *every* byte of a v2 snapshot is covered by the
+        // whole-file CRC: any flip must be rejected, not silently loaded.
+        let db = populated();
+        let good = save(&db);
+        for pos in (0..good.len()).step_by(41) {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                matches!(load(&bad), Err(WalrusError::Corrupt(_))),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A v1 image claiming absurd counts must fail fast on bounds
+        // checks, not attempt a giant allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, VERSION_V1);
+        let db = ImageDatabase::new(params()).unwrap();
+        write_params(&mut bytes, db.params());
+        put_u64(&mut bytes, u64::MAX); // image count
+        assert!(load(&bytes).is_err());
     }
 
     #[test]
@@ -461,9 +690,19 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("db.walrus");
         save_to_file(&db, &path).unwrap();
+        // The temp file must not linger after the atomic rename.
+        assert!(!dir.join("db.walrus.tmp").exists());
         let restored = load_from_file(&path).unwrap();
         assert_eq!(restored.len(), db.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_from_file("/nonexistent/nowhere.walrus") {
+            Err(WalrusError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,583 @@
+//! Crash-safe durable store: snapshot + write-ahead log + recovery.
+//!
+//! [`DurableDatabase`] wraps an in-memory [`ImageDatabase`] with the
+//! durability discipline of a real database engine:
+//!
+//! * every mutation is appended to an fsynced write-ahead log
+//!   ([`crate::wal`]) *before* it is applied in memory (write-ahead rule);
+//! * [`DurableDatabase::checkpoint`] folds the log into a fresh v2 snapshot
+//!   ([`crate::persist`]), written atomically (temp file → fsync → rename →
+//!   directory fsync), then resets the log;
+//! * [`DurableDatabase::open`] recovers: load the last good snapshot,
+//!   replay WAL records past the snapshot's `last_lsn`, and truncate any
+//!   torn tail a crash left behind.
+//!
+//! A crash at *any* instant therefore loses at most the single in-flight
+//! operation — the store always reopens to the old or the new committed
+//! state. The crash-consistency test suite drives every one of these code
+//! paths through [`crate::storage::FaultIo`] and asserts exactly that.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/snapshot.walrus   last checkpoint (v2 format, checksummed)
+//! <dir>/wal.log           operations since that checkpoint
+//! <dir>/snapshot.walrus.tmp   transient; left only by a crash mid-checkpoint
+//! ```
+
+use crate::database::ImageDatabase;
+use crate::params::WalrusParams;
+use crate::persist;
+use crate::region::Region;
+use crate::storage::{DiskIo, StorageIo};
+use crate::wal::{self, WalOp};
+use crate::{QueryOutcome, RankedImage, Result, WalrusError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use walrus_imagery::Image;
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.walrus";
+/// Write-ahead-log file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// What [`DurableDatabase::open`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A snapshot file existed and loaded.
+    pub snapshot_loaded: bool,
+    /// `last_lsn` recorded in that snapshot (0 = none / fresh).
+    pub snapshot_lsn: u64,
+    /// WAL records applied on top of the snapshot.
+    pub records_replayed: usize,
+    /// WAL records skipped because the snapshot already contained them
+    /// (a crash hit between checkpoint rename and WAL reset).
+    pub records_skipped: usize,
+    /// A torn record trailed the log and was truncated away.
+    pub torn_tail_truncated: bool,
+    /// Bytes dropped by that truncation.
+    pub truncated_bytes: u64,
+}
+
+/// A WAL-backed [`ImageDatabase`] that survives crashes.
+#[derive(Debug)]
+pub struct DurableDatabase {
+    io: Arc<dyn StorageIo>,
+    dir: PathBuf,
+    db: ImageDatabase,
+    /// LSN the next logged operation will carry (LSNs start at 1).
+    next_lsn: u64,
+    /// Valid byte length of the WAL (0 = not yet created).
+    wal_len: u64,
+    /// Records appended since the last checkpoint.
+    records_since_checkpoint: usize,
+    /// Checkpoint automatically once this many records accumulate.
+    auto_checkpoint: Option<usize>,
+    /// Set when a failed append could not be rolled back: the on-disk WAL
+    /// tail is in an unknown state, so further writes are refused until
+    /// the store is reopened (which re-establishes a clean tail).
+    poisoned: bool,
+}
+
+impl DurableDatabase {
+    /// Opens (or initializes) a store directory on the real filesystem.
+    /// `params` is used only when creating a fresh store; an existing
+    /// snapshot's parameters always win.
+    pub fn open(dir: impl AsRef<Path>, params: WalrusParams) -> Result<(Self, RecoveryReport)> {
+        Self::open_with(Arc::new(DiskIo), dir, params)
+    }
+
+    /// Like [`DurableDatabase::open`] but over a pluggable I/O layer —
+    /// the entry point for fault-injection tests.
+    pub fn open_with(
+        io: Arc<dyn StorageIo>,
+        dir: impl AsRef<Path>,
+        params: WalrusParams,
+    ) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        io.create_dir_all(&dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        let mut report = RecoveryReport::default();
+
+        let (db, snapshot_lsn) = if io.exists(&snapshot_path) {
+            let loaded = persist::load_from_file_with(io.as_ref(), &snapshot_path)?;
+            report.snapshot_loaded = true;
+            report.snapshot_lsn = loaded.1;
+            loaded
+        } else {
+            (ImageDatabase::new(params)?, 0)
+        };
+
+        let mut store = Self {
+            io,
+            dir,
+            db,
+            next_lsn: snapshot_lsn + 1,
+            wal_len: 0,
+            records_since_checkpoint: 0,
+            auto_checkpoint: None,
+            poisoned: false,
+        };
+
+        if store.io.exists(&wal_path) {
+            let bytes = store.io.read(&wal_path)?;
+            let scan = wal::read_wal(&bytes)?;
+            for rec in scan.records {
+                if rec.lsn <= snapshot_lsn {
+                    report.records_skipped += 1;
+                    continue;
+                }
+                store.replay(rec.op)?;
+                store.next_lsn = rec.lsn + 1;
+                store.records_since_checkpoint += 1;
+                report.records_replayed += 1;
+            }
+            store.wal_len = scan.valid_len;
+            if scan.torn_tail {
+                report.torn_tail_truncated = true;
+                report.truncated_bytes = bytes.len() as u64 - scan.valid_len;
+                store.io.truncate(&wal_path, scan.valid_len)?;
+                store.io.fsync(&wal_path)?;
+            }
+        }
+
+        if !report.snapshot_loaded {
+            // Fresh store: persist an empty snapshot so the configuration
+            // itself is durable and "old state" is always well defined.
+            persist::save_to_file_with(
+                store.io.as_ref(),
+                &store.db,
+                &snapshot_path,
+                store.next_lsn - 1,
+            )?;
+        }
+        Ok((store, report))
+    }
+
+    fn replay(&mut self, op: WalOp) -> Result<()> {
+        match op {
+            WalOp::Insert { expected_id, name, width, height, regions } => {
+                let got = self.db.insert_regions(&name, width, height, regions).map_err(|e| {
+                    WalrusError::Corrupt(format!("wal replay: insert failed: {e}"))
+                })?;
+                if got != expected_id {
+                    return Err(WalrusError::Corrupt(format!(
+                        "wal replay: image got id {got}, log expected {expected_id}"
+                    )));
+                }
+            }
+            WalOp::Remove { id } => {
+                self.db.remove_image(id).map_err(|e| {
+                    WalrusError::Corrupt(format!("wal replay: remove failed: {e}"))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one record (write-ahead) and, only on success, applies the
+    /// operation in memory.
+    fn log_then_apply(&mut self, op: WalOp) -> Result<()> {
+        if self.poisoned {
+            return Err(WalrusError::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "store poisoned by an earlier append failure; reopen to recover",
+            )));
+        }
+        let wal_path = self.dir.join(WAL_FILE);
+        let mut buf = if self.wal_len == 0 { wal::wal_header() } else { Vec::new() };
+        buf.extend_from_slice(&wal::encode_record(self.next_lsn, &op));
+
+        let appended = self
+            .io
+            .append(&wal_path, &buf)
+            .and_then(|()| self.io.fsync(&wal_path));
+        if let Err(e) = appended {
+            // The on-disk tail may hold a partial record. Try to cut it
+            // back to the last committed length; if even that fails, the
+            // tail is unknowable — poison until reopen.
+            let repaired = self
+                .io
+                .truncate(&wal_path, self.wal_len)
+                .and_then(|()| self.io.fsync(&wal_path));
+            if repaired.is_err() && self.io.exists(&wal_path) {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.wal_len += buf.len() as u64;
+        self.next_lsn += 1;
+        self.records_since_checkpoint += 1;
+        self.replay(op)?;
+        if let Some(every) = self.auto_checkpoint {
+            if self.records_since_checkpoint >= every {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts regions of `image` and durably inserts them. Returns the
+    /// new id. The insert is committed once this returns `Ok`.
+    pub fn insert_image(&mut self, name: &str, image: &Image) -> Result<usize> {
+        let regions = crate::extract::extract_regions(image, self.db.params())?;
+        self.insert_regions(name, image.width(), image.height(), regions)
+    }
+
+    /// Durably inserts pre-extracted regions (see
+    /// [`ImageDatabase::insert_regions`]).
+    pub fn insert_regions(
+        &mut self,
+        name: &str,
+        width: usize,
+        height: usize,
+        regions: Vec<Region>,
+    ) -> Result<usize> {
+        // Validate dimensionality before anything reaches the log.
+        let dims = self.db.params().signature_dims();
+        for r in &regions {
+            if r.dims() != dims {
+                return Err(WalrusError::BadParams(format!(
+                    "region has {} dims, database expects {dims}",
+                    r.dims()
+                )));
+            }
+        }
+        let expected_id = self.db.image_slots().len();
+        self.log_then_apply(WalOp::Insert {
+            expected_id,
+            name: name.to_string(),
+            width,
+            height,
+            regions,
+        })?;
+        Ok(expected_id)
+    }
+
+    /// Durably removes an image.
+    pub fn remove_image(&mut self, id: usize) -> Result<()> {
+        if self.db.image(id).is_none() {
+            return Err(WalrusError::UnknownImage(id));
+        }
+        self.log_then_apply(WalOp::Remove { id })
+    }
+
+    /// Folds the WAL into a fresh atomic snapshot and resets the log.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(WalrusError::Io(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "store poisoned by an earlier append failure; reopen to recover",
+            )));
+        }
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        persist::save_to_file_with(
+            self.io.as_ref(),
+            &self.db,
+            &snapshot_path,
+            self.next_lsn - 1,
+        )?;
+        // The snapshot now covers every logged record; reset the WAL. A
+        // crash before (or during) this reset is harmless — recovery skips
+        // records at or below the snapshot's last_lsn.
+        let wal_path = self.dir.join(WAL_FILE);
+        let header = wal::wal_header();
+        let reset = self
+            .io
+            .write(&wal_path, &header)
+            .and_then(|()| self.io.fsync(&wal_path));
+        if let Err(e) = reset {
+            // The WAL is in an unknown state; stop writes until reopen.
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.wal_len = header.len() as u64;
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Checkpoints automatically once `every` records accumulate in the
+    /// WAL (`None` disables; default).
+    pub fn set_auto_checkpoint(&mut self, every: Option<usize>) {
+        self.auto_checkpoint = every;
+    }
+
+    /// The wrapped in-memory database (queries go straight to it).
+    pub fn db(&self) -> &ImageDatabase {
+        &self.db
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current valid WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Records appended since the last checkpoint.
+    pub fn records_since_checkpoint(&self) -> usize {
+        self.records_since_checkpoint
+    }
+
+    /// True when a failed append has frozen writes (reopen to recover).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Number of live images.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True when no images are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Runs a full query (see [`ImageDatabase::query`]).
+    pub fn query(&self, query: &Image) -> Result<QueryOutcome> {
+        self.db.query(query)
+    }
+
+    /// The `k` most similar images (see [`ImageDatabase::top_k`]).
+    pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
+        self.db.top_k(query, k)
+    }
+}
+
+/// A thread-safe handle over a [`DurableDatabase`]: concurrent readers,
+/// exclusive writers. Cloning shares the store.
+#[derive(Debug, Clone)]
+pub struct SharedDurableDatabase {
+    inner: Arc<parking_lot::RwLock<DurableDatabase>>,
+}
+
+impl SharedDurableDatabase {
+    /// Opens (or initializes) a store directory for shared use.
+    pub fn open(dir: impl AsRef<Path>, params: WalrusParams) -> Result<(Self, RecoveryReport)> {
+        let (store, report) = DurableDatabase::open(dir, params)?;
+        Ok((Self::new(store), report))
+    }
+
+    /// Wraps an already-open store.
+    pub fn new(store: DurableDatabase) -> Self {
+        Self { inner: Arc::new(parking_lot::RwLock::new(store)) }
+    }
+
+    /// Durably inserts an image (exclusive lock).
+    pub fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
+        self.inner.write().insert_image(name, image)
+    }
+
+    /// Durably removes an image (exclusive lock).
+    pub fn remove_image(&self, id: usize) -> Result<()> {
+        self.inner.write().remove_image(id)
+    }
+
+    /// Runs a query (shared lock; queries proceed concurrently).
+    pub fn query(&self, query: &Image) -> Result<QueryOutcome> {
+        self.inner.read().query(query)
+    }
+
+    /// The `k` most similar images (shared lock).
+    pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
+        self.inner.read().top_k(query, k)
+    }
+
+    /// Checkpoints the store (exclusive lock).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.inner.write().checkpoint()
+    }
+
+    /// Number of live images (shared lock).
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty (shared lock).
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::FaultIo;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+    use walrus_wavelet::SlidingParams;
+
+    fn params() -> WalrusParams {
+        WalrusParams {
+            sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 16, stride: 4 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn scene(hue: f32) -> Image {
+        Scene::new(Texture::Solid(Rgb(hue, 0.4, 0.3)))
+            .with(SceneObject::new(
+                Shape::Ellipse { rx: 0.5, ry: 0.5 },
+                Texture::Solid(Rgb(0.9, 0.2, 0.2)),
+                (0.5, 0.5),
+                0.4,
+            ))
+            .render(32, 32)
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_store_reopens_empty() {
+        let io = Arc::new(FaultIo::new());
+        let (store, report) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        assert!(!report.snapshot_loaded);
+        assert!(store.is_empty());
+        drop(store);
+        let (store, report) = DurableDatabase::open_with(io, "db", params()).unwrap();
+        assert!(report.snapshot_loaded, "initial snapshot was persisted");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn operations_survive_reopen_without_checkpoint() {
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        let a = store.insert_image("a", &scene(0.2)).unwrap();
+        let b = store.insert_image("b", &scene(0.7)).unwrap();
+        store.remove_image(a).unwrap();
+        drop(store);
+
+        let (store, report) = DurableDatabase::open_with(io, "db", params()).unwrap();
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(store.len(), 1);
+        assert!(store.db().image(a).is_none());
+        assert_eq!(store.db().image(b).unwrap().name, "b");
+    }
+
+    #[test]
+    fn checkpoint_folds_wal_and_replay_skips_it() {
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        store.insert_image("a", &scene(0.2)).unwrap();
+        store.insert_image("b", &scene(0.5)).unwrap();
+        store.checkpoint().unwrap();
+        assert_eq!(store.records_since_checkpoint(), 0);
+        store.insert_image("c", &scene(0.8)).unwrap();
+        drop(store);
+
+        let (store, report) = DurableDatabase::open_with(io, "db", params()).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.snapshot_lsn, 2);
+        assert_eq!(report.records_replayed, 1, "only c is outside the snapshot");
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn stale_wal_records_are_skipped_not_reapplied() {
+        // Simulate a crash after checkpoint rename but before WAL reset:
+        // the snapshot holds everything, the old WAL still lists it.
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        store.insert_image("a", &scene(0.2)).unwrap();
+        let wal_before = io.file_bytes(Path::new("db/wal.log")).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        // Put the pre-checkpoint WAL back.
+        io.write(Path::new("db/wal.log"), &wal_before).unwrap();
+        io.fsync(Path::new("db/wal.log")).unwrap();
+
+        let (store, report) = DurableDatabase::open_with(io, "db", params()).unwrap();
+        assert_eq!(report.records_skipped, 1);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated() {
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        store.insert_image("a", &scene(0.2)).unwrap();
+        let committed_len = store.wal_len();
+        store.insert_image("b", &scene(0.5)).unwrap();
+        drop(store);
+        // Tear the final record in half.
+        let wal = io.file_bytes(Path::new("db/wal.log")).unwrap();
+        let torn = committed_len as usize + (wal.len() - committed_len as usize) / 2;
+        io.write(Path::new("db/wal.log"), &wal[..torn]).unwrap();
+        io.fsync(Path::new("db/wal.log")).unwrap();
+
+        let (store, report) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        assert!(report.torn_tail_truncated);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(store.len(), 1, "only the committed insert survives");
+        assert_eq!(
+            io.file_bytes(Path::new("db/wal.log")).unwrap().len() as u64,
+            committed_len,
+            "tail was physically truncated"
+        );
+    }
+
+    #[test]
+    fn auto_checkpoint_triggers() {
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io, "db", params()).unwrap();
+        store.set_auto_checkpoint(Some(2));
+        store.insert_image("a", &scene(0.2)).unwrap();
+        assert_eq!(store.records_since_checkpoint(), 1);
+        store.insert_image("b", &scene(0.5)).unwrap();
+        assert_eq!(store.records_since_checkpoint(), 0, "auto-checkpoint fired");
+    }
+
+    #[test]
+    fn remove_of_unknown_id_never_reaches_the_log() {
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        let before = store.wal_len();
+        assert!(matches!(store.remove_image(7), Err(WalrusError::UnknownImage(7))));
+        assert_eq!(store.wal_len(), before);
+    }
+
+    #[test]
+    fn shared_durable_database_is_cloneable_and_concurrent() {
+        let dir = std::env::temp_dir().join("walrus_shared_durable_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (shared, _) = SharedDurableDatabase::open(&dir, params()).unwrap();
+        shared.insert_image("a", &scene(0.3)).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || s.top_k(&scene(0.3), 1).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let top = h.join().unwrap();
+            assert_eq!(top[0].name, "a");
+        }
+        shared.checkpoint().unwrap();
+        assert_eq!(shared.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_backed_store_round_trips() {
+        let dir = std::env::temp_dir().join("walrus_durable_disk_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut store, _) = DurableDatabase::open(&dir, params()).unwrap();
+        store.insert_image("a", &scene(0.2)).unwrap();
+        store.insert_image("b", &scene(0.6)).unwrap();
+        store.checkpoint().unwrap();
+        store.remove_image(0).unwrap();
+        drop(store);
+        let (store, report) = DurableDatabase::open(&dir, params()).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -89,20 +89,38 @@ fn format_header_is_pinned() {
     let (db, _) = populated();
     let bytes = persist::save(&db);
     assert_eq!(&bytes[..8], b"WALRUSDB");
-    assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
+    assert_eq!(&bytes[8..12], &2u32.to_le_bytes());
+    // The legacy v1 writer keeps producing v1 images for compat tests.
+    let v1 = persist::save_v1(&db);
+    assert_eq!(&v1[..8], b"WALRUSDB");
+    assert_eq!(&v1[8..12], &1u32.to_le_bytes());
+}
+
+#[test]
+fn v1_images_still_load_identically() {
+    let (db, data) = populated();
+    let restored = persist::load(&persist::save_v1(&db)).unwrap();
+    assert_eq!(restored.len(), db.len());
+    assert_eq!(restored.num_regions(), db.num_regions());
+    let probe = &data.images[3];
+    let a = db.top_k(&probe.image, 5).unwrap();
+    let b = restored.top_k(&probe.image, 5).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.image_id, y.image_id);
+    }
 }
 
 #[test]
 fn fuzzy_corruption_never_panics() {
     let (db, _) = populated();
     let good = persist::save(&db);
-    // Flip one byte at a spread of positions: must error or (if the flip
-    // lands in benign float data) load — never panic.
+    // Flip one byte at a spread of positions: the v2 checksums must reject
+    // every flip — and in particular must never panic.
     let mut positions: Vec<usize> = (0..good.len()).step_by(97).collect();
     positions.push(good.len() - 1);
     for pos in positions {
         let mut bad = good.clone();
         bad[pos] ^= 0xA5;
-        let _ = persist::load(&bad);
+        assert!(persist::load(&bad).is_err(), "flip at {pos} was not detected");
     }
 }
