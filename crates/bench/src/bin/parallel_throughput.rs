@@ -1,0 +1,231 @@
+//! **Parallel engine throughput** — serial vs parallel batch ingest and
+//! query latency across thread counts, recorded as the repo's first
+//! performance trajectory datapoint (`BENCH_parallel.json`).
+//!
+//! Measures, on the synthetic stand-in collection:
+//!
+//! * **batch ingest** — `insert_images_batch` wall time and images/sec for
+//!   `threads ∈ {1, 2, 4, 8}` (extraction fans out across the pool, the
+//!   index is built under one bulk load);
+//! * **query latency** — p50 / p99 / mean over repeated full-pipeline
+//!   queries (extraction + index probes + scoring) at each thread count;
+//! * **determinism** — asserts that every parallel configuration returns
+//!   results identical to serial before any number is written.
+//!
+//! The JSON records `host_cpus`: speedups are only meaningful relative to
+//! the parallelism the host actually offers (a 1-CPU container measures
+//! scheduling overhead, not scaling).
+//!
+//! Run: `cargo run --release -p walrus-bench --bin parallel_throughput`
+//! (`WALRUS_BENCH_SCALE=full` for the larger dataset,
+//! `WALRUS_BENCH_OUT=<path>` to redirect the JSON, default
+//! `BENCH_parallel.json`).
+
+use walrus_bench::report::{f3, Table};
+use walrus_bench::workloads::{flower_query_with_variants, retrieval_dataset, retrieval_params};
+use walrus_bench::{scale, time, Scale};
+use walrus_core::{ImageDatabase, QueryOutcome, WalrusParams};
+use walrus_imagery::Image;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let sc = scale();
+    let dataset = retrieval_dataset(sc);
+    let params = retrieval_params();
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let items: Vec<(&str, &Image)> =
+        dataset.images.iter().map(|i| (i.name.as_str(), &i.image)).collect();
+    let query_reps = match sc {
+        Scale::Quick => 15,
+        Scale::Full => 40,
+    };
+    println!(
+        "Parallel engine throughput: {} images ({}x{}), host cpus: {host_cpus}\n",
+        items.len(),
+        dataset.images[0].image.width(),
+        dataset.images[0].image.height(),
+    );
+
+    // --- batch ingest across thread counts -----------------------------
+    let mut ingest_rows: Vec<(usize, f64, f64)> = Vec::new(); // (threads, secs, img/s)
+    let mut reference_db: Option<ImageDatabase> = None;
+    let mut ingest_table =
+        Table::new("Batch Ingest", &["threads", "seconds", "images_per_sec", "speedup"]);
+    for &threads in &THREAD_COUNTS {
+        let p = WalrusParams { threads, ..params };
+        // Best of two runs: the second is warm (allocator, page cache).
+        let mut best = f64::INFINITY;
+        let mut db_out = None;
+        for _ in 0..2 {
+            let mut db = ImageDatabase::new(p).expect("params are valid");
+            let (ids, secs) =
+                time(|| db.insert_images_batch(&items).expect("dataset images extract cleanly"));
+            assert_eq!(ids.len(), items.len());
+            if secs < best {
+                best = secs;
+            }
+            db_out = Some(db);
+        }
+        let db = db_out.expect("at least one run completed");
+        match &reference_db {
+            None => {
+                assert_eq!(db.num_regions(), {
+                    // Serial one-at-a-time inserts are the ground truth the
+                    // batch path must reproduce exactly.
+                    let mut serial = ImageDatabase::new(p).expect("params are valid");
+                    for (name, image) in &items {
+                        serial.insert_image(name, image).expect("extracts cleanly");
+                    }
+                    serial.num_regions()
+                });
+                reference_db = Some(db);
+            }
+            Some(reference) => {
+                assert_eq!(db.len(), reference.len(), "parallel ingest diverged");
+                assert_eq!(db.num_regions(), reference.num_regions(), "parallel ingest diverged");
+            }
+        }
+        let ips = items.len() as f64 / best;
+        ingest_table.row(&[
+            threads.to_string(),
+            f3(best),
+            f3(ips),
+            format!("{:.2}x", ingest_rows.first().map(|(_, s, _)| s / best).unwrap_or(1.0)),
+        ]);
+        ingest_rows.push((threads, best, ips));
+    }
+    ingest_table.print();
+    println!();
+
+    // --- query latency across thread counts -----------------------------
+    let db = reference_db.expect("ingest ran");
+    let (query, variants) = flower_query_with_variants(4);
+    let queries: Vec<&Image> = std::iter::once(&query).chain(variants.iter()).collect();
+    let mut serial_outcomes: Option<Vec<QueryOutcome>> = None;
+    let mut query_rows: Vec<(usize, f64, f64, f64)> = Vec::new(); // (threads, p50, p99, mean) ms
+    let mut query_table =
+        Table::new("Query Latency", &["threads", "p50_ms", "p99_ms", "mean_ms", "speedup_p50"]);
+    for &threads in &THREAD_COUNTS {
+        let mut db = db.clone();
+        db.set_threads(threads);
+        let mut latencies_ms = Vec::with_capacity(queries.len() * query_reps);
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            for rep in 0..query_reps {
+                let (outcome, secs) = time(|| db.query(q).expect("query pipeline succeeds"));
+                latencies_ms.push(secs * 1e3);
+                if rep == 0 && qi < queries.len() {
+                    outcomes.push(outcome);
+                }
+            }
+        }
+        match &serial_outcomes {
+            None => serial_outcomes = Some(outcomes),
+            Some(serial) => {
+                for (a, b) in serial.iter().zip(&outcomes) {
+                    assert_eq!(a.stats, b.stats, "parallel query stats diverged");
+                    assert_eq!(a.matches.len(), b.matches.len());
+                    for (x, y) in a.matches.iter().zip(&b.matches) {
+                        assert_eq!(x.image_id, y.image_id, "parallel query ranking diverged");
+                        assert_eq!(
+                            x.similarity.to_bits(),
+                            y.similarity.to_bits(),
+                            "parallel query similarity diverged"
+                        );
+                    }
+                }
+            }
+        }
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let p50 = percentile(&latencies_ms, 50.0);
+        let p99 = percentile(&latencies_ms, 99.0);
+        let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+        query_table.row(&[
+            threads.to_string(),
+            f3(p50),
+            f3(p99),
+            f3(mean),
+            format!("{:.2}x", query_rows.first().map(|(_, s, _, _)| s / p50).unwrap_or(1.0)),
+        ]);
+        query_rows.push((threads, p50, p99, mean));
+    }
+    query_table.print();
+
+    // --- JSON trajectory datapoint ---------------------------------------
+    let out_path =
+        std::env::var("WALRUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    let json = render_json(
+        sc,
+        host_cpus,
+        items.len(),
+        db.num_regions(),
+        query_reps * queries.len(),
+        &ingest_rows,
+        &query_rows,
+    );
+    std::fs::write(&out_path, &json).expect("benchmark output path is writable");
+    println!("\nwrote {out_path}");
+    if host_cpus == 1 {
+        println!(
+            "note: host offers a single CPU; speedups measure overhead, not scaling.\n\
+             Re-run on a multi-core host for a meaningful parallel datapoint."
+        );
+    }
+}
+
+/// Percentile by linear interpolation over a sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    sc: Scale,
+    host_cpus: usize,
+    images: usize,
+    regions: usize,
+    query_samples: usize,
+    ingest: &[(usize, f64, f64)],
+    query: &[(usize, f64, f64, f64)],
+) -> String {
+    let serial_ingest = ingest.first().map(|(_, s, _)| *s).unwrap_or(0.0);
+    let serial_p50 = query.first().map(|(_, p, _, _)| *p).unwrap_or(0.0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel_throughput\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if sc == Scale::Full { "full" } else { "quick" }
+    ));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!(
+        "  \"dataset\": {{ \"images\": {images}, \"regions\": {regions}, \"query_samples\": {query_samples} }},\n"
+    ));
+    out.push_str("  \"determinism_checked\": true,\n");
+    out.push_str("  \"ingest\": [\n");
+    for (i, (threads, secs, ips)) in ingest.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"threads\": {threads}, \"seconds\": {secs:.4}, \"images_per_sec\": {ips:.2}, \"speedup_vs_serial\": {:.3} }}{}\n",
+            serial_ingest / secs,
+            if i + 1 < ingest.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"query\": [\n");
+    for (i, (threads, p50, p99, mean)) in query.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"threads\": {threads}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"mean_ms\": {mean:.3}, \"speedup_vs_serial_p50\": {:.3} }}{}\n",
+            serial_p50 / p50,
+            if i + 1 < query.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -23,6 +23,12 @@
 //!   `--eps <f>`       querying epsilon override for `query`
 //!   `--window <min> <max>`  sliding-window size range (default 8 32)
 //!   `--space <rgb|ycc|yiq|hsv|gray>`  color space (default ycc)
+//!   `--threads <n>`   worker threads for extraction/ingest/query
+//!                     (0 = auto: `WALRUS_THREADS`, then CPU count)
+//!
+//! `index` with several images extracts their regions **in parallel** and
+//! indexes them in one batch; results are identical to one-at-a-time
+//! indexing.
 //!
 //! Argument parsing is hand-rolled: the workspace policy is zero
 //! dependencies beyond the approved list, and the grammar is tiny.
@@ -52,11 +58,12 @@ struct Options {
     omega_min: usize,
     omega_max: usize,
     space: ColorSpace,
+    threads: usize,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Self { k: 10, eps: None, omega_min: 8, omega_max: 32, space: ColorSpace::Ycc }
+        Self { k: 10, eps: None, omega_min: 8, omega_max: 32, space: ColorSpace::Ycc, threads: 0 }
     }
 }
 
@@ -95,6 +102,10 @@ fn parse_options(args: &[String]) -> Result<(Options, &[String]), String> {
             }
             "--eps" => {
                 opts.eps = Some(parse_at(args, i + 1, "--eps")?);
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = parse_at(args, i + 1, "--threads")?;
                 i += 2;
             }
             "--window" => {
@@ -136,6 +147,7 @@ fn params_for(opts: &Options) -> Result<WalrusParams, String> {
             stride: 4,
         },
         color_space: opts.space,
+        threads: opts.threads,
         ..WalrusParams::paper_defaults()
     };
     params.validate().map_err(|e| e.to_string())?;
@@ -162,6 +174,16 @@ impl DbHandle {
         match self {
             DbHandle::File { db, .. } => db.insert_image(name, image),
             DbHandle::Durable(store) => store.insert_image(name, image),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// Batch insert with parallel region extraction (see
+    /// [`ImageDatabase::insert_images_batch`]).
+    fn insert_images_batch(&mut self, items: &[(&str, &Image)]) -> Result<Vec<usize>, String> {
+        match self {
+            DbHandle::File { db, .. } => db.insert_images_batch(items),
+            DbHandle::Durable(store) => store.insert_images_batch(items),
         }
         .map_err(|e| e.to_string())
     }
@@ -243,10 +265,14 @@ fn cmd_index(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err("no images to index".into());
     }
     let mut handle = load_or_create_handle(db_path, opts)?;
-    for path in images {
-        let image = load_image(path)?;
-        let id = handle.insert_image(path, &image).map_err(|e| format!("{path}: {e}"))?;
-        let regions = handle.db().image(id).map(|i| i.regions.len()).unwrap_or(0);
+    let loaded: Vec<(&str, Image)> = images
+        .iter()
+        .map(|path| load_image(path).map(|img| (path.as_str(), img)))
+        .collect::<Result<_, _>>()?;
+    let items: Vec<(&str, &Image)> = loaded.iter().map(|(p, i)| (*p, i)).collect();
+    let ids = handle.insert_images_batch(&items).map_err(|e| format!("batch index: {e}"))?;
+    for (path, id) in images.iter().zip(&ids) {
+        let regions = handle.db().image(*id).map(|i| i.regions.len()).unwrap_or(0);
         println!("indexed {path} as id {id} ({regions} regions)");
     }
     handle.finish()?;
@@ -465,7 +491,8 @@ fn print_usage() {
            -k <n>                 results to print (default 10)\n\
            --eps <f>              querying epsilon override\n\
            --window <min> <max>   window size range (default 8 32)\n\
-           --space <name>         rgb|ycc|yiq|hsv|gray (default ycc)"
+           --space <name>         rgb|ycc|yiq|hsv|gray (default ycc)\n\
+           --threads <n>          worker threads (0 = auto via WALRUS_THREADS/CPUs)"
     );
 }
 

@@ -13,7 +13,7 @@
 //! Table 1: the average number of regions retrieved per query region, and
 //! the number of distinct images containing at least one matching region.
 
-use crate::extract::extract_regions;
+use crate::extract::{extract_regions, extract_regions_with_threads};
 use crate::matching::{self, MatchPair};
 use crate::params::{SignatureKind, WalrusParams};
 use crate::region::Region;
@@ -21,7 +21,8 @@ use crate::{Result, WalrusError};
 use std::collections::HashMap;
 use std::sync::Arc;
 use walrus_imagery::Image;
-use walrus_rstar::RStarTree;
+use walrus_parallel::{parallel_map, resolve_threads, try_parallel_map};
+use walrus_rstar::{bulk_load, RStarParams, RStarTree};
 
 /// A region's address in the database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +106,14 @@ impl ImageDatabase {
         &self.params
     }
 
+    /// Overrides the worker-thread knob ([`WalrusParams::threads`]) on an
+    /// existing database. The knob is not persisted (snapshots reload as
+    /// `0` = auto), and changing it never changes results — only how many
+    /// workers compute them.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.params.threads = threads;
+    }
+
     /// Number of indexed images.
     pub fn len(&self) -> usize {
         self.images.iter().filter(|i| i.is_some()).count()
@@ -142,6 +151,86 @@ impl ImageDatabase {
     pub fn insert_image(&mut self, name: &str, image: &Image) -> Result<usize> {
         let regions = extract_regions(image, &self.params)?;
         self.insert_regions(name, image.width(), image.height(), regions)
+    }
+
+    /// Batch ingest: extracts regions for every image **in parallel**
+    /// (`params.threads` workers; see [`WalrusParams::threads`]), then
+    /// indexes them in order. Returns the new ids, which are identical to
+    /// what a serial [`ImageDatabase::insert_image`] loop would assign, as
+    /// are all subsequent query results. Extraction is all-or-nothing: if
+    /// any image fails, nothing is inserted and the error reported is the
+    /// first failing image's (lowest index).
+    pub fn insert_images_batch(&mut self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        let threads = resolve_threads(self.params.threads);
+        let params = self.params;
+        // One worker per image; per-image extraction runs serial so worker
+        // counts do not multiply.
+        let extracted: Vec<Vec<Region>> = try_parallel_map(threads, items, |_, (_, image)| {
+            extract_regions_with_threads(image, &params, 1)
+        })?;
+        let batch: Vec<(String, usize, usize, Vec<Region>)> = items
+            .iter()
+            .zip(extracted)
+            .map(|((name, image), regions)| {
+                (name.to_string(), image.width(), image.height(), regions)
+            })
+            .collect();
+        self.insert_regions_batch(batch)
+    }
+
+    /// Indexes many pre-extracted images at once. When the index is empty
+    /// (initial load), the R\*-tree is built with the `O(n log n)` STR
+    /// bulk-load path instead of one-at-a-time insertions; otherwise
+    /// entries are inserted incrementally. Validation is all-or-nothing:
+    /// a dimension mismatch anywhere inserts nothing.
+    pub fn insert_regions_batch(
+        &mut self,
+        batch: Vec<(String, usize, usize, Vec<Region>)>,
+    ) -> Result<Vec<usize>> {
+        let dims = self.params.signature_dims();
+        for (_, _, _, regions) in &batch {
+            for r in regions {
+                if r.dims() != dims {
+                    return Err(WalrusError::BadParams(format!(
+                        "region has {} dims, database expects {dims}",
+                        r.dims()
+                    )));
+                }
+            }
+        }
+        let first_id = self.images.len();
+        if self.index.is_empty() {
+            // Fresh index: pack every region of the batch in one STR build.
+            let mut entries = Vec::new();
+            for (offset, (_, _, _, regions)) in batch.iter().enumerate() {
+                let id = first_id + offset;
+                for (ri, region) in regions.iter().enumerate() {
+                    entries.push((
+                        region.index_rect(self.params.signature_kind),
+                        RegionKey { image: id, region: ri },
+                    ));
+                }
+            }
+            self.index = bulk_load(dims, RStarParams::default(), entries)?;
+        } else {
+            for (offset, (_, _, _, regions)) in batch.iter().enumerate() {
+                let id = first_id + offset;
+                for (ri, region) in regions.iter().enumerate() {
+                    self.index.insert(
+                        region.index_rect(self.params.signature_kind),
+                        RegionKey { image: id, region: ri },
+                    )?;
+                }
+            }
+        }
+        let mut ids = Vec::with_capacity(batch.len());
+        for (name, width, height, regions) in batch {
+            let id = self.images.len();
+            self.region_count += regions.len();
+            self.images.push(Some(IndexedImage { id, name, width, height, regions }));
+            ids.push(id);
+        }
+        Ok(ids)
     }
 
     /// Indexes pre-extracted regions (useful when the caller already ran
@@ -240,30 +329,45 @@ impl ImageDatabase {
         query_area: usize,
         min_similarity: f64,
     ) -> Result<QueryOutcome> {
-        // Step 1 (paper §5.4): probe the index per query region.
+        let threads = resolve_threads(params.threads);
+
+        // Step 1 (paper §5.4): probe the index, one independent probe per
+        // query region, fanned out across the pool. Each probe's hit list
+        // preserves the tree's deterministic traversal order.
+        let probes: Vec<Vec<RegionKey>> =
+            try_parallel_map(threads, q_regions, |_, qr| -> Result<Vec<RegionKey>> {
+                let hits = match params.signature_kind {
+                    SignatureKind::Centroid => {
+                        self.index.search_within(&qr.centroid, params.query_epsilon)?
+                    }
+                    SignatureKind::BoundingBox => {
+                        let probe = qr
+                            .index_rect(SignatureKind::BoundingBox)
+                            .extended(params.query_epsilon);
+                        self.index.search_intersecting(&probe)?
+                    }
+                };
+                Ok(hits.into_iter().map(|(_, key)| *key).collect())
+            })?;
+
+        // Deterministic merge: group hits by target image in (query region,
+        // hit) order — exactly the order the serial loop produced.
         let mut by_image: HashMap<usize, Vec<MatchPair>> = HashMap::new();
         let mut total_hits = 0usize;
-        for (qi, qr) in q_regions.iter().enumerate() {
-            let hits = match params.signature_kind {
-                SignatureKind::Centroid => {
-                    self.index.search_within(&qr.centroid, params.query_epsilon)?
-                }
-                SignatureKind::BoundingBox => {
-                    let probe = qr
-                        .index_rect(SignatureKind::BoundingBox)
-                        .extended(params.query_epsilon);
-                    self.index.search_intersecting(&probe)?
-                }
-            };
-            total_hits += hits.len();
-            for (_, key) in hits {
+        for (qi, keys) in probes.iter().enumerate() {
+            total_hits += keys.len();
+            for key in keys {
                 by_image.entry(key.image).or_default().push(MatchPair { q: qi, t: key.region });
             }
         }
 
-        // Step 2 (paper §5.5): score each candidate image.
-        let mut matches = Vec::new();
-        for (image_id, pairs) in by_image.iter() {
+        // Step 2 (paper §5.5): score each candidate image, fanned out
+        // across the pool in ascending-id order so results are reproducible
+        // run to run (the serial path's HashMap order was not).
+        let mut candidates: Vec<(usize, Vec<MatchPair>)> = by_image.into_iter().collect();
+        candidates.sort_unstable_by_key(|(id, _)| *id);
+        let distinct_images = candidates.len();
+        let scored = parallel_map(threads, &candidates, |_, (image_id, pairs)| {
             let img = self.images[*image_id].as_ref().expect("index points at live image");
             let score = matching::score(
                 params,
@@ -273,12 +377,17 @@ impl ImageDatabase {
                 query_area,
                 img.width * img.height,
             );
-            if score.similarity >= min_similarity {
+            (*image_id, score.similarity, pairs.len())
+        });
+        let mut matches = Vec::new();
+        for (image_id, similarity, matched_pairs) in scored {
+            if similarity >= min_similarity {
+                let img = self.images[image_id].as_ref().expect("index points at live image");
                 matches.push(RankedImage {
-                    image_id: *image_id,
+                    image_id,
                     name: img.name.clone(),
-                    similarity: score.similarity,
-                    matched_pairs: pairs.len(),
+                    similarity,
+                    matched_pairs,
                 });
             }
         }
@@ -298,7 +407,7 @@ impl ImageDatabase {
             } else {
                 total_hits as f64 / query_regions as f64
             },
-            distinct_images: by_image.len(),
+            distinct_images,
         };
         Ok(QueryOutcome { matches, stats })
     }
@@ -318,9 +427,40 @@ impl SharedDatabase {
         Self { inner: Arc::new(parking_lot::RwLock::new(db)) }
     }
 
-    /// Inserts an image (exclusive lock).
+    /// A cheap copy of the engine configuration (shared lock held only for
+    /// the copy). Parameters are fixed at construction, so a snapshot
+    /// taken before a lock-free extraction cannot go stale.
+    pub fn params(&self) -> WalrusParams {
+        *self.inner.read().params()
+    }
+
+    /// Inserts an image. Region extraction — the expensive part — runs
+    /// **outside** any lock; the exclusive lock is held only for the index
+    /// insertion, so concurrent queries are not starved by ingest.
     pub fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
-        self.inner.write().insert_image(name, image)
+        let params = self.params();
+        let regions = extract_regions(image, &params)?;
+        self.inner.write().insert_regions(name, image.width(), image.height(), regions)
+    }
+
+    /// Batch ingest: extracts regions for all images in parallel with **no
+    /// lock held**, then indexes everything under one short exclusive
+    /// lock (the R\*-tree bulk-load path when the index is empty). Ids and
+    /// query results are identical to a serial insert loop.
+    pub fn insert_images_batch(&self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        let params = self.params();
+        let threads = resolve_threads(params.threads);
+        let extracted: Vec<Vec<Region>> = try_parallel_map(threads, items, |_, (_, image)| {
+            extract_regions_with_threads(image, &params, 1)
+        })?;
+        let batch: Vec<(String, usize, usize, Vec<Region>)> = items
+            .iter()
+            .zip(extracted)
+            .map(|((name, image), regions)| {
+                (name.to_string(), image.width(), image.height(), regions)
+            })
+            .collect();
+        self.inner.write().insert_regions_batch(batch)
     }
 
     /// Removes an image (exclusive lock).
@@ -328,14 +468,23 @@ impl SharedDatabase {
         self.inner.write().remove_image(id)
     }
 
-    /// Runs a query (shared lock; queries proceed concurrently).
+    /// Runs a query. Query-region extraction runs **outside** the lock;
+    /// the shared lock covers only the index probes and scoring, so writers
+    /// wait for milliseconds, not for a full wavelet sweep.
     pub fn query(&self, query: &Image) -> Result<QueryOutcome> {
-        self.inner.read().query(query)
+        let params = self.params();
+        let regions = extract_regions(query, &params)?;
+        self.inner.read().query_regions(&regions, query.area(), params.tau)
     }
 
-    /// The `k` most similar images (shared lock).
+    /// The `k` most similar images (extraction unlocked, probe/score under
+    /// the shared lock).
     pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
-        self.inner.read().top_k(query, k)
+        let params = self.params();
+        let regions = extract_regions(query, &params)?;
+        let mut outcome = self.inner.read().query_regions(&regions, query.area(), 0.0)?;
+        outcome.matches.truncate(k);
+        Ok(outcome.matches)
     }
 
     /// Number of indexed images (shared lock).
@@ -532,6 +681,112 @@ mod tests {
             assert_eq!(top[0].name, "a");
         }
         assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn batch_insert_matches_serial_inserts() {
+        let images: Vec<(String, Image)> = (0..5)
+            .map(|i| (format!("f{i}"), flower_at(0.3 + 0.08 * i as f32, 0.5, 0.45)))
+            .collect();
+        let items: Vec<(&str, &Image)> =
+            images.iter().map(|(n, i)| (n.as_str(), i)).collect();
+
+        let mut serial = ImageDatabase::new(params()).unwrap();
+        for (name, img) in &images {
+            serial.insert_image(name, img).unwrap();
+        }
+        for threads in [1usize, 4] {
+            let mut batch = ImageDatabase::new(WalrusParams { threads, ..params() }).unwrap();
+            let ids = batch.insert_images_batch(&items).unwrap();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+            assert_eq!(batch.len(), serial.len());
+            assert_eq!(batch.num_regions(), serial.num_regions());
+            let q = flower_at(0.5, 0.5, 0.45);
+            let a = serial.top_k(&q, 5).unwrap();
+            let b = batch.top_k(&q, 5).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.image_id, y.image_id);
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.similarity.to_bits(), y.similarity.to_bits(), "threads={threads}");
+                assert_eq!(x.matched_pairs, y.matched_pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_extends_nonempty_index() {
+        // Second batch exercises the incremental path (index non-empty).
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("first", &blue_image()).unwrap();
+        let a = flower_at(0.5, 0.5, 0.5);
+        let b = flower_at(0.3, 0.35, 0.4);
+        let ids = db.insert_images_batch(&[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(db.len(), 3);
+        let top = db.top_k(&a, 1).unwrap();
+        assert_eq!(top[0].name, "a");
+        // Removal still works on batch-inserted images.
+        db.remove_image(1).unwrap();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn batch_insert_is_atomic_on_extraction_failure() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        let good = flower_at(0.5, 0.5, 0.5);
+        let tiny = Scene::new(Texture::Solid(Rgb(0.5, 0.5, 0.5))).render(4, 4).unwrap();
+        let err = db.insert_images_batch(&[("good", &good), ("tiny", &tiny)]);
+        assert!(err.is_err());
+        assert_eq!(db.len(), 0, "no partial batch visible");
+        assert_eq!(db.num_regions(), 0);
+        assert!(db.index.is_empty());
+    }
+
+    #[test]
+    fn shared_batch_insert_and_concurrent_queries() {
+        let shared = SharedDatabase::new(ImageDatabase::new(params()).unwrap());
+        let a = flower_at(0.5, 0.5, 0.5);
+        let b = blue_image();
+        let ids = shared.insert_images_batch(&[("a", &a), ("b", &b)]).unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = shared.clone();
+                let q = a.clone();
+                std::thread::spawn(move || s.top_k(&q, 1).unwrap())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap()[0].name, "a");
+        }
+    }
+
+    #[test]
+    fn parallel_query_identical_to_serial() {
+        let build = |threads: usize| {
+            let mut db = ImageDatabase::new(WalrusParams { threads, ..params() }).unwrap();
+            for i in 0..6 {
+                db.insert_image(&format!("f{i}"), &flower_at(0.3 + 0.07 * i as f32, 0.5, 0.45))
+                    .unwrap();
+            }
+            db.insert_image("blue", &blue_image()).unwrap();
+            db
+        };
+        let serial = build(1);
+        let q = flower_at(0.5, 0.5, 0.45);
+        let base = serial.query(&q).unwrap();
+        for threads in [2usize, 8] {
+            let par_db = build(threads);
+            let out = par_db.query(&q).unwrap();
+            assert_eq!(out.stats, base.stats, "threads={threads}");
+            assert_eq!(out.matches.len(), base.matches.len());
+            for (x, y) in out.matches.iter().zip(&base.matches) {
+                assert_eq!(x.image_id, y.image_id);
+                assert_eq!(x.similarity.to_bits(), y.similarity.to_bits(), "threads={threads}");
+                assert_eq!(x.matched_pairs, y.matched_pairs);
+            }
+        }
     }
 
     #[test]

@@ -18,14 +18,28 @@ use walrus_wavelet::sliding;
 /// The number of regions "typically increases with image complexity"
 /// (paper §5.3) and decreases with `ε_c` (§6.6) — both verified in tests.
 pub fn extract_regions(image: &Image, params: &WalrusParams) -> Result<Vec<Region>> {
+    extract_regions_with_threads(image, params, params.threads)
+}
+
+/// [`extract_regions`] with an explicit worker count for the sliding-window
+/// sweep, overriding `params.threads`. Batch ingest parallelizes *across*
+/// images and calls this with `threads = 1` per image so worker counts do
+/// not multiply; single-image callers use [`extract_regions`], which honors
+/// the params knob. Results are byte-identical for every thread count.
+pub fn extract_regions_with_threads(
+    image: &Image,
+    params: &WalrusParams,
+    threads: usize,
+) -> Result<Vec<Region>> {
     params.validate()?;
     let converted = image.to_space(params.color_space)?;
     let planes: Vec<&[f32]> = converted.channels().iter().map(|c| c.as_slice()).collect();
-    let signatures = sliding::compute_signatures(
+    let signatures = sliding::compute_signatures_with_threads(
         &planes,
         converted.width(),
         converted.height(),
         &params.sliding,
+        threads,
     )?;
     if signatures.is_empty() {
         return Err(WalrusError::Wavelet(walrus_wavelet::WaveletError::ImageTooSmall {

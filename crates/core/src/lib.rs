@@ -79,7 +79,7 @@ pub mod viz;
 pub mod wal;
 
 pub use database::{ImageDatabase, QueryOutcome, QueryStats, RankedImage};
-pub use extract::extract_regions;
+pub use extract::{extract_regions, extract_regions_with_threads};
 pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
 pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;

@@ -75,6 +75,13 @@ pub struct WalrusParams {
     /// Pair-count ceiling beyond which [`MatchingKind::Exact`] degrades to
     /// greedy (the exact algorithm is exponential).
     pub exact_pair_limit: usize,
+    /// Worker threads for parallel extraction, batch ingest and query
+    /// processing. `0` = auto (the `WALRUS_THREADS` environment variable,
+    /// then available hardware parallelism); `1` forces fully serial
+    /// execution. Results are byte-identical for every value. This is a
+    /// runtime knob: snapshots do not persist it, and loaded databases
+    /// come back with `0` (auto).
+    pub threads: usize,
 }
 
 impl WalrusParams {
@@ -92,6 +99,7 @@ impl WalrusParams {
             bitmap_grid: 16,
             max_regions_per_image: None,
             exact_pair_limit: 16,
+            threads: 0,
         }
     }
 

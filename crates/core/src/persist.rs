@@ -457,6 +457,9 @@ fn read_params(r: &mut Reader<'_>) -> Result<WalrusParams> {
         bitmap_grid,
         max_regions_per_image: max_regions,
         exact_pair_limit,
+        // Runtime concurrency knob; deliberately not part of the snapshot
+        // format — loaded stores resolve it from the environment.
+        threads: 0,
     })
 }
 

@@ -225,6 +225,25 @@ impl DurableDatabase {
         self.insert_regions(name, image.width(), image.height(), regions)
     }
 
+    /// Durable batch ingest: extracts regions for all images in parallel
+    /// (`params.threads` workers), then logs and applies each insert in
+    /// order. Extraction is all-or-nothing; logging is per-image, so a
+    /// failure mid-batch commits the prefix (the returned ids) like a
+    /// serial insert loop would.
+    pub fn insert_images_batch(&mut self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        let params = *self.db.params();
+        let threads = walrus_parallel::resolve_threads(params.threads);
+        let extracted: Vec<Vec<Region>> =
+            walrus_parallel::try_parallel_map(threads, items, |_, (_, image)| {
+                crate::extract::extract_regions_with_threads(image, &params, 1)
+            })?;
+        let mut ids = Vec::with_capacity(items.len());
+        for ((name, image), regions) in items.iter().zip(extracted) {
+            ids.push(self.insert_regions(name, image.width(), image.height(), regions)?);
+        }
+        Ok(ids)
+    }
+
     /// Durably inserts pre-extracted regions (see
     /// [`ImageDatabase::insert_regions`]).
     pub fn insert_regions(
@@ -368,9 +387,31 @@ impl SharedDurableDatabase {
         Self { inner: Arc::new(parking_lot::RwLock::new(store)) }
     }
 
-    /// Durably inserts an image (exclusive lock).
+    /// Durably inserts an image. Region extraction runs **outside** the
+    /// exclusive lock (parameters are immutable after open, so the
+    /// unlocked snapshot cannot go stale); the lock covers only the WAL
+    /// append and index insertion.
     pub fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
-        self.inner.write().insert_image(name, image)
+        let params = *self.inner.read().db().params();
+        let regions = crate::extract::extract_regions(image, &params)?;
+        self.inner.write().insert_regions(name, image.width(), image.height(), regions)
+    }
+
+    /// Durable batch ingest: parallel lock-free extraction, then one
+    /// exclusive lock for the WAL appends and index insertions.
+    pub fn insert_images_batch(&self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        let params = *self.inner.read().db().params();
+        let threads = walrus_parallel::resolve_threads(params.threads);
+        let extracted: Vec<Vec<Region>> =
+            walrus_parallel::try_parallel_map(threads, items, |_, (_, image)| {
+                crate::extract::extract_regions_with_threads(image, &params, 1)
+            })?;
+        let mut store = self.inner.write();
+        let mut ids = Vec::with_capacity(items.len());
+        for ((name, image), regions) in items.iter().zip(extracted) {
+            ids.push(store.insert_regions(name, image.width(), image.height(), regions)?);
+        }
+        Ok(ids)
     }
 
     /// Durably removes an image (exclusive lock).

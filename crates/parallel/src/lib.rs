@@ -1,0 +1,275 @@
+//! # walrus-parallel
+//!
+//! Dependency-free data-parallel primitives for the WALRUS engine, built on
+//! [`std::thread::scope`]. The environment is offline (no rayon), so this
+//! crate provides the minimal substrate the hot paths need:
+//!
+//! * [`parallel_map`] — map a function over a slice, chunked and dynamically
+//!   scheduled, returning results **in input order** (deterministic
+//!   regardless of thread count or scheduling).
+//! * [`try_parallel_map`] — same, for fallible functions; the error
+//!   reported is the one at the **lowest input index**, exactly what a
+//!   serial loop would have returned first.
+//! * [`parallel_for`] — scatter a vector of owned tasks (typically
+//!   `(index, &mut [T])` slices carved out of an output buffer with
+//!   `chunks_mut`) across workers; order of execution is unspecified, but
+//!   each task owns disjoint data so results are deterministic.
+//! * [`resolve_threads`] — the engine-wide thread-count policy: explicit
+//!   request > `WALRUS_THREADS` env var > [`std::thread::available_parallelism`].
+//!
+//! ## Guarantees
+//!
+//! * **Serial fallback:** every primitive runs inline on the calling thread
+//!   when `threads <= 1` or the input is trivially small — no threads are
+//!   spawned, so single-threaded callers pay only a branch.
+//! * **Determinism:** outputs are ordered by input index; floating-point
+//!   work is partitioned, never re-associated, so parallel results are
+//!   byte-identical to serial ones.
+//! * **Panic propagation:** a panicking worker aborts the scope and the
+//!   panic resurfaces on the calling thread (the `scope` join contract);
+//!   no result is silently dropped.
+//!
+//! Scoped threads borrow from the caller's stack, so there is no `'static`
+//! bound anywhere — the hot paths pass borrowed images, parameter structs
+//! and index references straight through.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads; guards against absurd `WALRUS_THREADS`
+/// values spawning thousands of OS threads.
+pub const MAX_THREADS: usize = 256;
+
+/// Resolves the effective worker count for a requested value, applying the
+/// engine-wide policy:
+///
+/// 1. `requested > 0` wins (the `WalrusParams::threads` knob);
+/// 2. otherwise the `WALRUS_THREADS` environment variable, if set to a
+///    positive integer (read once per process);
+/// 3. otherwise [`std::thread::available_parallelism`] (1 if unknown).
+///
+/// The result is clamped to `[1, MAX_THREADS]`.
+pub fn resolve_threads(requested: usize) -> usize {
+    static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let resolved = if requested > 0 {
+        requested
+    } else if let Some(n) = *ENV.get_or_init(|| {
+        std::env::var("WALRUS_THREADS").ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
+    }) {
+        n
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    resolved.clamp(1, MAX_THREADS)
+}
+
+/// Chunk size that gives each worker several chunks to steal (dynamic load
+/// balancing for irregular per-item cost) without paying scheduling
+/// overhead per item.
+fn chunk_size(len: usize, threads: usize) -> usize {
+    // ~4 chunks per worker, at least 1 item per chunk.
+    len.div_ceil(threads.saturating_mul(4).max(1)).max(1)
+}
+
+/// Maps `f` over `items` using up to `threads` workers, returning outputs
+/// in input order. `f` receives `(index, &item)`. Runs inline when
+/// `threads <= 1` or there is at most one item.
+pub fn parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = chunk_size(items.len(), threads);
+    let n_chunks = items.len().div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let out: Vec<U> =
+                    items[start..end].iter().enumerate().map(|(i, t)| f(start + i, t)).collect();
+                lock_ignore_poison(&done).push((start, out));
+            });
+        }
+    });
+    let mut parts = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Fallible [`parallel_map`]: maps `f` over `items` and collects the `Ok`
+/// values in input order, or returns the error with the **lowest input
+/// index** — the same error a serial left-to-right loop would hit first
+/// (later items may still have been evaluated; their results are dropped).
+pub fn try_parallel_map<T, U, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let results = parallel_map(threads, items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Runs `f` once per task, distributing owned tasks across up to `threads`
+/// workers. Tasks typically carry disjoint `&mut` slices carved from an
+/// output buffer, which is what makes mutation from many workers safe.
+/// Execution order is unspecified. Runs inline when `threads <= 1` or there
+/// is at most one task.
+pub fn parallel_for<T, F>(threads: usize, tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(tasks.len().max(1));
+    if threads <= 1 || tasks.len() <= 1 {
+        for t in tasks {
+            f(t);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                // Pop from the back: O(1) and contention-free enough for
+                // the coarse task granularity the engine uses.
+                let task = lock_ignore_poison(&queue).pop();
+                match task {
+                    Some(t) => f(t),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// A poisoned mutex here only means another worker panicked; that panic is
+/// about to propagate through the scope join, so the data is never observed.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_explicit_request_wins() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(100_000), MAX_THREADS);
+    }
+
+    #[test]
+    fn resolve_auto_is_at_least_one() {
+        let n = resolve_threads(0);
+        assert!((1..=MAX_THREADS).contains(&n));
+    }
+
+    #[test]
+    fn map_preserves_order_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let serial = parallel_map(1, &items, |i, &x| x * 2 + i);
+        for threads in [2, 3, 8, 64] {
+            let par = parallel_map(threads, &items, |i, &x| x * 2 + i);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_sizes() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+        // More threads than items.
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(16, &items, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..500).collect();
+        for threads in [1, 4] {
+            let err = try_parallel_map(threads, &items, |_, &x| {
+                if x == 3 || x == 400 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 3, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_ok_collects_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out: Result<Vec<usize>, ()> = try_parallel_map(8, &items, |_, &x| Ok(x * x));
+        assert_eq!(out.unwrap(), items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_scatters_disjoint_slices() {
+        let mut buf = vec![0u64; 1024];
+        for threads in [1, 2, 8] {
+            buf.fill(0);
+            let tasks: Vec<(usize, &mut [u64])> = buf.chunks_mut(32).enumerate().collect();
+            parallel_for(threads, tasks, |(chunk, slice)| {
+                for (i, v) in slice.iter_mut().enumerate() {
+                    *v = (chunk * 32 + i) as u64;
+                }
+            });
+            for (i, &v) in buf.iter().enumerate() {
+                assert_eq!(v, i as u64, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(4, &items, |_, &x| {
+                if x == 17 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err(), "panic must not be swallowed");
+    }
+
+    #[test]
+    fn map_runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..777).collect();
+        let out = parallel_map(8, &items, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 777);
+        assert_eq!(counter.load(Ordering::Relaxed), 777);
+    }
+}

@@ -79,30 +79,37 @@ impl WindowGrid {
     /// Builds the next level (`2ω`) from this one. Returns `None` when a
     /// `2ω` window no longer fits in the image.
     pub fn merge_next(&self, width: usize, height: usize, params: &SlidingParams) -> Option<Self> {
-        let omega = self.omega * 2;
-        if omega > width || omega > height {
-            return None;
-        }
-        let dist = params.dist(omega);
-        let cols = (width - omega) / dist + 1;
-        let rows = (height - omega) / dist + 1;
-        let m = omega.min(params.s.max(2));
+        let mut grids = merge_level(std::slice::from_ref(self), width, height, params, 1)?;
+        Some(grids.remove(0))
+    }
+
+    /// Fills one output row of the next-level merge: computes the truncated
+    /// transforms of all level-`2ω` windows rooted at `y = row * dist` from
+    /// this (level-`ω`) grid. `out_row` is the `cols * m * m` row slice of
+    /// the next level's data buffer. Rows are independent, which is what
+    /// the parallel sweep exploits.
+    fn fill_merge_row(
+        &self,
+        row: usize,
+        out_row: &mut [f32],
+        omega: usize,
+        dist: usize,
+        cols: usize,
+        m: usize,
+    ) {
         let half = omega / 2;
-        let mut data = vec![0.0f32; cols * rows * m * m];
         let out_sz = m * m;
-        for row in 0..rows {
-            let y = row * dist;
-            for col in 0..cols {
-                let x = col * dist;
-                let w1 = self.cell_at(x, y);
-                let w2 = self.cell_at(x + half, y);
-                let w3 = self.cell_at(x, y + half);
-                let w4 = self.cell_at(x + half, y + half);
-                let idx = (row * cols + col) * out_sz;
-                compute_single_window(w1, w2, w3, w4, self.m, &mut data[idx..idx + out_sz], m);
-            }
+        debug_assert_eq!(out_row.len(), cols * out_sz);
+        let y = row * dist;
+        for col in 0..cols {
+            let x = col * dist;
+            let w1 = self.cell_at(x, y);
+            let w2 = self.cell_at(x + half, y);
+            let w3 = self.cell_at(x, y + half);
+            let w4 = self.cell_at(x + half, y + half);
+            let idx = col * out_sz;
+            compute_single_window(w1, w2, w3, w4, self.m, &mut out_row[idx..idx + out_sz], m);
         }
-        Some(Self { omega, dist, cols, rows, m, data })
     }
 
     /// Extracts the `s × s` signature corner of the window at `(col, row)`,
@@ -113,6 +120,49 @@ impl WindowGrid {
         normalize_signature_matrix(&mut sig, s);
         sig
     }
+}
+
+/// Advances all channel grids one level (`ω → 2ω`), distributing the
+/// independent `(channel, output row)` units across up to `threads`
+/// workers. Returns `None` when a `2ω` window no longer fits. Every cell is
+/// computed by the same code on the same inputs regardless of the thread
+/// count, so the result is byte-identical to the serial merge.
+fn merge_level(
+    grids: &[WindowGrid],
+    width: usize,
+    height: usize,
+    params: &SlidingParams,
+    threads: usize,
+) -> Option<Vec<WindowGrid>> {
+    let prev = grids.first()?;
+    let omega = prev.omega * 2;
+    if omega > width || omega > height {
+        return None;
+    }
+    let dist = params.dist(omega);
+    let cols = (width - omega) / dist + 1;
+    let rows = (height - omega) / dist + 1;
+    let m = omega.min(params.s.max(2));
+    let row_sz = cols * m * m;
+    let mut datas: Vec<Vec<f32>> = (0..grids.len()).map(|_| vec![0.0f32; rows * row_sz]).collect();
+    {
+        let tasks: Vec<(usize, usize, &mut [f32])> = datas
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(c, data)| {
+                data.chunks_mut(row_sz).enumerate().map(move |(row, slice)| (c, row, slice))
+            })
+            .collect();
+        walrus_parallel::parallel_for(threads, tasks, |(c, row, slice)| {
+            grids[c].fill_merge_row(row, slice, omega, dist, cols, m);
+        });
+    }
+    Some(
+        datas
+            .into_iter()
+            .map(|data| WindowGrid { omega, dist, cols, rows, m, data })
+            .collect(),
+    )
 }
 
 /// The paper's `computeSingleWindow` (Figure 4): computes the truncated
@@ -213,6 +263,23 @@ pub fn compute_signatures(
     height: usize,
     params: &SlidingParams,
 ) -> Result<Vec<WindowSignature>> {
+    compute_signatures_with_threads(planes, width, height, params, 0)
+}
+
+/// [`compute_signatures`] with an explicit worker count. `threads = 0`
+/// resolves via [`walrus_parallel::resolve_threads`] (`WALRUS_THREADS`,
+/// then available parallelism); `threads <= 1` runs fully serial. The sweep
+/// parallelizes the two independent axes of each level — color channels and
+/// window rows — and the per-row signature assembly; the output is
+/// **byte-identical** for every thread count (work is partitioned, no
+/// floating-point re-association).
+pub fn compute_signatures_with_threads(
+    planes: &[&[f32]],
+    width: usize,
+    height: usize,
+    params: &SlidingParams,
+    threads: usize,
+) -> Result<Vec<WindowSignature>> {
     params.validate()?;
     if planes.is_empty() {
         return Err(WaveletError::BadParams("no channel planes supplied".into()));
@@ -225,30 +292,35 @@ pub fn compute_signatures(
     if width < params.omega_min || height < params.omega_min {
         return Err(WaveletError::ImageTooSmall { width, height, omega_min: params.omega_min });
     }
+    let threads = walrus_parallel::resolve_threads(threads);
 
     let mut grids: Vec<WindowGrid> =
         planes.iter().map(|p| WindowGrid::level1(p, width, height)).collect();
     let mut out = Vec::with_capacity(params.total_windows(width, height));
     let mut omega = 2usize;
     while omega <= params.omega_max {
-        let mut next = Vec::with_capacity(grids.len());
-        for g in &grids {
-            match g.merge_next(width, height, params) {
-                Some(n) => next.push(n),
-                None => return Ok(out),
-            }
+        match merge_level(&grids, width, height, params, threads) {
+            Some(next) => grids = next,
+            None => return Ok(out),
         }
-        grids = next;
         if omega >= params.omega_min {
             let (cols, rows, dist) = (grids[0].cols, grids[0].rows, grids[0].dist);
-            for row in 0..rows {
-                for col in 0..cols {
-                    let mut coeffs = Vec::with_capacity(params.signature_dims(planes.len()));
-                    for g in &grids {
-                        coeffs.extend_from_slice(&g.signature(col, row, params.s));
-                    }
-                    out.push(WindowSignature { x: col * dist, y: row * dist, omega, coeffs });
-                }
+            let row_ids: Vec<usize> = (0..rows).collect();
+            let per_row: Vec<Vec<WindowSignature>> =
+                walrus_parallel::parallel_map(threads, &row_ids, |_, &row| {
+                    (0..cols)
+                        .map(|col| {
+                            let mut coeffs =
+                                Vec::with_capacity(params.signature_dims(planes.len()));
+                            for g in &grids {
+                                coeffs.extend_from_slice(&g.signature(col, row, params.s));
+                            }
+                            WindowSignature { x: col * dist, y: row * dist, omega, coeffs }
+                        })
+                        .collect()
+                });
+            for row_sigs in per_row {
+                out.extend(row_sigs);
             }
         }
         omega *= 2;
@@ -366,6 +438,28 @@ mod tests {
         compute_single_window(&quads[0], &quads[1], &quads[2], &quads[3], 4, &mut merged, side);
         for (a, b) in merged.iter().zip(&full) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn threaded_sweep_is_byte_identical_to_serial() {
+        // The determinism guarantee the query/ingest engine relies on:
+        // outputs match bit-for-bit, not just within a tolerance.
+        let a = demo_plane(48, 32, 12);
+        let b = demo_plane(48, 32, 13);
+        let c = demo_plane(48, 32, 14);
+        let planes: Vec<&[f32]> = vec![&a, &b, &c];
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 16, stride: 4 };
+        let serial = compute_signatures_with_threads(&planes, 48, 32, &params, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = compute_signatures_with_threads(&planes, 48, 32, &params, threads).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!((p.x, p.y, p.omega), (s.x, s.y, s.omega));
+                for (cp, cs) in p.coeffs.iter().zip(&s.coeffs) {
+                    assert_eq!(cp.to_bits(), cs.to_bits(), "threads = {threads}");
+                }
+            }
         }
     }
 
