@@ -35,11 +35,13 @@ pub mod tree;
 
 pub use cf::ClusteringFeature;
 pub use global::{agglomerate_by_distance, agglomerate_to_k, GlobalClustering, Linkage};
-pub use precluster::{precluster, Cluster, Preclustering};
+pub use precluster::{precluster, precluster_guarded, Cluster, Preclustering};
 pub use tree::{BirchParams, CfTree};
+pub use walrus_guard::{Guard, Interrupt};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum BirchError {
     /// A point's dimensionality does not match the tree's.
     DimensionMismatch {
@@ -50,6 +52,15 @@ pub enum BirchError {
     },
     /// Invalid parameters (zero capacities, negative threshold, …).
     BadParams(String),
+    /// A guarded clustering run was stopped by cancellation or deadline
+    /// expiry.
+    Interrupted(Interrupt),
+}
+
+impl From<Interrupt> for BirchError {
+    fn from(int: Interrupt) -> Self {
+        BirchError::Interrupted(int)
+    }
 }
 
 impl std::fmt::Display for BirchError {
@@ -59,6 +70,7 @@ impl std::fmt::Display for BirchError {
                 write!(f, "point has {got} dimensions, tree expects {expected}")
             }
             BirchError::BadParams(msg) => write!(f, "bad BIRCH parameters: {msg}"),
+            BirchError::Interrupted(int) => write!(f, "BIRCH pre-clustering interrupted: {int}"),
         }
     }
 }

@@ -9,6 +9,12 @@
 use crate::cf::ClusteringFeature;
 use crate::tree::{BirchParams, CfTree};
 use crate::Result;
+use walrus_guard::Guard;
+
+/// How many points the guarded pre-clustering loops process between guard
+/// polls: frequent enough to stop within a fraction of a millisecond of
+/// cancellation, rare enough to be free for plain requests.
+const GUARD_POLL_STRIDE: usize = 256;
 
 /// One harvested cluster.
 #[derive(Debug, Clone)]
@@ -67,6 +73,20 @@ pub struct Preclustering {
 /// # Ok::<(), walrus_birch::BirchError>(())
 /// ```
 pub fn precluster(points: &[Vec<f32>], epsilon: f64, budget: Option<usize>) -> Result<Preclustering> {
+    precluster_guarded(points, epsilon, budget, &Guard::none())
+}
+
+/// [`precluster`] cooperating with a request [`Guard`]: both linear passes
+/// (CF-tree insertion and nearest-centroid assignment) poll the guard every
+/// [`GUARD_POLL_STRIDE`] points, returning
+/// [`BirchError::Interrupted`](crate::BirchError::Interrupted) when it
+/// trips. With an unarmed guard the result is identical to [`precluster`].
+pub fn precluster_guarded(
+    points: &[Vec<f32>],
+    epsilon: f64,
+    budget: Option<usize>,
+    guard: &Guard,
+) -> Result<Preclustering> {
     if points.is_empty() {
         return Ok(Preclustering { clusters: Vec::new(), assignments: Vec::new(), final_threshold: epsilon });
     }
@@ -77,7 +97,10 @@ pub fn precluster(points: &[Vec<f32>], epsilon: f64, budget: Option<usize>) -> R
         ..BirchParams::default()
     };
     let mut tree = CfTree::new(dims, params)?;
-    for p in points {
+    for (i, p) in points.iter().enumerate() {
+        if i % GUARD_POLL_STRIDE == 0 {
+            guard.poll()?;
+        }
         tree.insert(p)?;
     }
     let entries = tree.leaf_entry_clones();
@@ -87,6 +110,9 @@ pub fn precluster(points: &[Vec<f32>], epsilon: f64, budget: Option<usize>) -> R
     let mut assignments = Vec::with_capacity(points.len());
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
     for (i, p) in points.iter().enumerate() {
+        if i % GUARD_POLL_STRIDE == 0 {
+            guard.poll()?;
+        }
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
         for (c, centroid) in centroids.iter().enumerate() {
@@ -234,6 +260,22 @@ mod tests {
         assert_eq!(r.clusters[0].members, vec![0]);
         assert_eq!(r.clusters[0].centroid(), vec![1.0, 2.0, 3.0]);
         assert_eq!(r.clusters[0].bbox_min, r.clusters[0].bbox_max);
+    }
+
+    #[test]
+    fn guarded_precluster_matches_and_interrupts() {
+        use crate::BirchError;
+        use walrus_guard::{Guard, Interrupt};
+        let mut pts = blob(0.0, 0.0, 30, 0.1);
+        pts.extend(blob(5.0, 5.0, 30, 0.1));
+        let plain = precluster(&pts, 0.3, None).unwrap();
+        let guarded = precluster_guarded(&pts, 0.3, None, &Guard::none()).unwrap();
+        assert_eq!(plain.assignments, guarded.assignments);
+        assert_eq!(plain.clusters.len(), guarded.clusters.len());
+
+        let guard = Guard::none().trip_after(0, Interrupt::Cancelled);
+        let err = precluster_guarded(&pts, 0.3, None, &guard).unwrap_err();
+        assert_eq!(err, BirchError::Interrupted(Interrupt::Cancelled));
     }
 
     #[test]

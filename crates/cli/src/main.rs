@@ -25,6 +25,11 @@
 //!   `--space <rgb|ycc|yiq|hsv|gray>`  color space (default ycc)
 //!   `--threads <n>`   worker threads for extraction/ingest/query
 //!                     (0 = auto: `WALRUS_THREADS`, then CPU count)
+//!   `--timeout-ms <n>`  request deadline; a query that hits it returns the
+//!                     best-so-far partial ranking, an `index` batch aborts
+//!                     without mutating the database
+//!   `--max-pixels <n>`  reject images whose header declares more pixels,
+//!                     before any raster memory is allocated
 //!
 //! `index` with several images extracts their regions **in parallel** and
 //! indexes them in one batch; results are identical to one-at-a-time
@@ -34,10 +39,11 @@
 //! dependencies beyond the approved list, and the grammar is tiny.
 
 use std::process::ExitCode;
+use std::time::Duration;
 use walrus_core::persist;
 use walrus_core::recovery::{DurableDatabase, RecoveryReport};
 use walrus_core::scene_query::SceneRect;
-use walrus_core::{ImageDatabase, WalrusParams};
+use walrus_core::{Guard, ImageDatabase, ResultStatus, WalrusParams};
 use walrus_imagery::{ppm, ColorSpace, Image};
 use walrus_wavelet::SlidingParams;
 
@@ -59,11 +65,39 @@ struct Options {
     omega_max: usize,
     space: ColorSpace,
     threads: usize,
+    timeout_ms: Option<u64>,
+    max_pixels: Option<usize>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Self { k: 10, eps: None, omega_min: 8, omega_max: 32, space: ColorSpace::Ycc, threads: 0 }
+        Self {
+            k: 10,
+            eps: None,
+            omega_min: 8,
+            omega_max: 32,
+            space: ColorSpace::Ycc,
+            threads: 0,
+            timeout_ms: None,
+            max_pixels: None,
+        }
+    }
+}
+
+impl Options {
+    /// The lifecycle guard for one request: a deadline when `--timeout-ms`
+    /// was given, otherwise unarmed.
+    fn guard(&self) -> Guard {
+        match self.timeout_ms {
+            Some(ms) => Guard::with_timeout(Duration::from_millis(ms)),
+            None => Guard::none(),
+        }
+    }
+
+    /// Pixel ceiling for decoding untrusted images (`--max-pixels`,
+    /// defaulting to the engine-wide budget).
+    fn pixel_budget(&self) -> usize {
+        self.max_pixels.unwrap_or(walrus_core::Budgets::default().max_decoded_pixels)
     }
 }
 
@@ -108,6 +142,18 @@ fn parse_options(args: &[String]) -> Result<(Options, &[String]), String> {
                 opts.threads = parse_at(args, i + 1, "--threads")?;
                 i += 2;
             }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(parse_at(args, i + 1, "--timeout-ms")?);
+                i += 2;
+            }
+            "--max-pixels" => {
+                let px: usize = parse_at(args, i + 1, "--max-pixels")?;
+                if px == 0 {
+                    return Err("--max-pixels must be >= 1".into());
+                }
+                opts.max_pixels = Some(px);
+                i += 2;
+            }
             "--window" => {
                 opts.omega_min = parse_at(args, i + 1, "--window min")?;
                 opts.omega_max = parse_at(args, i + 2, "--window max")?;
@@ -139,7 +185,7 @@ fn parse_at<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Resu
 }
 
 fn params_for(opts: &Options) -> Result<WalrusParams, String> {
-    let params = WalrusParams {
+    let mut params = WalrusParams {
         sliding: SlidingParams {
             s: 2,
             omega_min: opts.omega_min,
@@ -150,6 +196,7 @@ fn params_for(opts: &Options) -> Result<WalrusParams, String> {
         threads: opts.threads,
         ..WalrusParams::paper_defaults()
     };
+    params.budgets.max_decoded_pixels = opts.pixel_budget();
     params.validate().map_err(|e| e.to_string())?;
     Ok(params)
 }
@@ -178,12 +225,17 @@ impl DbHandle {
         .map_err(|e| e.to_string())
     }
 
-    /// Batch insert with parallel region extraction (see
-    /// [`ImageDatabase::insert_images_batch`]).
-    fn insert_images_batch(&mut self, items: &[(&str, &Image)]) -> Result<Vec<usize>, String> {
+    /// Batch insert with parallel region extraction, under the request
+    /// guard (see [`ImageDatabase::insert_images_batch_guarded`]). The
+    /// batch is all-or-nothing if the deadline fires.
+    fn insert_images_batch(
+        &mut self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>, String> {
         match self {
-            DbHandle::File { db, .. } => db.insert_images_batch(items),
-            DbHandle::Durable(store) => store.insert_images_batch(items),
+            DbHandle::File { db, .. } => db.insert_images_batch_guarded(items, guard),
+            DbHandle::Durable(store) => store.insert_images_batch_guarded(items, guard),
         }
         .map_err(|e| e.to_string())
     }
@@ -240,8 +292,17 @@ fn load_or_create_handle(path: &str, opts: &Options) -> Result<DbHandle, String>
     }
 }
 
-fn load_image(path: &str) -> Result<Image, String> {
-    ppm::load_netpbm(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn load_image(path: &str, opts: &Options) -> Result<Image, String> {
+    // The pixel ceiling is checked against the *declared* header dimensions,
+    // before any raster allocation, so hostile headers cannot balloon memory.
+    ppm::load_netpbm_limited(path, opts.pixel_budget())
+        .map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn note_if_partial(status: ResultStatus) {
+    if status == ResultStatus::Partial {
+        println!("note: deadline expired mid-query; showing the best-so-far partial ranking");
+    }
 }
 
 fn print_report(report: &RecoveryReport) {
@@ -267,10 +328,12 @@ fn cmd_index(opts: &Options, rest: &[String]) -> Result<(), String> {
     let mut handle = load_or_create_handle(db_path, opts)?;
     let loaded: Vec<(&str, Image)> = images
         .iter()
-        .map(|path| load_image(path).map(|img| (path.as_str(), img)))
+        .map(|path| load_image(path, opts).map(|img| (path.as_str(), img)))
         .collect::<Result<_, _>>()?;
     let items: Vec<(&str, &Image)> = loaded.iter().map(|(p, i)| (*p, i)).collect();
-    let ids = handle.insert_images_batch(&items).map_err(|e| format!("batch index: {e}"))?;
+    let ids = handle
+        .insert_images_batch(&items, &opts.guard())
+        .map_err(|e| format!("batch index: {e}"))?;
     for (path, id) in images.iter().zip(&ids) {
         let regions = handle.db().image(*id).map(|i| i.regions.len()).unwrap_or(0);
         println!("indexed {path} as id {id} ({regions} regions)");
@@ -290,10 +353,11 @@ fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
     };
     let handle = load_handle(db_path, opts)?;
     let db = handle.db();
-    let query = load_image(image_path)?;
+    let query = load_image(image_path, opts)?;
+    let guard = opts.guard();
     let outcome = match opts.eps {
-        Some(eps) => db.query_with_epsilon(&query, eps),
-        None => db.query(&query),
+        Some(eps) => db.query_with_epsilon_guarded(&query, eps, &guard),
+        None => db.query_guarded(&query, &guard),
     }
     .map_err(|e| e.to_string())?;
     println!(
@@ -302,6 +366,7 @@ fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
         outcome.stats.total_matching_regions,
         outcome.stats.distinct_images
     );
+    note_if_partial(outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
 }
@@ -311,15 +376,19 @@ fn cmd_scene(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err("usage: walrus scene <db> <image.ppm> <x> <y> <w> <h>".into());
     };
     let handle = load_handle(db_path, opts)?;
-    let query = load_image(image_path)?;
+    let query = load_image(image_path, opts)?;
     let rect = SceneRect {
         x: x.parse().map_err(|_| "bad x")?,
         y: y.parse().map_err(|_| "bad y")?,
         width: w.parse().map_err(|_| "bad w")?,
         height: h.parse().map_err(|_| "bad h")?,
     };
-    let outcome = handle.db().query_scene(&query, rect, 0.0).map_err(|e| e.to_string())?;
+    let outcome = handle
+        .db()
+        .query_scene_guarded(&query, rect, 0.0, &opts.guard())
+        .map_err(|e| e.to_string())?;
     println!("scene {rect:?}: {} candidate images", outcome.stats.distinct_images);
+    note_if_partial(outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
 }
@@ -492,7 +561,10 @@ fn print_usage() {
            --eps <f>              querying epsilon override\n\
            --window <min> <max>   window size range (default 8 32)\n\
            --space <name>         rgb|ycc|yiq|hsv|gray (default ycc)\n\
-           --threads <n>          worker threads (0 = auto via WALRUS_THREADS/CPUs)"
+           --threads <n>          worker threads (0 = auto via WALRUS_THREADS/CPUs)\n\
+           --timeout-ms <n>       request deadline (query: best-so-far partial;\n\
+                                  index: all-or-nothing abort)\n\
+           --max-pixels <n>       reject larger images before decoding"
     );
 }
 
@@ -534,6 +606,36 @@ mod tests {
         assert!(parse_options(&s(&["-k", "many"])).is_err());
         assert!(parse_options(&s(&["--space", "cmyk"])).is_err());
         assert!(parse_options(&s(&["--window", "8"])).is_err());
+    }
+
+    #[test]
+    fn options_parse_lifecycle_flags() {
+        let args = s(&["--timeout-ms", "250", "--max-pixels", "1000000", "query"]);
+        let (opts, rest) = parse_options(&args).unwrap();
+        assert_eq!(opts.timeout_ms, Some(250));
+        assert_eq!(opts.max_pixels, Some(1_000_000));
+        assert!(opts.guard().is_armed());
+        assert_eq!(opts.pixel_budget(), 1_000_000);
+        assert_eq!(rest, &["query".to_string()][..]);
+        assert!(parse_options(&s(&["--max-pixels", "0"])).is_err());
+        assert!(parse_options(&s(&["--timeout-ms", "soon"])).is_err());
+        assert!(!Options::default().guard().is_armed());
+    }
+
+    #[test]
+    fn oversized_image_rejected_before_decode() {
+        let dir = std::env::temp_dir().join("walrus_cli_hostile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let evil = dir.join("evil.ppm");
+        // Header claims ~10^18 pixels; the raster is 2 bytes. Must fail on
+        // the declared size, long before any allocation.
+        std::fs::write(&evil, b"P6\n999999999 999999999\n255\nxx").unwrap();
+        let db = dir.join("db.walrus");
+        let _ = std::fs::remove_file(&db);
+        let err = run(&s(&["index", db.to_str().unwrap(), evil.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("pixel budget"), "unexpected error: {err}");
+        assert!(!db.exists(), "failed index must not create a database");
+        std::fs::remove_file(&evil).ok();
     }
 
     #[test]
@@ -593,7 +695,11 @@ mod tests {
 
         // Query with image a: it must be the top result.
         run(&s(&["query", &db_str, pa.to_str().unwrap()])).unwrap();
-        let loaded_a = load_image(pa.to_str().unwrap()).unwrap();
+
+        // An already-expired deadline degrades to a partial (empty) ranking
+        // instead of an error or a hang.
+        run(&s(&["--timeout-ms", "0", "query", &db_str, pa.to_str().unwrap()])).unwrap();
+        let loaded_a = load_image(pa.to_str().unwrap(), &Options::default()).unwrap();
         let top = db.top_k(&loaded_a, 1).unwrap();
         assert!(top[0].name.ends_with("a.ppm"));
 

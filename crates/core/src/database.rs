@@ -13,15 +13,16 @@
 //! Table 1: the average number of regions retrieved per query region, and
 //! the number of distinct images containing at least one matching region.
 
-use crate::extract::{extract_regions, extract_regions_with_threads};
+use crate::extract::{extract_regions, extract_regions_guarded};
 use crate::matching::{self, MatchPair};
 use crate::params::{SignatureKind, WalrusParams};
 use crate::region::Region;
 use crate::{Result, WalrusError};
 use std::collections::HashMap;
 use std::sync::Arc;
+use walrus_guard::{Guard, Interrupt};
 use walrus_imagery::Image;
-use walrus_parallel::{parallel_map, resolve_threads, try_parallel_map};
+use walrus_parallel::{parallel_map_partial, resolve_threads, try_parallel_map_guarded};
 use walrus_rstar::{bulk_load, RStarParams, RStarTree};
 
 /// A region's address in the database.
@@ -74,6 +75,19 @@ pub struct QueryStats {
     pub distinct_images: usize,
 }
 
+/// Whether a query ran to completion or was stopped early by its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultStatus {
+    /// Every query region was probed and every candidate image scored.
+    Complete,
+    /// The request deadline expired mid-query. `matches` ranks only the
+    /// candidates scored before the interrupt and `stats` counts only the
+    /// completed probes: a best-so-far answer — everything reported is
+    /// correctly scored and ranked, but images the query never reached are
+    /// silently absent.
+    Partial,
+}
+
 /// Full result of a query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -82,6 +96,8 @@ pub struct QueryOutcome {
     pub matches: Vec<RankedImage>,
     /// Selectivity statistics.
     pub stats: QueryStats,
+    /// Whether the result is complete or a deadline-truncated prefix.
+    pub status: ResultStatus,
 }
 
 /// The database.
@@ -161,13 +177,28 @@ impl ImageDatabase {
     /// any image fails, nothing is inserted and the error reported is the
     /// first failing image's (lowest index).
     pub fn insert_images_batch(&mut self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        self.insert_images_batch_guarded(items, &Guard::none())
+    }
+
+    /// [`ImageDatabase::insert_images_batch`] under a lifecycle [`Guard`].
+    /// Ingest is **all-or-nothing under interruption**: every guard poll
+    /// happens during extraction, before the first index mutation, plus one
+    /// final poll right before applying — a cancellation or deadline that
+    /// lands anywhere in the batch leaves the database untouched.
+    pub fn insert_images_batch_guarded(
+        &mut self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>> {
         let threads = resolve_threads(self.params.threads);
         let params = self.params;
         // One worker per image; per-image extraction runs serial so worker
         // counts do not multiply.
-        let extracted: Vec<Vec<Region>> = try_parallel_map(threads, items, |_, (_, image)| {
-            extract_regions_with_threads(image, &params, 1)
-        })?;
+        let extracted: Vec<Vec<Region>> =
+            try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
+                extract_regions_guarded(image, &params, 1, guard)
+            })?;
+        guard.poll().map_err(WalrusError::from)?;
         let batch: Vec<(String, usize, usize, Vec<Region>)> = items
             .iter()
             .zip(extracted)
@@ -289,18 +320,90 @@ impl ImageDatabase {
         self.query_regions(&regions, query.area(), self.params.tau)
     }
 
+    /// [`ImageDatabase::query`] under a lifecycle [`Guard`].
+    ///
+    /// Degradation semantics: a *deadline* that expires anywhere in the
+    /// pipeline yields `Ok` with [`ResultStatus::Partial`] — the best-so-far
+    /// ranked answer (empty if the deadline hit during query-region
+    /// extraction, before any candidate could be scored). *Cancellation* is
+    /// a caller's explicit abort and always surfaces as
+    /// [`WalrusError::Cancelled`]; budget breaches surface as
+    /// [`WalrusError::BudgetExceeded`].
+    pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
+        let regions =
+            match extract_regions_guarded(query, &self.params, self.params.threads, guard) {
+                Ok(r) => r,
+                Err(WalrusError::DeadlineExceeded) => {
+                    return Ok(QueryOutcome::empty_partial());
+                }
+                Err(e) => return Err(e),
+            };
+        self.query_regions_with_params_guarded(
+            &self.params,
+            &regions,
+            query.area(),
+            self.params.tau,
+            guard,
+        )
+    }
+
+    /// The `k` most similar images regardless of `τ`, under a lifecycle
+    /// [`Guard`] (same degradation semantics as
+    /// [`ImageDatabase::query_guarded`]).
+    pub fn top_k_guarded(&self, query: &Image, k: usize, guard: &Guard) -> Result<QueryOutcome> {
+        let regions =
+            match extract_regions_guarded(query, &self.params, self.params.threads, guard) {
+                Ok(r) => r,
+                Err(WalrusError::DeadlineExceeded) => {
+                    return Ok(QueryOutcome::empty_partial());
+                }
+                Err(e) => return Err(e),
+            };
+        let mut outcome = self.query_regions_with_params_guarded(
+            &self.params,
+            &regions,
+            query.area(),
+            0.0,
+            guard,
+        )?;
+        outcome.matches.truncate(k);
+        Ok(outcome)
+    }
+
     /// Like [`ImageDatabase::query`] but with an explicit querying epsilon,
     /// overriding `params.query_epsilon` for this query only. This is how
     /// the Table 1 selectivity sweep varies `ε` without rebuilding the
     /// index (the index itself is ε-independent).
     pub fn query_with_epsilon(&self, query: &Image, epsilon: f32) -> Result<QueryOutcome> {
+        self.query_with_epsilon_guarded(query, epsilon, &Guard::none())
+    }
+
+    /// [`ImageDatabase::query_with_epsilon`] under a lifecycle [`Guard`]
+    /// (same degradation semantics as [`ImageDatabase::query_guarded`]).
+    pub fn query_with_epsilon_guarded(
+        &self,
+        query: &Image,
+        epsilon: f32,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
         if !epsilon.is_finite() || epsilon < 0.0 {
             return Err(WalrusError::BadParams(format!("epsilon {epsilon} invalid")));
         }
-        let regions = extract_regions(query, &self.params)?;
+        let regions = match extract_regions_guarded(query, &self.params, self.params.threads, guard)
+        {
+            Ok(r) => r,
+            Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
+            Err(e) => return Err(e),
+        };
         let mut params = self.params;
         params.query_epsilon = epsilon;
-        self.query_regions_with_params(&params, &regions, query.area(), self.params.tau)
+        self.query_regions_with_params_guarded(
+            &params,
+            &regions,
+            query.area(),
+            self.params.tau,
+            guard,
+        )
     }
 
     /// The `k` most similar images regardless of `τ`.
@@ -322,6 +425,26 @@ impl ImageDatabase {
         self.query_regions_with_params(&self.params, q_regions, query_area, min_similarity)
     }
 
+    /// [`ImageDatabase::query_regions`] under a lifecycle guard, with the
+    /// same degradation semantics as [`ImageDatabase::query_guarded`]: a
+    /// deadline yields a best-so-far [`ResultStatus::Partial`] outcome,
+    /// cancellation is an error.
+    pub fn query_regions_guarded(
+        &self,
+        q_regions: &[Region],
+        query_area: usize,
+        min_similarity: f64,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        self.query_regions_with_params_guarded(
+            &self.params,
+            q_regions,
+            query_area,
+            min_similarity,
+            guard,
+        )
+    }
+
     pub(crate) fn query_regions_with_params(
         &self,
         params: &WalrusParams,
@@ -329,13 +452,36 @@ impl ImageDatabase {
         query_area: usize,
         min_similarity: f64,
     ) -> Result<QueryOutcome> {
+        self.query_regions_with_params_guarded(
+            params,
+            q_regions,
+            query_area,
+            min_similarity,
+            &Guard::none(),
+        )
+    }
+
+    pub(crate) fn query_regions_with_params_guarded(
+        &self,
+        params: &WalrusParams,
+        q_regions: &[Region],
+        query_area: usize,
+        min_similarity: f64,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
         let threads = resolve_threads(params.threads);
+        let mut partial = false;
 
         // Step 1 (paper §5.4): probe the index, one independent probe per
         // query region, fanned out across the pool. Each probe's hit list
-        // preserves the tree's deterministic traversal order.
-        let probes: Vec<Vec<RegionKey>> =
-            try_parallel_map(threads, q_regions, |_, qr| -> Result<Vec<RegionKey>> {
+        // preserves the tree's deterministic traversal order. Under a
+        // deadline the probe fan-out may stop early; the merge below then
+        // sees only the completed probes.
+        let probe_out = parallel_map_partial(
+            threads,
+            guard,
+            q_regions,
+            |_, qr| -> Result<Vec<RegionKey>> {
                 let hits = match params.signature_kind {
                     SignatureKind::Centroid => {
                         self.index.search_within(&qr.centroid, params.query_epsilon)?
@@ -348,27 +494,51 @@ impl ImageDatabase {
                     }
                 };
                 Ok(hits.into_iter().map(|(_, key)| *key).collect())
-            })?;
+            },
+        );
+        match probe_out.interrupted {
+            Some(Interrupt::Cancelled) => return Err(WalrusError::Cancelled),
+            Some(Interrupt::DeadlineExceeded) => partial = true,
+            None => {}
+        }
+        let mut probes: Vec<(usize, Vec<RegionKey>)> = Vec::with_capacity(probe_out.completed.len());
+        for (qi, res) in probe_out.completed {
+            probes.push((qi, res?));
+        }
+        probes.sort_unstable_by_key(|(qi, _)| *qi);
 
         // Deterministic merge: group hits by target image in (query region,
         // hit) order — exactly the order the serial loop produced.
         let mut by_image: HashMap<usize, Vec<MatchPair>> = HashMap::new();
         let mut total_hits = 0usize;
-        for (qi, keys) in probes.iter().enumerate() {
+        for (qi, keys) in &probes {
             total_hits += keys.len();
             for key in keys {
-                by_image.entry(key.image).or_default().push(MatchPair { q: qi, t: key.region });
+                by_image.entry(key.image).or_default().push(MatchPair { q: *qi, t: key.region });
             }
+        }
+        if total_hits > params.budgets.max_index_candidates {
+            return Err(WalrusError::BudgetExceeded {
+                what: "index candidates",
+                used: total_hits,
+                limit: params.budgets.max_index_candidates,
+            });
         }
 
         // Step 2 (paper §5.5): score each candidate image, fanned out
         // across the pool in ascending-id order so results are reproducible
-        // run to run (the serial path's HashMap order was not).
+        // run to run (the serial path's HashMap order was not). A dead image
+        // slot would mean the index and the image store desynced; that is a
+        // bug, but it degrades to an impossible score (filtered below)
+        // rather than a panic inside the worker pool.
         let mut candidates: Vec<(usize, Vec<MatchPair>)> = by_image.into_iter().collect();
         candidates.sort_unstable_by_key(|(id, _)| *id);
         let distinct_images = candidates.len();
-        let scored = parallel_map(threads, &candidates, |_, (image_id, pairs)| {
-            let img = self.images[*image_id].as_ref().expect("index points at live image");
+        let score_out = parallel_map_partial(threads, guard, &candidates, |_, (image_id, pairs)| {
+            let Some(img) = self.images.get(*image_id).and_then(|s| s.as_ref()) else {
+                debug_assert!(false, "index points at dead image slot {image_id}");
+                return (*image_id, f64::NEG_INFINITY, 0);
+            };
             let score = matching::score(
                 params,
                 q_regions,
@@ -379,16 +549,22 @@ impl ImageDatabase {
             );
             (*image_id, score.similarity, pairs.len())
         });
+        match score_out.interrupted {
+            Some(Interrupt::Cancelled) => return Err(WalrusError::Cancelled),
+            Some(Interrupt::DeadlineExceeded) => partial = true,
+            None => {}
+        }
         let mut matches = Vec::new();
-        for (image_id, similarity, matched_pairs) in scored {
+        for (_, (image_id, similarity, matched_pairs)) in score_out.completed {
             if similarity >= min_similarity {
-                let img = self.images[image_id].as_ref().expect("index points at live image");
-                matches.push(RankedImage {
-                    image_id,
-                    name: img.name.clone(),
-                    similarity,
-                    matched_pairs,
-                });
+                if let Some(img) = self.images.get(image_id).and_then(|s| s.as_ref()) {
+                    matches.push(RankedImage {
+                        image_id,
+                        name: img.name.clone(),
+                        similarity,
+                        matched_pairs,
+                    });
+                }
             }
         }
         matches.sort_by(|a, b| {
@@ -409,7 +585,26 @@ impl ImageDatabase {
             },
             distinct_images,
         };
-        Ok(QueryOutcome { matches, stats })
+        let status = if partial { ResultStatus::Partial } else { ResultStatus::Complete };
+        Ok(QueryOutcome { matches, stats, status })
+    }
+}
+
+impl QueryOutcome {
+    /// The outcome of a query whose deadline expired before any candidate
+    /// could be probed or scored: no matches, zeroed statistics,
+    /// [`ResultStatus::Partial`].
+    pub(crate) fn empty_partial() -> Self {
+        QueryOutcome {
+            matches: Vec::new(),
+            stats: QueryStats {
+                query_regions: 0,
+                total_matching_regions: 0,
+                avg_regions_per_query_region: 0.0,
+                distinct_images: 0,
+            },
+            status: ResultStatus::Partial,
+        }
     }
 }
 
@@ -448,11 +643,25 @@ impl SharedDatabase {
     /// lock (the R\*-tree bulk-load path when the index is empty). Ids and
     /// query results are identical to a serial insert loop.
     pub fn insert_images_batch(&self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        self.insert_images_batch_guarded(items, &Guard::none())
+    }
+
+    /// [`SharedDatabase::insert_images_batch`] under a lifecycle [`Guard`];
+    /// all-or-nothing under interruption (the last poll happens before the
+    /// exclusive lock is even taken, so a cancelled batch never mutates the
+    /// shared index).
+    pub fn insert_images_batch_guarded(
+        &self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>> {
         let params = self.params();
         let threads = resolve_threads(params.threads);
-        let extracted: Vec<Vec<Region>> = try_parallel_map(threads, items, |_, (_, image)| {
-            extract_regions_with_threads(image, &params, 1)
-        })?;
+        let extracted: Vec<Vec<Region>> =
+            try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
+                extract_regions_guarded(image, &params, 1, guard)
+            })?;
+        guard.poll().map_err(WalrusError::from)?;
         let batch: Vec<(String, usize, usize, Vec<Region>)> = items
             .iter()
             .zip(extracted)
@@ -475,6 +684,26 @@ impl SharedDatabase {
         let params = self.params();
         let regions = extract_regions(query, &params)?;
         self.inner.read().query_regions(&regions, query.area(), params.tau)
+    }
+
+    /// [`SharedDatabase::query`] under a lifecycle [`Guard`] (deadline →
+    /// `Ok` + [`ResultStatus::Partial`]; cancellation →
+    /// [`WalrusError::Cancelled`]). Extraction stays outside the lock, so a
+    /// deadline firing there never holds up writers either.
+    pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
+        let params = self.params();
+        let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
+            Ok(r) => r,
+            Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
+            Err(e) => return Err(e),
+        };
+        self.inner.read().query_regions_with_params_guarded(
+            &params,
+            &regions,
+            query.area(),
+            params.tau,
+            guard,
+        )
     }
 
     /// The `k` most similar images (extraction unlocked, probe/score under
@@ -800,6 +1029,129 @@ mod tests {
             window_count: 1,
         };
         assert!(db.insert_regions("bad", 64, 64, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn unguarded_queries_report_complete() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("a", &flower_at(0.5, 0.5, 0.5)).unwrap();
+        let out = db.query(&flower_at(0.5, 0.5, 0.5)).unwrap();
+        assert_eq!(out.status, ResultStatus::Complete);
+        let out = db.query_guarded(&flower_at(0.5, 0.5, 0.5), &Guard::none()).unwrap();
+        assert_eq!(out.status, ResultStatus::Complete);
+        assert!(!out.matches.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_query_returns_empty_partial() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("a", &flower_at(0.5, 0.5, 0.5)).unwrap();
+        // A deadline that already passed: extraction trips on its first
+        // poll, and the query degrades to an empty Partial outcome.
+        let guard = Guard::with_timeout(std::time::Duration::ZERO);
+        let out = db.query_guarded(&flower_at(0.5, 0.5, 0.5), &guard).unwrap();
+        assert_eq!(out.status, ResultStatus::Partial);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.stats.query_regions, 0);
+    }
+
+    #[test]
+    fn cancelled_query_is_an_error_not_partial() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("a", &flower_at(0.5, 0.5, 0.5)).unwrap();
+        let token = walrus_guard::CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(token);
+        match db.query_guarded(&flower_at(0.5, 0.5, 0.5), &guard) {
+            Err(WalrusError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_budget_enforced_at_probe_merge() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        for i in 0..4 {
+            db.insert_image(&format!("f{i}"), &flower_at(0.4 + 0.05 * i as f32, 0.5, 0.5))
+                .unwrap();
+        }
+        let q = flower_at(0.5, 0.5, 0.5);
+        let hits = db.query(&q).unwrap().stats.total_matching_regions;
+        assert!(hits >= 2);
+        db.params.budgets.max_index_candidates = hits - 1;
+        match db.query(&q) {
+            Err(WalrusError::BudgetExceeded { what, used, limit }) => {
+                assert_eq!(what, "index candidates");
+                assert_eq!(used, hits);
+                assert_eq!(limit, hits - 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_batch_ingest_leaves_database_untouched() {
+        let mut db = ImageDatabase::new(params()).unwrap();
+        db.insert_image("pre", &blue_image()).unwrap();
+        let regions_before = db.num_regions();
+        let a = flower_at(0.5, 0.5, 0.5);
+        let b = flower_at(0.3, 0.35, 0.4);
+        let token = walrus_guard::CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(token);
+        match db.insert_images_batch_guarded(&[("a", &a), ("b", &b)], &guard) {
+            Err(WalrusError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(db.len(), 1, "cancelled batch must not insert");
+        assert_eq!(db.num_regions(), regions_before);
+        assert_eq!(db.image_slots().len(), 1);
+    }
+
+    #[test]
+    fn tripped_serial_query_yields_ranked_prefix() {
+        // threads = 1 makes partial results an exact prefix: with the trip
+        // armed after the probes, scoring stops after a deterministic number
+        // of candidates and the reported ranking is the ranking of exactly
+        // those candidates.
+        let mut db = ImageDatabase::new(WalrusParams { threads: 1, ..params() }).unwrap();
+        for i in 0..6 {
+            db.insert_image(&format!("f{i}"), &flower_at(0.3 + 0.07 * i as f32, 0.5, 0.45))
+                .unwrap();
+        }
+        let q = flower_at(0.5, 0.5, 0.45);
+        let q_regions = extract_regions(&q, db.params()).unwrap();
+        let full = db.query_regions(&q_regions, q.area(), 0.0).unwrap();
+        assert_eq!(full.status, ResultStatus::Complete);
+        assert!(full.stats.distinct_images >= 3);
+
+        // Allow every probe poll plus two scoring polls, then trip as a
+        // deadline: exactly two candidates (ids 0 and 1, ascending order)
+        // get scored.
+        let polls = q_regions.len() + 2;
+        let guard = Guard::none().trip_after(polls, Interrupt::DeadlineExceeded);
+        let part = db
+            .query_regions_with_params_guarded(db.params(), &q_regions, q.area(), 0.0, &guard)
+            .unwrap();
+        assert_eq!(part.status, ResultStatus::Partial);
+        assert_eq!(part.stats.total_matching_regions, full.stats.total_matching_regions);
+        assert_eq!(part.matches.len(), 2);
+        let mut expect: Vec<RankedImage> = full
+            .matches
+            .iter()
+            .filter(|m| m.image_id < 2)
+            .cloned()
+            .collect();
+        expect.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.image_id.cmp(&b.image_id))
+        });
+        for (got, want) in part.matches.iter().zip(&expect) {
+            assert_eq!(got.image_id, want.image_id);
+            assert_eq!(got.similarity.to_bits(), want.similarity.to_bits());
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::params::WalrusParams;
 use crate::region::Region;
 use crate::{bitmap::RegionBitmap, Result, WalrusError};
+use walrus_guard::Guard;
 use walrus_imagery::Image;
 use walrus_wavelet::sliding;
 
@@ -31,15 +32,38 @@ pub fn extract_regions_with_threads(
     params: &WalrusParams,
     threads: usize,
 ) -> Result<Vec<Region>> {
+    extract_regions_guarded(image, params, threads, &Guard::none())
+}
+
+/// [`extract_regions_with_threads`] under a lifecycle [`Guard`]: the sweep
+/// and the clustering poll the guard cooperatively (stopping mid-image on
+/// cancellation or deadline expiry), and the request budgets of
+/// `params.budgets` are enforced — the pixel budget before any per-window
+/// work, the region budget after clustering.
+pub fn extract_regions_guarded(
+    image: &Image,
+    params: &WalrusParams,
+    threads: usize,
+    guard: &Guard,
+) -> Result<Vec<Region>> {
     params.validate()?;
+    let pixels = image.width().saturating_mul(image.height());
+    if pixels > params.budgets.max_decoded_pixels {
+        return Err(WalrusError::BudgetExceeded {
+            what: "decoded pixels",
+            used: pixels,
+            limit: params.budgets.max_decoded_pixels,
+        });
+    }
     let converted = image.to_space(params.color_space)?;
     let planes: Vec<&[f32]> = converted.channels().iter().map(|c| c.as_slice()).collect();
-    let signatures = sliding::compute_signatures_with_threads(
+    let signatures = sliding::compute_signatures_guarded(
         &planes,
         converted.width(),
         converted.height(),
         &params.sliding,
         threads,
+        guard,
     )?;
     if signatures.is_empty() {
         return Err(WalrusError::Wavelet(walrus_wavelet::WaveletError::ImageTooSmall {
@@ -49,11 +73,19 @@ pub fn extract_regions_with_threads(
         }));
     }
     let points: Vec<Vec<f32>> = signatures.iter().map(|s| s.coeffs.clone()).collect();
-    let clustering = walrus_birch::precluster(
+    let clustering = walrus_birch::precluster_guarded(
         &points,
         params.cluster_epsilon,
         params.max_regions_per_image,
+        guard,
     )?;
+    if clustering.clusters.len() > params.budgets.max_regions_per_image {
+        return Err(WalrusError::BudgetExceeded {
+            what: "regions per image",
+            used: clustering.clusters.len(),
+            limit: params.budgets.max_regions_per_image,
+        });
+    }
 
     let mut regions = Vec::with_capacity(clustering.clusters.len());
     for cluster in &clustering.clusters {
@@ -178,6 +210,63 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.centroid, y.centroid);
             assert_eq!(x.bitmap, y.bitmap);
+        }
+    }
+
+    #[test]
+    fn pixel_budget_enforced_before_extraction() {
+        let img = two_tone_image();
+        let mut p = small_params();
+        p.budgets.max_decoded_pixels = 64 * 64 - 1;
+        match extract_regions(&img, &p) {
+            Err(WalrusError::BudgetExceeded { what, used, limit }) => {
+                assert_eq!(what, "decoded pixels");
+                assert_eq!(used, 64 * 64);
+                assert_eq!(limit, 64 * 64 - 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        p.budgets.max_decoded_pixels = 64 * 64;
+        extract_regions(&img, &p).unwrap();
+    }
+
+    #[test]
+    fn region_budget_enforced_after_clustering() {
+        let img = two_tone_image();
+        let mut p = small_params();
+        let n = extract_regions(&img, &p).unwrap().len();
+        assert!(n >= 2);
+        p.budgets.max_regions_per_image = n - 1;
+        match extract_regions(&img, &p) {
+            Err(WalrusError::BudgetExceeded { what, used, limit }) => {
+                assert_eq!(what, "regions per image");
+                assert_eq!(used, n);
+                assert_eq!(limit, n - 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_extraction_matches_and_interrupts() {
+        let img = two_tone_image();
+        let p = small_params();
+        let plain = extract_regions(&img, &p).unwrap();
+        let guarded = extract_regions_guarded(&img, &p, 1, &Guard::none()).unwrap();
+        assert_eq!(plain.len(), guarded.len());
+        for (a, b) in plain.iter().zip(&guarded) {
+            assert_eq!(a.centroid, b.centroid);
+            assert_eq!(a.bitmap, b.bitmap);
+        }
+
+        // A pre-tripped cancel token stops extraction with the interrupt
+        // surfaced as the core-level error, not a wrapped wavelet error.
+        let token = walrus_guard::CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(token);
+        match extract_regions_guarded(&img, &p, 1, &guard) {
+            Err(WalrusError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
         }
     }
 

@@ -78,15 +78,21 @@ pub mod storage;
 pub mod viz;
 pub mod wal;
 
-pub use database::{ImageDatabase, QueryOutcome, QueryStats, RankedImage};
-pub use extract::{extract_regions, extract_regions_with_threads};
+pub use database::{ImageDatabase, QueryOutcome, QueryStats, RankedImage, ResultStatus};
+pub use extract::{extract_regions, extract_regions_guarded, extract_regions_with_threads};
 pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
 pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;
 pub use storage::{DiskIo, StorageIo};
+pub use walrus_guard::{Budgets, CancelToken, Deadline, Guard, Interrupt, RetryPolicy};
 
 /// Errors produced by this crate.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm so the
+/// engine can grow new failure classes (as this revision does with the
+/// lifecycle variants) without breaking callers.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum WalrusError {
     /// Underlying image error.
     Image(walrus_imagery::ImageError),
@@ -101,11 +107,33 @@ pub enum WalrusError {
     /// The referenced image id is not in the database.
     UnknownImage(usize),
     /// An underlying storage operation failed (the durable state on disk is
-    /// unchanged or recoverable; retrying or re-opening is safe).
-    Io(std::io::Error),
+    /// unchanged or recoverable; retrying or re-opening is safe). `context`
+    /// names the file/operation that failed when known.
+    Io {
+        /// What was being done to which path, e.g. `"append to …/walrus.wal"`;
+        /// empty when the error was converted without context.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
     /// Stored bytes (snapshot or write-ahead log) failed validation: bad
     /// magic, checksum mismatch, torn structure, or an impossible value.
     Corrupt(String),
+    /// The request's deadline passed before the operation completed. Query
+    /// entry points downgrade this to a [`ResultStatus::Partial`] outcome
+    /// where the paper's semantics allow a best-so-far answer.
+    DeadlineExceeded,
+    /// The request was cancelled through its [`CancelToken`].
+    Cancelled,
+    /// A per-request [`Budgets`] ceiling was exceeded.
+    BudgetExceeded {
+        /// Which budget tripped (e.g. `"decoded pixels"`).
+        what: &'static str,
+        /// The amount the request needed.
+        used: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for WalrusError {
@@ -117,8 +145,16 @@ impl std::fmt::Display for WalrusError {
             WalrusError::Index(e) => write!(f, "index error: {e}"),
             WalrusError::BadParams(msg) => write!(f, "bad parameters: {msg}"),
             WalrusError::UnknownImage(id) => write!(f, "unknown image id {id}"),
-            WalrusError::Io(e) => write!(f, "io error: {e}"),
+            WalrusError::Io { context, source } if context.is_empty() => {
+                write!(f, "io error: {source}")
+            }
+            WalrusError::Io { context, source } => write!(f, "io error ({context}): {source}"),
             WalrusError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            WalrusError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            WalrusError::Cancelled => write!(f, "request cancelled"),
+            WalrusError::BudgetExceeded { what, used, limit } => {
+                write!(f, "resource budget exceeded: {what} {used} > limit {limit}")
+            }
         }
     }
 }
@@ -130,7 +166,7 @@ impl std::error::Error for WalrusError {
             WalrusError::Wavelet(e) => Some(e),
             WalrusError::Birch(e) => Some(e),
             WalrusError::Index(e) => Some(e),
-            WalrusError::Io(e) => Some(e),
+            WalrusError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -144,13 +180,22 @@ impl From<walrus_imagery::ImageError> for WalrusError {
 
 impl From<walrus_wavelet::WaveletError> for WalrusError {
     fn from(e: walrus_wavelet::WaveletError) -> Self {
-        WalrusError::Wavelet(e)
+        // Interrupts keep their identity across the crate boundary so every
+        // `?` site in the pipeline surfaces Cancelled/DeadlineExceeded
+        // directly instead of a wrapped wavelet error.
+        match e {
+            walrus_wavelet::WaveletError::Interrupted(int) => WalrusError::from(int),
+            other => WalrusError::Wavelet(other),
+        }
     }
 }
 
 impl From<walrus_birch::BirchError> for WalrusError {
     fn from(e: walrus_birch::BirchError) -> Self {
-        WalrusError::Birch(e)
+        match e {
+            walrus_birch::BirchError::Interrupted(int) => WalrusError::from(int),
+            other => WalrusError::Birch(other),
+        }
     }
 }
 
@@ -162,7 +207,33 @@ impl From<walrus_rstar::RStarError> for WalrusError {
 
 impl From<std::io::Error> for WalrusError {
     fn from(e: std::io::Error) -> Self {
-        WalrusError::Io(e)
+        WalrusError::Io { context: String::new(), source: e }
+    }
+}
+
+impl From<Interrupt> for WalrusError {
+    fn from(int: Interrupt) -> Self {
+        match int {
+            Interrupt::Cancelled => WalrusError::Cancelled,
+            Interrupt::DeadlineExceeded => WalrusError::DeadlineExceeded,
+        }
+    }
+}
+
+impl WalrusError {
+    /// Wraps an IO error with "what was being done to which path" context;
+    /// use as `.map_err(WalrusError::io_context("read snapshot", &path))`.
+    pub fn io_context(
+        action: &str,
+        path: &std::path::Path,
+    ) -> impl FnOnce(std::io::Error) -> WalrusError {
+        let context = format!("{action} {}", path.display());
+        move |source| WalrusError::Io { context, source }
+    }
+
+    /// True for the two interrupt variants.
+    pub fn is_interrupt(&self) -> bool {
+        matches!(self, WalrusError::DeadlineExceeded | WalrusError::Cancelled)
     }
 }
 

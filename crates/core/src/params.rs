@@ -8,6 +8,7 @@
 //! image-matching metric.
 
 use crate::{Result, WalrusError};
+use walrus_guard::Budgets;
 use walrus_imagery::ColorSpace;
 use walrus_wavelet::SlidingParams;
 
@@ -82,6 +83,12 @@ pub struct WalrusParams {
     /// runtime knob: snapshots do not persist it, and loaded databases
     /// come back with `0` (auto).
     pub threads: usize,
+    /// Per-request resource ceilings (max decoded pixels, regions per
+    /// image, index candidates, WAL record bytes), enforced at decode,
+    /// extraction, probe, and append time. Like `threads` this is a runtime
+    /// knob: snapshots do not persist it, and loaded databases come back
+    /// with the defaults.
+    pub budgets: Budgets,
 }
 
 impl WalrusParams {
@@ -100,6 +107,7 @@ impl WalrusParams {
             max_regions_per_image: None,
             exact_pair_limit: 16,
             threads: 0,
+            budgets: Budgets::default(),
         }
     }
 
@@ -140,6 +148,14 @@ impl WalrusParams {
         }
         if self.exact_pair_limit == 0 {
             return Err(WalrusError::BadParams("exact_pair_limit must be >= 1".into()));
+        }
+        let b = &self.budgets;
+        if b.max_decoded_pixels == 0
+            || b.max_regions_per_image == 0
+            || b.max_index_candidates == 0
+            || b.max_wal_record_bytes == 0
+        {
+            return Err(WalrusError::BadParams("budgets must all be >= 1".into()));
         }
         Ok(())
     }
@@ -194,6 +210,19 @@ mod tests {
         p = WalrusParams::paper_defaults();
         p.exact_pair_limit = 0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_budgets() {
+        let mut p = WalrusParams::paper_defaults();
+        p.budgets.max_decoded_pixels = 0;
+        assert!(p.validate().is_err());
+        p = WalrusParams::paper_defaults();
+        p.budgets.max_wal_record_bytes = 0;
+        assert!(p.validate().is_err());
+        p = WalrusParams::paper_defaults();
+        p.budgets = Budgets::unlimited();
+        p.validate().unwrap();
     }
 
     #[test]

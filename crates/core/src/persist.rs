@@ -457,9 +457,10 @@ fn read_params(r: &mut Reader<'_>) -> Result<WalrusParams> {
         bitmap_grid,
         max_regions_per_image: max_regions,
         exact_pair_limit,
-        // Runtime concurrency knob; deliberately not part of the snapshot
-        // format — loaded stores resolve it from the environment.
+        // Runtime knobs; deliberately not part of the snapshot format —
+        // loaded stores resolve them from the environment / defaults.
         threads: 0,
+        budgets: walrus_guard::Budgets::default(),
     })
 }
 
@@ -703,7 +704,7 @@ mod tests {
     #[test]
     fn missing_file_is_io_error() {
         match load_from_file("/nonexistent/nowhere.walrus") {
-            Err(WalrusError::Io(_)) => {}
+            Err(WalrusError::Io { .. }) => {}
             other => panic!("expected Io error, got {other:?}"),
         }
     }

@@ -29,11 +29,12 @@ use crate::database::ImageDatabase;
 use crate::params::WalrusParams;
 use crate::persist;
 use crate::region::Region;
-use crate::storage::{DiskIo, StorageIo};
+use crate::storage::{is_transient, DiskIo, RetryIo, StorageIo};
 use crate::wal::{self, WalOp};
 use crate::{QueryOutcome, RankedImage, Result, WalrusError};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use walrus_guard::{Guard, RetryPolicy};
 use walrus_imagery::Image;
 
 /// Snapshot file name inside a store directory.
@@ -77,14 +78,24 @@ pub struct DurableDatabase {
     /// tail is in an unknown state, so further writes are refused until
     /// the store is reopened (which re-establishes a clean tail).
     poisoned: bool,
+    /// Backoff schedule for transient failures of the WAL append itself
+    /// (the one IO path [`RetryIo`] cannot wrap, because a repeated append
+    /// needs the committed tail restored between attempts).
+    retry: RetryPolicy,
 }
 
 impl DurableDatabase {
     /// Opens (or initializes) a store directory on the real filesystem.
     /// `params` is used only when creating a fresh store; an existing
-    /// snapshot's parameters always win.
+    /// snapshot's parameters always win. Idempotent IO (reads, full-file
+    /// writes, fsyncs) is wrapped in [`RetryIo`], so transient OS errors
+    /// (EINTR-style) are absorbed with bounded backoff.
     pub fn open(dir: impl AsRef<Path>, params: WalrusParams) -> Result<(Self, RecoveryReport)> {
-        Self::open_with(Arc::new(DiskIo), dir, params)
+        Self::open_with(
+            Arc::new(RetryIo::new(Arc::new(DiskIo), RetryPolicy::default())),
+            dir,
+            params,
+        )
     }
 
     /// Like [`DurableDatabase::open`] but over a pluggable I/O layer —
@@ -118,10 +129,14 @@ impl DurableDatabase {
             records_since_checkpoint: 0,
             auto_checkpoint: None,
             poisoned: false,
+            retry: RetryPolicy::default(),
         };
 
         if store.io.exists(&wal_path) {
-            let bytes = store.io.read(&wal_path)?;
+            let bytes = store
+                .io
+                .read(&wal_path)
+                .map_err(WalrusError::io_context("read", &wal_path))?;
             let scan = wal::read_wal(&bytes)?;
             for rec in scan.records {
                 if rec.lsn <= snapshot_lsn {
@@ -137,8 +152,11 @@ impl DurableDatabase {
             if scan.torn_tail {
                 report.torn_tail_truncated = true;
                 report.truncated_bytes = bytes.len() as u64 - scan.valid_len;
-                store.io.truncate(&wal_path, scan.valid_len)?;
-                store.io.fsync(&wal_path)?;
+                store
+                    .io
+                    .truncate(&wal_path, scan.valid_len)
+                    .and_then(|()| store.io.fsync(&wal_path))
+                    .map_err(WalrusError::io_context("truncate torn tail of", &wal_path))?;
             }
         }
 
@@ -176,35 +194,70 @@ impl DurableDatabase {
         Ok(())
     }
 
+    fn poisoned_error(&self) -> WalrusError {
+        WalrusError::Io {
+            context: format!("append to {}", self.dir.join(WAL_FILE).display()),
+            source: std::io::Error::other(
+                "store poisoned by an earlier append failure; reopen to recover",
+            ),
+        }
+    }
+
     /// Appends one record (write-ahead) and, only on success, applies the
     /// operation in memory.
+    ///
+    /// Transient append failures are retried under the store's
+    /// [`RetryPolicy`] — but never blindly: a failed append may have left a
+    /// *partial* record on disk, and re-appending over it would corrupt the
+    /// log middle (unrecoverable, unlike a torn tail). Each retry therefore
+    /// first restores the committed tail (`truncate` to the last good
+    /// length) and only re-appends once that provably succeeded.
     fn log_then_apply(&mut self, op: WalOp) -> Result<()> {
         if self.poisoned {
-            return Err(WalrusError::Io(std::io::Error::new(
-                std::io::ErrorKind::Other,
-                "store poisoned by an earlier append failure; reopen to recover",
-            )));
+            return Err(self.poisoned_error());
         }
         let wal_path = self.dir.join(WAL_FILE);
+        let record = wal::encode_record(self.next_lsn, &op);
+        let max_record = self.db.params().budgets.max_wal_record_bytes;
+        if record.len() > max_record {
+            return Err(WalrusError::BudgetExceeded {
+                what: "wal record bytes",
+                used: record.len(),
+                limit: max_record,
+            });
+        }
         let mut buf = if self.wal_len == 0 { wal::wal_header() } else { Vec::new() };
-        buf.extend_from_slice(&wal::encode_record(self.next_lsn, &op));
+        buf.extend_from_slice(&record);
 
-        let appended = self
-            .io
-            .append(&wal_path, &buf)
-            .and_then(|()| self.io.fsync(&wal_path));
-        if let Err(e) = appended {
-            // The on-disk tail may hold a partial record. Try to cut it
-            // back to the last committed length; if even that fails, the
-            // tail is unknowable — poison until reopen.
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            let appended = self
+                .io
+                .append(&wal_path, &buf)
+                .and_then(|()| self.io.fsync(&wal_path));
+            let Err(e) = appended else { break };
+            // The on-disk tail may hold a partial record. Cut it back to
+            // the last committed length; a truncate that fails because the
+            // file was never created still counts as a clean (empty) tail.
             let repaired = self
                 .io
                 .truncate(&wal_path, self.wal_len)
                 .and_then(|()| self.io.fsync(&wal_path));
-            if repaired.is_err() && self.io.exists(&wal_path) {
+            let tail_clean = repaired.is_ok() || !self.io.exists(&wal_path);
+            if tail_clean && is_transient(&e) && attempt < max_attempts {
+                let delay = self.retry.delay_for(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+                continue;
+            }
+            if !tail_clean {
+                // The tail is unknowable — poison until reopen.
                 self.poisoned = true;
             }
-            return Err(e.into());
+            return Err(WalrusError::io_context("append to", &wal_path)(e));
         }
         self.wal_len += buf.len() as u64;
         self.next_lsn += 1;
@@ -231,12 +284,26 @@ impl DurableDatabase {
     /// failure mid-batch commits the prefix (the returned ids) like a
     /// serial insert loop would.
     pub fn insert_images_batch(&mut self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        self.insert_images_batch_guarded(items, &Guard::none())
+    }
+
+    /// [`DurableDatabase::insert_images_batch`] under a lifecycle [`Guard`].
+    /// All-or-nothing under interruption: every poll happens during
+    /// extraction plus one final poll before the first WAL append, so a
+    /// cancelled or timed-out batch leaves both the log and the index
+    /// byte-for-byte untouched.
+    pub fn insert_images_batch_guarded(
+        &mut self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>> {
         let params = *self.db.params();
         let threads = walrus_parallel::resolve_threads(params.threads);
         let extracted: Vec<Vec<Region>> =
-            walrus_parallel::try_parallel_map(threads, items, |_, (_, image)| {
-                crate::extract::extract_regions_with_threads(image, &params, 1)
+            walrus_parallel::try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
+                crate::extract::extract_regions_guarded(image, &params, 1, guard)
             })?;
+        guard.poll().map_err(WalrusError::from)?;
         let mut ids = Vec::with_capacity(items.len());
         for ((name, image), regions) in items.iter().zip(extracted) {
             ids.push(self.insert_regions(name, image.width(), image.height(), regions)?);
@@ -285,10 +352,7 @@ impl DurableDatabase {
     /// Folds the WAL into a fresh atomic snapshot and resets the log.
     pub fn checkpoint(&mut self) -> Result<()> {
         if self.poisoned {
-            return Err(WalrusError::Io(std::io::Error::new(
-                std::io::ErrorKind::Other,
-                "store poisoned by an earlier append failure; reopen to recover",
-            )));
+            return Err(self.poisoned_error());
         }
         let snapshot_path = self.dir.join(SNAPSHOT_FILE);
         persist::save_to_file_with(
@@ -320,6 +384,12 @@ impl DurableDatabase {
     /// WAL (`None` disables; default).
     pub fn set_auto_checkpoint(&mut self, every: Option<usize>) {
         self.auto_checkpoint = every;
+    }
+
+    /// Overrides the transient-append backoff schedule (default:
+    /// [`RetryPolicy::default`]; [`RetryPolicy::none`] disables retries).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The wrapped in-memory database (queries go straight to it).
@@ -366,6 +436,16 @@ impl DurableDatabase {
     pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
         self.db.top_k(query, k)
     }
+
+    /// Guarded query (see [`ImageDatabase::query_guarded`]).
+    pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
+        self.db.query_guarded(query, guard)
+    }
+
+    /// Guarded top-k (see [`ImageDatabase::top_k_guarded`]).
+    pub fn top_k_guarded(&self, query: &Image, k: usize, guard: &Guard) -> Result<QueryOutcome> {
+        self.db.top_k_guarded(query, k, guard)
+    }
 }
 
 /// A thread-safe handle over a [`DurableDatabase`]: concurrent readers,
@@ -400,12 +480,24 @@ impl SharedDurableDatabase {
     /// Durable batch ingest: parallel lock-free extraction, then one
     /// exclusive lock for the WAL appends and index insertions.
     pub fn insert_images_batch(&self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        self.insert_images_batch_guarded(items, &Guard::none())
+    }
+
+    /// [`SharedDurableDatabase::insert_images_batch`] under a lifecycle
+    /// [`Guard`]; all-or-nothing under interruption, with the final poll
+    /// before the exclusive lock is taken.
+    pub fn insert_images_batch_guarded(
+        &self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>> {
         let params = *self.inner.read().db().params();
         let threads = walrus_parallel::resolve_threads(params.threads);
         let extracted: Vec<Vec<Region>> =
-            walrus_parallel::try_parallel_map(threads, items, |_, (_, image)| {
-                crate::extract::extract_regions_with_threads(image, &params, 1)
+            walrus_parallel::try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
+                crate::extract::extract_regions_guarded(image, &params, 1, guard)
             })?;
+        guard.poll().map_err(WalrusError::from)?;
         let mut store = self.inner.write();
         let mut ids = Vec::with_capacity(items.len());
         for ((name, image), regions) in items.iter().zip(extracted) {
@@ -427,6 +519,16 @@ impl SharedDurableDatabase {
     /// The `k` most similar images (shared lock).
     pub fn top_k(&self, query: &Image, k: usize) -> Result<Vec<RankedImage>> {
         self.inner.read().top_k(query, k)
+    }
+
+    /// Guarded query (shared lock; deadline → partial, cancel → error).
+    pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
+        self.inner.read().query_guarded(query, guard)
+    }
+
+    /// Guarded top-k (shared lock).
+    pub fn top_k_guarded(&self, query: &Image, k: usize, guard: &Guard) -> Result<QueryOutcome> {
+        self.inner.read().top_k_guarded(query, k, guard)
     }
 
     /// Checkpoints the store (exclusive lock).

@@ -16,7 +16,6 @@
 //!    the target's extra content diluting the score).
 
 use crate::database::{ImageDatabase, QueryOutcome};
-use crate::extract::extract_regions;
 use crate::params::SimilarityKind;
 use crate::{Result, WalrusError};
 use walrus_imagery::Image;
@@ -74,6 +73,20 @@ impl ImageDatabase {
         scene: SceneRect,
         min_coverage: f64,
     ) -> Result<QueryOutcome> {
+        self.query_scene_guarded(query, scene, min_coverage, &walrus_guard::Guard::none())
+    }
+
+    /// [`ImageDatabase::query_scene`] under a lifecycle guard, with the
+    /// same degradation semantics as [`ImageDatabase::query_guarded`]: a
+    /// deadline yields a best-so-far [`crate::ResultStatus::Partial`]
+    /// outcome, cancellation is an error.
+    pub fn query_scene_guarded(
+        &self,
+        query: &Image,
+        scene: SceneRect,
+        min_coverage: f64,
+        guard: &walrus_guard::Guard,
+    ) -> Result<QueryOutcome> {
         if !(0.0..=1.0).contains(&min_coverage) || min_coverage.is_nan() {
             return Err(WalrusError::BadParams(format!(
                 "min_coverage {min_coverage} must be in [0, 1]"
@@ -85,8 +98,20 @@ impl ImageDatabase {
         // similarity so target size does not dilute coverage.
         let mut params = *self.params();
         params.similarity = SimilarityKind::QueryFraction;
-        let regions = extract_regions(&cropped, &params)?;
-        self.query_regions_with_params(&params, &regions, cropped.area(), min_coverage)
+        let regions =
+            match crate::extract::extract_regions_guarded(&cropped, &params, params.threads, guard)
+            {
+                Ok(r) => r,
+                Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
+                Err(e) => return Err(e),
+            };
+        self.query_regions_with_params_guarded(
+            &params,
+            &regions,
+            cropped.area(),
+            min_coverage,
+            guard,
+        )
     }
 }
 

@@ -26,7 +26,8 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use walrus_guard::RetryPolicy;
 
 /// The syscall surface the durability layer needs.
 ///
@@ -121,6 +122,10 @@ pub enum FaultKind {
     /// (silent corruption — only checksums can catch it). On operations
     /// that write no data the fault is a no-op.
     BitFlip,
+    /// The operation fails with [`io::ErrorKind::Interrupted`] and nothing
+    /// is persisted, but the filesystem stays healthy — the EINTR-style
+    /// error a retry loop is entitled to retry.
+    Transient,
 }
 
 /// An armed fault: fire `kind` on the `at_op`-th operation (0-based).
@@ -164,7 +169,7 @@ struct FaultState {
     /// `(from, to, file displaced at to)`.
     pending_renames: Vec<(PathBuf, PathBuf, Option<FileState>)>,
     ops: usize,
-    fault: Option<Fault>,
+    faults: Vec<Fault>,
     halted: bool,
 }
 
@@ -177,6 +182,17 @@ pub struct FaultIo {
 
 fn injected() -> io::Error {
     io::Error::new(io::ErrorKind::Other, "injected fault")
+}
+
+fn transient() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected transient fault")
+}
+
+/// Whether an I/O error is transient: safe and worthwhile to retry.
+/// `Interrupted` is the canonical case (EINTR; also what
+/// [`FaultKind::Transient`] injects).
+pub fn is_transient(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted
 }
 
 fn crashed() -> io::Error {
@@ -193,9 +209,17 @@ impl FaultIo {
         Self::default()
     }
 
-    /// Arms (or clears) the fault plan. Operation counting is *not* reset.
+    /// Arms (or clears) the fault plan, replacing any armed faults.
+    /// Operation counting is *not* reset.
     pub fn set_fault(&self, fault: Option<Fault>) {
-        self.state.lock().expect("poisoned").fault = fault;
+        self.state.lock().expect("poisoned").faults = fault.into_iter().collect();
+    }
+
+    /// Adds a fault to the plan without clearing those already armed —
+    /// lets a test arm a *burst* of transient faults on consecutive
+    /// operations to exercise a retry loop end to end.
+    pub fn arm_fault(&self, fault: Fault) {
+        self.state.lock().expect("poisoned").faults.push(fault);
     }
 
     /// Operations executed so far (including the faulted one).
@@ -243,7 +267,7 @@ impl FaultIo {
             f.synced = f.current.clone();
         }
         st.pending_renames.clear();
-        st.fault = None;
+        st.faults.clear();
         st.halted = false;
         st.ops = 0;
     }
@@ -282,15 +306,14 @@ impl FaultIo {
         }
         let idx = st.ops;
         st.ops += 1;
-        match st.fault {
-            Some(f) if f.at_op == idx => match f.kind {
-                FaultKind::Error => {
-                    st.halted = true;
-                    Err(injected())
-                }
-                k => Ok(Some(k)),
-            },
-            _ => Ok(None),
+        match st.faults.iter().find(|f| f.at_op == idx).map(|f| f.kind) {
+            Some(FaultKind::Error) => {
+                st.halted = true;
+                Err(injected())
+            }
+            Some(FaultKind::Transient) => Err(transient()),
+            Some(k) => Ok(Some(k)),
+            None => Ok(None),
         }
     }
 
@@ -338,7 +361,9 @@ impl StorageIo for FaultIo {
                 entry.current = data;
                 Ok(())
             }
-            Some(FaultKind::Error) => unreachable!("handled in begin_op"),
+            Some(FaultKind::Error) | Some(FaultKind::Transient) => {
+                unreachable!("handled in begin_op")
+            }
         }
     }
 
@@ -365,7 +390,9 @@ impl StorageIo for FaultIo {
                 entry.current.extend_from_slice(&data);
                 Ok(())
             }
-            Some(FaultKind::Error) => unreachable!("handled in begin_op"),
+            Some(FaultKind::Error) | Some(FaultKind::Transient) => {
+                unreachable!("handled in begin_op")
+            }
         }
     }
 
@@ -420,6 +447,83 @@ impl StorageIo for FaultIo {
         let mut st = self.state.lock().expect("poisoned");
         Self::begin_non_write_op(&mut st)?;
         Ok(())
+    }
+}
+
+/// A [`StorageIo`] decorator that retries **idempotent** operations on
+/// transient errors with the bounded exponential backoff of a
+/// [`RetryPolicy`].
+///
+/// `append` is deliberately *not* retried here: a failed append may have
+/// persisted a partial record, and blindly re-appending would corrupt the
+/// middle of the WAL (which recovery treats as unrecoverable corruption,
+/// not a torn tail). The WAL layer retries appends itself, truncating the
+/// tail back to the last committed length between attempts. `rename` is
+/// also passed through — it sits inside the atomic-checkpoint protocol,
+/// which has its own failure semantics.
+#[derive(Debug)]
+pub struct RetryIo {
+    inner: Arc<dyn StorageIo>,
+    policy: RetryPolicy,
+}
+
+impl RetryIo {
+    /// Wraps `inner`, retrying per `policy`.
+    pub fn new(inner: Arc<dyn StorageIo>, policy: RetryPolicy) -> Self {
+        Self { inner, policy }
+    }
+
+    /// The wrapped I/O layer.
+    pub fn inner(&self) -> &Arc<dyn StorageIo> {
+        &self.inner
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+}
+
+impl StorageIo for RetryIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.policy.run(|| self.inner.read(path), is_transient)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.policy.run(|| self.inner.write(path, bytes), is_transient)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Not idempotent — see the type docs. One attempt only.
+        self.inner.append(path, bytes)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.fsync(path), is_transient)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.policy.run(|| self.inner.truncate(path, len), is_transient)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.remove(path), is_transient)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.policy.run(|| self.inner.file_len(path), is_transient)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.policy.run(|| self.inner.create_dir_all(path), is_transient)
     }
 }
 
@@ -533,6 +637,68 @@ mod tests {
         assert!(fs.corrupt_byte(p("a"), 2, 0x01));
         assert_eq!(fs.read(p("a")).unwrap(), b"zz{z");
         assert!(!fs.corrupt_byte(p("a"), 99, 0x01));
+    }
+
+    #[test]
+    fn transient_fault_fails_once_without_halting() {
+        let fs = FaultIo::new();
+        fs.write(p("a"), b"x").unwrap();
+        fs.set_fault(Some(Fault { at_op: 1, kind: FaultKind::Transient }));
+        let err = fs.write(p("a"), b"y").unwrap_err();
+        assert!(is_transient(&err));
+        assert!(!fs.is_halted());
+        // Nothing was persisted by the failed write, and the next try works.
+        assert_eq!(fs.read(p("a")).unwrap(), b"x");
+        fs.write(p("a"), b"y").unwrap();
+        assert_eq!(fs.read(p("a")).unwrap(), b"y");
+    }
+
+    #[test]
+    fn arm_fault_accumulates_a_burst() {
+        let fs = FaultIo::new();
+        fs.arm_fault(Fault { at_op: 0, kind: FaultKind::Transient });
+        fs.arm_fault(Fault { at_op: 1, kind: FaultKind::Transient });
+        assert!(fs.write(p("a"), b"x").is_err());
+        assert!(fs.write(p("a"), b"x").is_err());
+        fs.write(p("a"), b"x").unwrap();
+    }
+
+    #[test]
+    fn retry_io_rides_out_transient_bursts() {
+        let fs = Arc::new(FaultIo::new());
+        let retry = RetryIo::new(
+            fs.clone(),
+            RetryPolicy { max_attempts: 3, base_delay: std::time::Duration::ZERO, max_delay: std::time::Duration::ZERO },
+        );
+        // Two consecutive transient faults: the third attempt succeeds.
+        fs.arm_fault(Fault { at_op: 0, kind: FaultKind::Transient });
+        fs.arm_fault(Fault { at_op: 1, kind: FaultKind::Transient });
+        retry.write(p("a"), b"persisted").unwrap();
+        assert_eq!(retry.read(p("a")).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn retry_io_gives_up_past_the_attempt_budget() {
+        let fs = Arc::new(FaultIo::new());
+        let retry = RetryIo::new(
+            fs.clone(),
+            RetryPolicy { max_attempts: 2, base_delay: std::time::Duration::ZERO, max_delay: std::time::Duration::ZERO },
+        );
+        for op in 0..2 {
+            fs.arm_fault(Fault { at_op: op, kind: FaultKind::Transient });
+        }
+        let err = retry.write(p("a"), b"data").unwrap_err();
+        assert!(is_transient(&err));
+        assert!(!fs.exists(p("a")));
+    }
+
+    #[test]
+    fn retry_io_does_not_retry_permanent_errors() {
+        let fs = Arc::new(FaultIo::new());
+        let retry = RetryIo::new(fs.clone(), RetryPolicy::default());
+        fs.set_fault(Some(Fault { at_op: 0, kind: FaultKind::Error }));
+        assert!(retry.write(p("a"), b"data").is_err());
+        assert!(fs.is_halted(), "halting error must not be retried into");
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Request lifecycle primitives for the WALRUS reproduction.
+//!
+//! Dependency-free building blocks threaded through the whole pipeline:
+//!
+//! - [`CancelToken`] — shared atomic cancellation flag; cloning is cheap and
+//!   all clones observe a single `cancel()`.
+//! - [`Deadline`] — monotonic point in time (`std::time::Instant` based, so
+//!   immune to wall-clock jumps).
+//! - [`Guard`] — the per-request bundle the hot paths poll between work
+//!   chunks. `poll()` is a few atomic loads when armed and almost free when
+//!   not, so it is safe to call in inner loops.
+//! - [`Budgets`] — per-request resource ceilings enforced at decode,
+//!   extraction, probe, and WAL-append time.
+//! - [`RetryPolicy`] — bounded exponential backoff for transient IO errors.
+//!
+//! The crate deliberately has no dependencies (not even on other walrus
+//! crates) so every layer — `parallel`, `wavelet`, `birch`, `core`, `cli` —
+//! can use it without cycles.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a guarded computation stopped early.
+///
+/// Ordered so that `Cancelled` (an explicit caller decision) takes precedence
+/// over `DeadlineExceeded` when both are observable in the same poll.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The request's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The request's [`Deadline`] passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "request cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "request deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+/// Shared cancellation flag.
+///
+/// Clones share the flag: cancelling any clone cancels them all. Cancellation
+/// is sticky — there is deliberately no `reset`, a token represents one
+/// request.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A monotonic deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// Deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline { at: Instant::now() + timeout }
+    }
+
+    /// Deadline at an absolute monotonic instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry; zero once expired.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
+
+/// Deterministic interrupt source for tests: trips after N successful polls.
+#[derive(Debug)]
+struct Trip {
+    remaining: AtomicUsize,
+    kind: Interrupt,
+}
+
+/// Per-request guard polled by the hot paths between work chunks.
+///
+/// A default (`Guard::none()`) guard never trips and its `poll()` is a handful
+/// of branches on `None`, so guarded code paths can be used unconditionally.
+///
+/// The guard is `Clone` and clones share the underlying token/trip state, so a
+/// guard can be handed to every worker thread of a parallel stage.
+#[derive(Clone, Debug, Default)]
+pub struct Guard {
+    token: Option<CancelToken>,
+    deadline: Option<Deadline>,
+    trip: Option<Arc<Trip>>,
+}
+
+impl Guard {
+    /// A guard that never interrupts.
+    pub fn none() -> Self {
+        Guard::default()
+    }
+
+    /// Guard with a deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Guard::none().deadline(Deadline::after(timeout))
+    }
+
+    /// Guard tied to a cancellation token.
+    pub fn with_token(token: CancelToken) -> Self {
+        Guard::none().token(token)
+    }
+
+    /// Attach (or replace) a deadline.
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach (or replace) a cancellation token.
+    pub fn token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Deterministic test aid: the guard reports `kind` once `polls` calls to
+    /// [`Guard::poll`] have succeeded (across all clones), independent of
+    /// wall-clock time. Sticky once tripped.
+    pub fn trip_after(mut self, polls: usize, kind: Interrupt) -> Self {
+        self.trip = Some(Arc::new(Trip { remaining: AtomicUsize::new(polls), kind }));
+        self
+    }
+
+    /// True if any interrupt source is armed; lets callers skip guarded
+    /// bookkeeping entirely for plain requests.
+    pub fn is_armed(&self) -> bool {
+        self.token.is_some() || self.deadline.is_some() || self.trip.is_some()
+    }
+
+    /// Check every interrupt source without consuming a trip count.
+    ///
+    /// Cancellation outranks the deadline so an explicit `cancel()` is never
+    /// misreported as a timeout.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(trip) = &self.trip {
+            if trip.remaining.load(Ordering::Acquire) == 0 {
+                return Some(trip.kind);
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired() {
+                return Some(Interrupt::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// Poll for an interrupt. Hot paths call this between chunks of work;
+    /// `Ok(())` means keep going.
+    pub fn poll(&self) -> Result<(), Interrupt> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if let Some(trip) = &self.trip {
+            // Count down; once zero, stay tripped (checked_sub fails at 0 and
+            // fetch_update leaves the value unchanged).
+            let tripped = trip
+                .remaining
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_err();
+            if tripped {
+                return Err(trip.kind);
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired() {
+                return Err(Interrupt::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Time remaining before the deadline, if one is set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.remaining())
+    }
+}
+
+/// Per-request resource ceilings.
+///
+/// Defaults are generous production values sized for the ROADMAP north-star
+/// workload; `unlimited()` restores pre-guard behaviour for tests and tools
+/// that deliberately process huge inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budgets {
+    /// Maximum pixels (width × height) a single decoded image may have.
+    /// Enforced before raster allocation in the PPM decoder and again at
+    /// extraction time.
+    pub max_decoded_pixels: usize,
+    /// Maximum regions BIRCH pre-clustering may produce for one image.
+    pub max_regions_per_image: usize,
+    /// Maximum total R*-tree candidate hits a single query may fan out to
+    /// scoring (summed over all query-region probes, before dedup).
+    pub max_index_candidates: usize,
+    /// Maximum encoded size of one WAL record (header + payload), bytes.
+    pub max_wal_record_bytes: usize,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Budgets {
+            // 64M pixels ≈ a 8192×8192 image; far above the paper's corpus
+            // but small enough to stop decompression bombs.
+            max_decoded_pixels: 64 << 20,
+            max_regions_per_image: 4096,
+            max_index_candidates: 1 << 20,
+            max_wal_record_bytes: 256 << 20,
+        }
+    }
+}
+
+impl Budgets {
+    /// No limits — pre-guard behaviour.
+    pub fn unlimited() -> Self {
+        Budgets {
+            max_decoded_pixels: usize::MAX,
+            max_regions_per_image: usize::MAX,
+            max_index_candidates: usize::MAX,
+            max_wal_record_bytes: usize::MAX,
+        }
+    }
+
+    /// `Err((used, limit))` when `used` exceeds the given limit.
+    pub fn check(used: usize, limit: usize) -> Result<(), (usize, usize)> {
+        if used > limit {
+            Err((used, limit))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Bounded exponential backoff for transient IO errors.
+///
+/// Deterministic (no jitter) so fault-injection tests replay exactly; the
+/// delays are tiny because the retry loop targets in-process transient faults
+/// (EINTR-style), not distributed-systems congestion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling applied to the exponential growth.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
+    }
+
+    /// Backoff before retry number `retry` (1-based): base × 2^(retry-1),
+    /// clamped to `max_delay`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(31);
+        let delay = self.base_delay.saturating_mul(1u32 << exp);
+        delay.min(self.max_delay)
+    }
+
+    /// Run `op` up to `max_attempts` times, sleeping per [`delay_for`]
+    /// between attempts while `is_transient` says the error is retryable.
+    ///
+    /// [`delay_for`]: RetryPolicy::delay_for
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut() -> Result<T, E>,
+        mut is_transient: impl FnMut(&E) -> bool,
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(err) => {
+                    if attempt >= attempts || !is_transient(&err) {
+                        return Err(err);
+                    }
+                    let delay = self.delay_for(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_guard_never_trips() {
+        let guard = Guard::none();
+        assert!(!guard.is_armed());
+        for _ in 0..10_000 {
+            assert_eq!(guard.poll(), Ok(()));
+        }
+        assert_eq!(guard.interrupted(), None);
+        assert_eq!(guard.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_token_shared_across_clones() {
+        let token = CancelToken::new();
+        let guard = Guard::with_token(token.clone());
+        let clone = guard.clone();
+        assert_eq!(guard.poll(), Ok(()));
+        token.cancel();
+        assert_eq!(guard.poll(), Err(Interrupt::Cancelled));
+        assert_eq!(clone.poll(), Err(Interrupt::Cancelled));
+        assert_eq!(clone.interrupted(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let guard = Guard::with_timeout(Duration::ZERO);
+        assert!(guard.is_armed());
+        assert_eq!(guard.poll(), Err(Interrupt::DeadlineExceeded));
+        assert_eq!(guard.interrupted(), Some(Interrupt::DeadlineExceeded));
+        assert_eq!(guard.remaining(), Some(Duration::ZERO));
+
+        let far = Guard::with_timeout(Duration::from_secs(3600));
+        assert_eq!(far.poll(), Ok(()));
+        assert!(far.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn cancellation_outranks_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::with_token(token).deadline(Deadline::after(Duration::ZERO));
+        assert_eq!(guard.poll(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn trip_after_is_deterministic_and_sticky() {
+        let guard = Guard::none().trip_after(3, Interrupt::DeadlineExceeded);
+        assert_eq!(guard.poll(), Ok(()));
+        assert_eq!(guard.poll(), Ok(()));
+        assert_eq!(guard.poll(), Ok(()));
+        assert_eq!(guard.poll(), Err(Interrupt::DeadlineExceeded));
+        assert_eq!(guard.poll(), Err(Interrupt::DeadlineExceeded));
+        assert_eq!(guard.interrupted(), Some(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn trip_counts_shared_across_clones() {
+        let guard = Guard::none().trip_after(2, Interrupt::Cancelled);
+        let clone = guard.clone();
+        assert_eq!(guard.poll(), Ok(()));
+        assert_eq!(clone.poll(), Ok(()));
+        assert_eq!(guard.poll(), Err(Interrupt::Cancelled));
+        assert_eq!(clone.poll(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn budgets_defaults_and_check() {
+        let budgets = Budgets::default();
+        assert_eq!(budgets.max_decoded_pixels, 64 << 20);
+        assert!(Budgets::check(10, 10).is_ok());
+        assert_eq!(Budgets::check(11, 10), Err((11, 10)));
+        let unlimited = Budgets::unlimited();
+        assert!(Budgets::check(usize::MAX, unlimited.max_decoded_pixels).is_ok());
+    }
+
+    #[test]
+    fn retry_delays_grow_and_clamp() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        assert_eq!(policy.delay_for(1), Duration::from_millis(2));
+        assert_eq!(policy.delay_for(2), Duration::from_millis(4));
+        assert_eq!(policy.delay_for(3), Duration::from_millis(8));
+        assert_eq!(policy.delay_for(4), Duration::from_millis(10));
+        assert_eq!(policy.delay_for(60), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn retry_run_retries_transient_only() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        // Succeeds on the last allowed attempt.
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err("transient")
+                } else {
+                    Ok(7)
+                }
+            },
+            |e| *e == "transient",
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 3);
+
+        // Permanent errors are not retried.
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(
+            || {
+                calls += 1;
+                Err("permanent")
+            },
+            |e| *e == "transient",
+        );
+        assert_eq!(out, Err("permanent"));
+        assert_eq!(calls, 1);
+
+        // Attempts are bounded.
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run(
+            || {
+                calls += 1;
+                Err("transient")
+            },
+            |e| *e == "transient",
+        );
+        assert_eq!(out, Err("transient"));
+        assert_eq!(calls, 3);
+    }
+}

@@ -46,6 +46,7 @@ pub use image::{Channel, Image};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ImageError {
     /// The requested dimensions are invalid (zero-sized, or mismatched with
     /// the provided pixel buffer).
@@ -83,6 +84,17 @@ pub enum ImageError {
         /// Destination space.
         to: ColorSpace,
     },
+    /// A decoded image would exceed the caller's pixel budget (or overflow
+    /// `usize`). Raised **before** any raster allocation, so hostile headers
+    /// cannot trigger allocation bombs.
+    TooLarge {
+        /// Declared width.
+        width: usize,
+        /// Declared height.
+        height: usize,
+        /// The pixel budget that was exceeded.
+        max_pixels: usize,
+    },
 }
 
 impl std::fmt::Display for ImageError {
@@ -106,6 +118,10 @@ impl std::fmt::Display for ImageError {
             ImageError::UnsupportedConversion { from, to } => {
                 write!(f, "unsupported color conversion {from:?} -> {to:?}")
             }
+            ImageError::TooLarge { width, height, max_pixels } => write!(
+                f,
+                "declared image size {width}x{height} exceeds the pixel budget {max_pixels}"
+            ),
         }
     }
 }

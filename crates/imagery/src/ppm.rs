@@ -60,12 +60,27 @@ pub fn read_netpbm<R: Read>(mut input: R) -> Result<Image> {
 
 /// Loads a PPM/PGM file from `path`.
 pub fn load_netpbm(path: impl AsRef<Path>) -> Result<Image> {
+    load_netpbm_limited(path, usize::MAX)
+}
+
+/// [`load_netpbm`] with a pixel budget (see [`parse_netpbm_limited`]).
+pub fn load_netpbm_limited(path: impl AsRef<Path>, max_pixels: usize) -> Result<Image> {
     let bytes = std::fs::read(path).map_err(|e| ImageError::Codec(e.to_string()))?;
-    parse_netpbm(&bytes)
+    parse_netpbm_limited(&bytes, max_pixels)
 }
 
 /// Parses an in-memory PPM/PGM byte buffer.
 pub fn parse_netpbm(bytes: &[u8]) -> Result<Image> {
+    parse_netpbm_limited(bytes, usize::MAX)
+}
+
+/// [`parse_netpbm`] with a pixel budget: headers declaring more than
+/// `max_pixels` pixels — or whose width×height×channels product overflows —
+/// are rejected with [`ImageError::TooLarge`] **before any allocation**, and
+/// the declared raster size is validated against the actual input length
+/// (also before allocation), so a small hostile file cannot demand a huge
+/// buffer.
+pub fn parse_netpbm_limited(bytes: &[u8], max_pixels: usize) -> Result<Image> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.token()?;
     let (channels, binary) = match magic.as_str() {
@@ -84,17 +99,27 @@ pub fn parse_netpbm(bytes: &[u8]) -> Result<Image> {
     if maxval == 0 || maxval > 65535 {
         return Err(ImageError::Codec(format!("maxval {maxval} out of range")));
     }
+    let too_large = ImageError::TooLarge { width, height, max_pixels };
+    let pixels = width.checked_mul(height).ok_or_else(|| too_large.clone())?;
+    if pixels > max_pixels {
+        return Err(too_large);
+    }
+    let count = pixels.checked_mul(channels).ok_or(too_large)?;
     let scale = 1.0 / maxval as f32;
-    let count = width * height * channels;
-    let mut data = Vec::with_capacity(count);
-    if binary {
+    let data: Vec<f32> = if binary {
         // One whitespace byte separates the header from raster data.
         cursor.pos += 1;
         let wide = maxval > 255;
         let bytes_per = if wide { 2 } else { 1 };
-        if cursor.bytes.len() < cursor.pos + count * bytes_per {
+        // Validate the declared raster against the real input length before
+        // allocating anything: a 20-byte file must not be able to request a
+        // multi-gigabyte buffer.
+        let raster_len = count.checked_mul(bytes_per).ok_or_else(|| bad("raster size"))?;
+        let raster_end = cursor.pos.checked_add(raster_len).ok_or_else(|| bad("raster size"))?;
+        if cursor.bytes.len() < raster_end {
             return Err(ImageError::Codec("truncated raster".into()));
         }
+        let mut data = Vec::with_capacity(count);
         for i in 0..count {
             let v = if wide {
                 let hi = cursor.bytes[cursor.pos + 2 * i] as u32;
@@ -105,12 +130,22 @@ pub fn parse_netpbm(bytes: &[u8]) -> Result<Image> {
             };
             data.push(v as f32 * scale);
         }
+        data
     } else {
+        // ASCII samples are at least one digit plus a separator each, so
+        // `count` samples need at least `2·count − 1` remaining bytes; check
+        // before allocating for the same allocation-bomb reason as above.
+        let remaining = cursor.bytes.len().saturating_sub(cursor.pos);
+        if remaining < count.saturating_mul(2).saturating_sub(1) {
+            return Err(ImageError::Codec("truncated raster".into()));
+        }
+        let mut data = Vec::with_capacity(count);
         for _ in 0..count {
             let v: u32 = cursor.token()?.parse().map_err(|_| bad("sample"))?;
             data.push(v.min(maxval) as f32 * scale);
         }
-    }
+        data
+    };
     // De-interleave into channels.
     let mut planes = vec![Vec::with_capacity(width * height); channels];
     for (i, v) in data.into_iter().enumerate() {
@@ -239,6 +274,42 @@ mod tests {
         assert!(parse_netpbm(b"P6\n2 2\n255\nxx").is_err()); // truncated raster
         assert!(parse_netpbm(b"P3\n1 1\n255\n12 bogus 3").is_err());
         assert!(parse_netpbm(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_headers_before_allocation() {
+        // width × height overflows usize: must be rejected, not wrapped.
+        let huge = format!("P5\n{} {}\n255\n", usize::MAX, 2);
+        assert!(matches!(
+            parse_netpbm(huge.as_bytes()),
+            Err(ImageError::TooLarge { .. })
+        ));
+        // width × height × channels overflows even when pixels does not.
+        let huge = format!("P6\n{} {}\n255\n", usize::MAX / 2, 2);
+        assert!(matches!(
+            parse_netpbm(huge.as_bytes()),
+            Err(ImageError::TooLarge { .. })
+        ));
+        // Non-overflowing but absurd size with a tiny raster: the length
+        // check fires before any allocation.
+        assert!(parse_netpbm(b"P6\n1000000 1000000\n255\nxx").is_err());
+        assert!(parse_netpbm(b"P2\n1000000 1000000\n255\n0 1 2").is_err());
+        // Pixel budget enforced on otherwise valid declarations.
+        let img = test_image();
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).unwrap();
+        assert!(parse_netpbm_limited(&buf, 5 * 4).is_ok());
+        assert!(matches!(
+            parse_netpbm_limited(&buf, 5 * 4 - 1),
+            Err(ImageError::TooLarge { max_pixels: 19, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_maxval() {
+        assert!(parse_netpbm(b"P5\n1 1\n0\n\x00").is_err());
+        assert!(parse_netpbm(b"P5\n1 1\n65536\n\x00\x00").is_err());
+        assert!(parse_netpbm(b"P5\n1 1\n-1\n\x00").is_err());
     }
 
     #[test]

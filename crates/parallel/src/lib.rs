@@ -36,6 +36,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub use walrus_guard::{Budgets, CancelToken, Deadline, Guard, Interrupt};
+
 /// Upper bound on worker threads; guards against absurd `WALRUS_THREADS`
 /// values spawning thousands of OS threads.
 pub const MAX_THREADS: usize = 256;
@@ -170,6 +172,178 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Result of a guarded partial map: everything that finished before the
+/// guard tripped.
+///
+/// Invariant: `interrupted.is_some()` implies at least one item was **not**
+/// computed, and `interrupted.is_none()` implies `completed` covers every
+/// input item. `completed` is sorted by input index. Which items complete
+/// under interruption depends on scheduling (workers stop within one chunk
+/// of the trip), except in the serial path where `completed` is always the
+/// exact prefix of items processed before the trip.
+#[derive(Debug)]
+pub struct PartialOutput<U> {
+    /// `(input index, result)` pairs, sorted by index.
+    pub completed: Vec<(usize, U)>,
+    /// The interrupt that stopped the map early, if any.
+    pub interrupted: Option<Interrupt>,
+}
+
+/// [`parallel_map`] that cooperates with a [`Guard`]: workers poll the guard
+/// before starting each chunk (each item, in the serial path), so in-flight
+/// work stops within one chunk of cancellation or deadline expiry. Results
+/// computed before the trip are returned rather than discarded — that is
+/// what lets the query path serve best-so-far partial answers.
+pub fn parallel_map_partial<T, U, F>(
+    threads: usize,
+    guard: &Guard,
+    items: &[T],
+    f: F,
+) -> PartialOutput<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if !guard.is_armed() {
+        let out = parallel_map(threads, items, f);
+        return PartialOutput { completed: out.into_iter().enumerate().collect(), interrupted: None };
+    }
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        let mut completed = Vec::with_capacity(items.len());
+        let mut interrupted = None;
+        for (i, t) in items.iter().enumerate() {
+            if let Err(int) = guard.poll() {
+                interrupted = Some(int);
+                break;
+            }
+            completed.push((i, f(i, t)));
+        }
+        return PartialOutput { completed, interrupted };
+    }
+    let chunk = chunk_size(items.len(), threads);
+    let n_chunks = items.len().div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let stopped: Mutex<Option<Interrupt>> = Mutex::new(None);
+    let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                // Claim first, then poll: an interrupt observed here leaves
+                // the claimed chunk uncomputed, preserving the invariant
+                // that `interrupted` implies missing work.
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                if let Err(int) = guard.poll() {
+                    let mut slot = lock_ignore_poison(&stopped);
+                    if slot.is_none() {
+                        *slot = Some(int);
+                    }
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let out: Vec<U> =
+                    items[start..end].iter().enumerate().map(|(i, t)| f(start + i, t)).collect();
+                lock_ignore_poison(&done).push((start, out));
+            });
+        }
+    });
+    let interrupted = stopped.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut parts = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut completed = Vec::with_capacity(items.len());
+    for (start, part) in parts {
+        completed.extend(part.into_iter().enumerate().map(|(i, u)| (start + i, u)));
+    }
+    PartialOutput { completed, interrupted }
+}
+
+/// Guarded [`try_parallel_map`]: stops within one chunk of an interrupt and
+/// surfaces it as `E` (via `From<Interrupt>`); otherwise identical semantics
+/// to [`try_parallel_map`], including lowest-index error selection.
+///
+/// An interrupt takes precedence over item errors: under interruption the
+/// set of evaluated items is scheduling-dependent, so reporting an item
+/// error from it would be nondeterministic, while the interrupt itself is
+/// the caller's own signal.
+pub fn try_parallel_map_guarded<T, U, E, F>(
+    threads: usize,
+    guard: &Guard,
+    items: &[T],
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send + From<Interrupt>,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let partial = parallel_map_partial(threads, guard, items, f);
+    if let Some(int) = partial.interrupted {
+        return Err(E::from(int));
+    }
+    let mut out = Vec::with_capacity(partial.completed.len());
+    for (_, r) in partial.completed {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Guarded [`parallel_for`]: workers poll the guard before each task and
+/// abandon the queue on an interrupt. On `Err`, an unspecified subset of
+/// tasks has run — callers must treat the shared output as garbage (the
+/// engine only uses this inside computations that are discarded wholesale
+/// when interrupted).
+pub fn parallel_for_guarded<T, F>(
+    threads: usize,
+    guard: &Guard,
+    tasks: Vec<T>,
+    f: F,
+) -> Result<(), Interrupt>
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if !guard.is_armed() {
+        parallel_for(threads, tasks, f);
+        return Ok(());
+    }
+    let threads = threads.clamp(1, MAX_THREADS).min(tasks.len().max(1));
+    if threads <= 1 || tasks.len() <= 1 {
+        for t in tasks {
+            guard.poll()?;
+            f(t);
+        }
+        return Ok(());
+    }
+    let stopped: Mutex<Option<Interrupt>> = Mutex::new(None);
+    let queue = Mutex::new(tasks);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let task = lock_ignore_poison(&queue).pop();
+                let Some(t) = task else { break };
+                if let Err(int) = guard.poll() {
+                    let mut slot = lock_ignore_poison(&stopped);
+                    if slot.is_none() {
+                        *slot = Some(int);
+                    }
+                    break;
+                }
+                f(t);
+            });
+        }
+    });
+    match stopped.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        Some(int) => Err(int),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +433,112 @@ mod tests {
             })
         });
         assert!(caught.is_err(), "panic must not be swallowed");
+    }
+
+    #[test]
+    fn partial_map_unarmed_guard_is_complete() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map_partial(4, &Guard::none(), &items, |_, &x| x * 2);
+        assert_eq!(out.interrupted, None);
+        assert_eq!(out.completed.len(), 100);
+        for (i, (idx, v)) in out.completed.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn partial_map_serial_trip_yields_exact_prefix() {
+        let items: Vec<usize> = (0..50).collect();
+        let guard = Guard::none().trip_after(7, Interrupt::DeadlineExceeded);
+        let out = parallel_map_partial(1, &guard, &items, |_, &x| x);
+        assert_eq!(out.interrupted, Some(Interrupt::DeadlineExceeded));
+        assert_eq!(out.completed.len(), 7);
+        for (i, (idx, v)) in out.completed.iter().enumerate() {
+            assert_eq!((*idx, *v), (i, i));
+        }
+    }
+
+    #[test]
+    fn partial_map_parallel_cancel_stops_early() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = parallel_map_partial(4, &Guard::with_token(token), &items, |_, &x| x);
+        assert_eq!(out.interrupted, Some(Interrupt::Cancelled));
+        assert!(out.completed.is_empty(), "pre-cancelled guard must do no work");
+    }
+
+    #[test]
+    fn partial_map_interrupted_implies_missing_work() {
+        let items: Vec<usize> = (0..4096).collect();
+        for threads in [1, 2, 8] {
+            let guard = Guard::none().trip_after(3, Interrupt::Cancelled);
+            let out = parallel_map_partial(threads, &guard, &items, |_, &x| x);
+            assert_eq!(out.interrupted, Some(Interrupt::Cancelled), "threads = {threads}");
+            assert!(out.completed.len() < items.len(), "threads = {threads}");
+            let mut last = None;
+            for (idx, v) in &out.completed {
+                assert_eq!(idx, v);
+                assert!(last < Some(*idx), "completed must be index-sorted");
+                last = Some(*idx);
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_try_map_maps_interrupt_into_error() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            Int(Interrupt),
+            Item(usize),
+        }
+        impl From<Interrupt> for E {
+            fn from(i: Interrupt) -> Self {
+                E::Int(i)
+            }
+        }
+        let items: Vec<usize> = (0..200).collect();
+        // No interrupt: behaves like try_parallel_map (lowest-index error).
+        let err = try_parallel_map_guarded(4, &Guard::none(), &items, |_, &x| {
+            if x == 5 || x == 150 {
+                Err(E::Item(x))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, E::Item(5));
+        // Interrupt wins over item errors.
+        let guard = Guard::none().trip_after(0, Interrupt::Cancelled);
+        let err: E = try_parallel_map_guarded(4, &guard, &items, |_, &x| Ok::<usize, E>(x))
+            .unwrap_err();
+        assert_eq!(err, E::Int(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn guarded_for_runs_all_without_interrupt() {
+        let mut buf = vec![0u64; 256];
+        let tasks: Vec<(usize, &mut [u64])> = buf.chunks_mut(16).enumerate().collect();
+        let res = parallel_for_guarded(4, &Guard::none(), tasks, |(chunk, slice)| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (chunk * 16 + i) as u64 + 1;
+            }
+        });
+        assert!(res.is_ok());
+        assert!(buf.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn guarded_for_aborts_on_trip() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..1000).collect();
+        let guard = Guard::none().trip_after(5, Interrupt::DeadlineExceeded);
+        let res = parallel_for_guarded(1, &guard, tasks, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(res, Err(Interrupt::DeadlineExceeded));
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
     }
 
     #[test]

@@ -36,9 +36,11 @@ pub mod quantize;
 pub mod sliding;
 
 pub use sliding::{SlidingParams, WindowSignature};
+pub use walrus_guard::{Guard, Interrupt};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum WaveletError {
     /// Input length/side must be a power of two (and ≥ 1).
     NotPowerOfTwo {
@@ -64,6 +66,14 @@ pub enum WaveletError {
         /// Minimum window size requested.
         omega_min: usize,
     },
+    /// A guarded sweep was stopped by cancellation or deadline expiry.
+    Interrupted(Interrupt),
+}
+
+impl From<Interrupt> for WaveletError {
+    fn from(int: Interrupt) -> Self {
+        WaveletError::Interrupted(int)
+    }
 }
 
 impl std::fmt::Display for WaveletError {
@@ -78,6 +88,7 @@ impl std::fmt::Display for WaveletError {
                 f,
                 "image {width}x{height} smaller than minimum window {omega_min}"
             ),
+            WaveletError::Interrupted(int) => write!(f, "wavelet sweep interrupted: {int}"),
         }
     }
 }

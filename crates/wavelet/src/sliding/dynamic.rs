@@ -31,6 +31,7 @@
 use crate::haar2d;
 use crate::sliding::{normalize_signature_matrix, SlidingParams, WindowSignature};
 use crate::{Result, WaveletError};
+use walrus_guard::Guard;
 
 /// The per-level storage of the DP sweep: the truncated (side `m`) raw
 /// wavelet transforms of every window of one size, for one channel.
@@ -79,7 +80,9 @@ impl WindowGrid {
     /// Builds the next level (`2ω`) from this one. Returns `None` when a
     /// `2ω` window no longer fits in the image.
     pub fn merge_next(&self, width: usize, height: usize, params: &SlidingParams) -> Option<Self> {
-        let mut grids = merge_level(std::slice::from_ref(self), width, height, params, 1)?;
+        let merged = merge_level(std::slice::from_ref(self), width, height, params, 1, &Guard::none());
+        // An unarmed guard never interrupts, so the Err arm is unreachable.
+        let mut grids = merged.unwrap_or(None)?;
         Some(grids.remove(0))
     }
 
@@ -124,7 +127,9 @@ impl WindowGrid {
 
 /// Advances all channel grids one level (`ω → 2ω`), distributing the
 /// independent `(channel, output row)` units across up to `threads`
-/// workers. Returns `None` when a `2ω` window no longer fits. Every cell is
+/// workers. Returns `Ok(None)` when a `2ω` window no longer fits and
+/// `Err(Interrupted)` when the guard trips mid-merge (workers stop within
+/// one row task; the half-filled buffers are dropped). Every cell is
 /// computed by the same code on the same inputs regardless of the thread
 /// count, so the result is byte-identical to the serial merge.
 fn merge_level(
@@ -133,11 +138,12 @@ fn merge_level(
     height: usize,
     params: &SlidingParams,
     threads: usize,
-) -> Option<Vec<WindowGrid>> {
-    let prev = grids.first()?;
+    guard: &Guard,
+) -> Result<Option<Vec<WindowGrid>>> {
+    let Some(prev) = grids.first() else { return Ok(None) };
     let omega = prev.omega * 2;
     if omega > width || omega > height {
-        return None;
+        return Ok(None);
     }
     let dist = params.dist(omega);
     let cols = (width - omega) / dist + 1;
@@ -153,16 +159,17 @@ fn merge_level(
                 data.chunks_mut(row_sz).enumerate().map(move |(row, slice)| (c, row, slice))
             })
             .collect();
-        walrus_parallel::parallel_for(threads, tasks, |(c, row, slice)| {
+        walrus_parallel::parallel_for_guarded(threads, guard, tasks, |(c, row, slice)| {
             grids[c].fill_merge_row(row, slice, omega, dist, cols, m);
-        });
+        })
+        .map_err(WaveletError::Interrupted)?;
     }
-    Some(
+    Ok(Some(
         datas
             .into_iter()
             .map(|data| WindowGrid { omega, dist, cols, rows, m, data })
             .collect(),
-    )
+    ))
 }
 
 /// The paper's `computeSingleWindow` (Figure 4): computes the truncated
@@ -280,6 +287,23 @@ pub fn compute_signatures_with_threads(
     params: &SlidingParams,
     threads: usize,
 ) -> Result<Vec<WindowSignature>> {
+    compute_signatures_guarded(planes, width, height, params, threads, &Guard::none())
+}
+
+/// [`compute_signatures_with_threads`] cooperating with a request [`Guard`]:
+/// the guard is polled once per DP level and between row tasks inside each
+/// level's merge and signature assembly, so a cancelled or deadline-expired
+/// sweep stops within one row of work and returns
+/// [`WaveletError::Interrupted`]. With an unarmed guard this is exactly the
+/// unguarded sweep (same outputs, same fast paths).
+pub fn compute_signatures_guarded(
+    planes: &[&[f32]],
+    width: usize,
+    height: usize,
+    params: &SlidingParams,
+    threads: usize,
+    guard: &Guard,
+) -> Result<Vec<WindowSignature>> {
     params.validate()?;
     if planes.is_empty() {
         return Err(WaveletError::BadParams("no channel planes supplied".into()));
@@ -299,7 +323,8 @@ pub fn compute_signatures_with_threads(
     let mut out = Vec::with_capacity(params.total_windows(width, height));
     let mut omega = 2usize;
     while omega <= params.omega_max {
-        match merge_level(&grids, width, height, params, threads) {
+        guard.poll()?;
+        match merge_level(&grids, width, height, params, threads, guard)? {
             Some(next) => grids = next,
             None => return Ok(out),
         }
@@ -307,18 +332,20 @@ pub fn compute_signatures_with_threads(
             let (cols, rows, dist) = (grids[0].cols, grids[0].rows, grids[0].dist);
             let row_ids: Vec<usize> = (0..rows).collect();
             let per_row: Vec<Vec<WindowSignature>> =
-                walrus_parallel::parallel_map(threads, &row_ids, |_, &row| {
-                    (0..cols)
-                        .map(|col| {
-                            let mut coeffs =
-                                Vec::with_capacity(params.signature_dims(planes.len()));
-                            for g in &grids {
-                                coeffs.extend_from_slice(&g.signature(col, row, params.s));
-                            }
-                            WindowSignature { x: col * dist, y: row * dist, omega, coeffs }
-                        })
-                        .collect()
-                });
+                walrus_parallel::try_parallel_map_guarded(threads, guard, &row_ids, |_, &row| {
+                    Ok::<_, WaveletError>(
+                        (0..cols)
+                            .map(|col| {
+                                let mut coeffs =
+                                    Vec::with_capacity(params.signature_dims(planes.len()));
+                                for g in &grids {
+                                    coeffs.extend_from_slice(&g.signature(col, row, params.s));
+                                }
+                                WindowSignature { x: col * dist, y: row * dist, omega, coeffs }
+                            })
+                            .collect(),
+                    )
+                })?;
             for row_sigs in per_row {
                 out.extend(row_sigs);
             }
@@ -461,6 +488,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn guarded_sweep_matches_unguarded_and_interrupts() {
+        use walrus_guard::{Guard, Interrupt};
+        let plane = demo_plane(32, 32, 15);
+        let params = SlidingParams { s: 2, omega_min: 4, omega_max: 16, stride: 4 };
+        // Unarmed guard: identical output.
+        let plain = compute_signatures_with_threads(&[&plane[..]], 32, 32, &params, 1).unwrap();
+        let guarded =
+            compute_signatures_guarded(&[&plane[..]], 32, 32, &params, 1, &Guard::none()).unwrap();
+        assert_eq!(plain.len(), guarded.len());
+        for (p, g) in plain.iter().zip(&guarded) {
+            assert_eq!((p.x, p.y, p.omega), (g.x, g.y, g.omega));
+            assert_eq!(p.coeffs, g.coeffs);
+        }
+        // Pre-tripped guard: interrupted before any level completes.
+        let guard = Guard::none().trip_after(0, Interrupt::Cancelled);
+        let err = compute_signatures_guarded(&[&plane[..]], 32, 32, &params, 1, &guard)
+            .unwrap_err();
+        assert_eq!(err, WaveletError::Interrupted(Interrupt::Cancelled));
+        // Tripping mid-sweep also interrupts (poll budget exhausted inside
+        // the level loop rather than before it).
+        let guard = Guard::none().trip_after(10, Interrupt::DeadlineExceeded);
+        let err = compute_signatures_guarded(&[&plane[..]], 32, 32, &params, 4, &guard)
+            .unwrap_err();
+        assert_eq!(err, WaveletError::Interrupted(Interrupt::DeadlineExceeded));
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod dynamic;
 pub mod integral;
 pub mod naive;
 
-pub use dynamic::{compute_signatures, compute_signatures_with_threads, WindowGrid};
+pub use dynamic::{
+    compute_signatures, compute_signatures_guarded, compute_signatures_with_threads, WindowGrid,
+};
 pub use integral::{compute_signatures_integral, SummedAreaTable};
 pub use naive::compute_signatures_naive;
 

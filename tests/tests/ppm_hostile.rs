@@ -1,0 +1,83 @@
+//! Hostile-input defense for the netpbm decoder: every file in the
+//! committed `tests/hostile_corpus/` directory is a malformed or malicious
+//! PPM/PGM byte stream (overflowing dimensions, allocation bombs, truncated
+//! rasters, garbage). Decoding any of them must return a clean error —
+//! never panic, never allocate anywhere near the declared raster size.
+
+use std::path::{Path, PathBuf};
+use walrus_imagery::ppm::{load_netpbm_limited, parse_netpbm, parse_netpbm_limited};
+use walrus_imagery::ImageError;
+
+/// Pixel budget used by the limited-decode tests: small enough that an
+/// allocation anywhere near a hostile header's claim would be caught.
+const BUDGET: usize = 1 << 22;
+
+fn corpus_dir() -> PathBuf {
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        return Path::new(dir).join("hostile_corpus");
+    }
+    // Raw-rustc harness: no cargo env, probe relative to the working dir.
+    for cand in ["hostile_corpus", "tests/hostile_corpus", "../hostile_corpus"] {
+        let p = PathBuf::from(cand);
+        if p.is_dir() {
+            return p;
+        }
+    }
+    panic!("hostile_corpus directory not found; run from the repo root or tests/");
+}
+
+#[test]
+fn every_corpus_file_is_rejected_without_panicking() {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 10, "corpus unexpectedly small: {} files", files.len());
+
+    for path in &files {
+        // Budgeted decode — the CLI ingest path.
+        let limited = load_netpbm_limited(path, BUDGET);
+        assert!(limited.is_err(), "{} decoded under a budget", path.display());
+        // Unlimited decode must fail just as cleanly: the raster-vs-input
+        // length check fires before any allocation even without a budget.
+        let bytes = std::fs::read(path).unwrap();
+        assert!(parse_netpbm(&bytes).is_err(), "{} decoded unlimited", path.display());
+    }
+}
+
+#[test]
+fn oversized_headers_rejected_by_the_budget_before_allocation() {
+    for name in ["huge_dims.ppm", "overflow_dims.ppm"] {
+        let bytes = std::fs::read(corpus_dir().join(name)).unwrap();
+        match parse_netpbm_limited(&bytes, BUDGET) {
+            Err(ImageError::TooLarge { max_pixels, .. }) => assert_eq!(max_pixels, BUDGET),
+            other => panic!("{name}: expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_raster_is_detected_before_allocation() {
+    let bytes = std::fs::read(corpus_dir().join("truncated_raster.ppm")).unwrap();
+    match parse_netpbm_limited(&bytes, BUDGET) {
+        Err(ImageError::Codec(msg)) => assert!(msg.contains("truncated"), "got {msg:?}"),
+        other => panic!("expected truncated-raster Codec error, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_boundary_is_exact() {
+    // A well-formed 4x4 P6: exactly at the budget it parses, one below it
+    // does not.
+    let mut bytes = b"P6\n4 4\n255\n".to_vec();
+    bytes.extend(std::iter::repeat(0x40u8).take(4 * 4 * 3));
+    let img = parse_netpbm_limited(&bytes, 16).expect("exactly-at-budget image must parse");
+    assert_eq!((img.width(), img.height()), (4, 4));
+    match parse_netpbm_limited(&bytes, 15) {
+        Err(ImageError::TooLarge { width: 4, height: 4, max_pixels: 15 }) => {}
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
