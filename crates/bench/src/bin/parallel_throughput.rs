@@ -21,7 +21,7 @@
 //! `WALRUS_BENCH_OUT=<path>` to redirect the JSON, default
 //! `BENCH_parallel.json`).
 
-use walrus_bench::report::{f3, Table};
+use walrus_bench::report::{f3, host_cpus, BenchReport, Table};
 use walrus_bench::workloads::{flower_query_with_variants, retrieval_dataset, retrieval_params};
 use walrus_bench::{scale, time, Scale};
 use walrus_core::{ImageDatabase, QueryOutcome, WalrusParams};
@@ -33,7 +33,7 @@ fn main() {
     let sc = scale();
     let dataset = retrieval_dataset(sc);
     let params = retrieval_params();
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cpus = host_cpus();
     let items: Vec<(&str, &Image)> =
         dataset.images.iter().map(|i| (i.name.as_str(), &i.image)).collect();
     let query_reps = match sc {
@@ -153,18 +153,16 @@ fn main() {
     query_table.print();
 
     // --- JSON trajectory datapoint ---------------------------------------
-    let out_path =
-        std::env::var("WALRUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
-    let json = render_json(
+    let report = build_report(
         sc,
-        host_cpus,
         items.len(),
         db.num_regions(),
         query_reps * queries.len(),
         &ingest_rows,
         &query_rows,
     );
-    std::fs::write(&out_path, &json).expect("benchmark output path is writable");
+    let out_path =
+        report.write("BENCH_parallel.json").expect("benchmark output path is writable");
     println!("\nwrote {out_path}");
     if host_cpus == 1 {
         println!(
@@ -186,46 +184,43 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
-#[allow(clippy::too_many_arguments)]
-fn render_json(
+fn build_report(
     sc: Scale,
-    host_cpus: usize,
     images: usize,
     regions: usize,
     query_samples: usize,
     ingest: &[(usize, f64, f64)],
     query: &[(usize, f64, f64, f64)],
-) -> String {
+) -> BenchReport {
     let serial_ingest = ingest.first().map(|(_, s, _)| *s).unwrap_or(0.0);
     let serial_p50 = query.first().map(|(_, p, _, _)| *p).unwrap_or(0.0);
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"parallel_throughput\",\n");
-    out.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        if sc == Scale::Full { "full" } else { "quick" }
-    ));
-    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
-    out.push_str(&format!(
-        "  \"dataset\": {{ \"images\": {images}, \"regions\": {regions}, \"query_samples\": {query_samples} }},\n"
-    ));
-    out.push_str("  \"determinism_checked\": true,\n");
-    out.push_str("  \"ingest\": [\n");
-    for (i, (threads, secs, ips)) in ingest.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{ \"threads\": {threads}, \"seconds\": {secs:.4}, \"images_per_sec\": {ips:.2}, \"speedup_vs_serial\": {:.3} }}{}\n",
-            serial_ingest / secs,
-            if i + 1 < ingest.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"query\": [\n");
-    for (i, (threads, p50, p99, mean)) in query.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{ \"threads\": {threads}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"mean_ms\": {mean:.3}, \"speedup_vs_serial_p50\": {:.3} }}{}\n",
-            serial_p50 / p50,
-            if i + 1 < query.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let ingest_rows: Vec<String> = ingest
+        .iter()
+        .map(|(threads, secs, ips)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"seconds\": {secs:.4}, \"images_per_sec\": {ips:.2}, \"speedup_vs_serial\": {:.3} }}",
+                serial_ingest / secs
+            )
+        })
+        .collect();
+    let query_rows: Vec<String> = query
+        .iter()
+        .map(|(threads, p50, p99, mean)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"mean_ms\": {mean:.3}, \"speedup_vs_serial_p50\": {:.3} }}",
+                serial_p50 / p50
+            )
+        })
+        .collect();
+    BenchReport::new("parallel_throughput")
+        .field_str("scale", if sc == Scale::Full { "full" } else { "quick" })
+        .field(
+            "dataset",
+            format!(
+                "{{ \"images\": {images}, \"regions\": {regions}, \"query_samples\": {query_samples} }}"
+            ),
+        )
+        .field("determinism_checked", "true")
+        .field("ingest", format!("[\n{}\n  ]", ingest_rows.join(",\n")))
+        .field("query", format!("[\n{}\n  ]", query_rows.join(",\n")))
 }

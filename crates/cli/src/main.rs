@@ -11,6 +11,8 @@
 //! walrus open   <dir>                 create/open a crash-safe store directory
 //! walrus recover <dir>                recover a store and report what was repaired
 //! walrus compact <dir>                fold the write-ahead log into a snapshot
+//! walrus serve  <dir>                 serve a store over HTTP (see --addr)
+//! walrus bench-http                   HTTP round-trip benchmark -> BENCH_server.json
 //! ```
 //!
 //! `<db>` is either a single snapshot file (e.g. `db.walrus`) or a *store
@@ -30,6 +32,7 @@
 //!                     without mutating the database
 //!   `--max-pixels <n>`  reject images whose header declares more pixels,
 //!                     before any raster memory is allocated
+//!   `--addr <host:port>`  bind address for `serve` (default 127.0.0.1:8167)
 //!
 //! `index` with several images extracts their regions **in parallel** and
 //! indexes them in one batch; results are identical to one-at-a-time
@@ -67,6 +70,7 @@ struct Options {
     threads: usize,
     timeout_ms: Option<u64>,
     max_pixels: Option<usize>,
+    addr: String,
 }
 
 impl Default for Options {
@@ -80,6 +84,7 @@ impl Default for Options {
             threads: 0,
             timeout_ms: None,
             max_pixels: None,
+            addr: "127.0.0.1:8167".to_string(),
         }
     }
 }
@@ -117,6 +122,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "open" => cmd_open(&opts, rest),
         "recover" => cmd_recover(&opts, rest),
         "compact" => cmd_compact(&opts, rest),
+        "serve" => cmd_serve(&opts, rest),
+        "bench-http" => cmd_bench_http(&opts, rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -152,6 +159,10 @@ fn parse_options(args: &[String]) -> Result<(Options, &[String]), String> {
                     return Err("--max-pixels must be >= 1".into());
                 }
                 opts.max_pixels = Some(px);
+                i += 2;
+            }
+            "--addr" => {
+                opts.addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
                 i += 2;
             }
             "--window" => {
@@ -525,6 +536,156 @@ fn cmd_compact(opts: &Options, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [dir] = rest else {
+        return Err("usage: walrus [--addr host:port] [--threads n] [--timeout-ms n] serve <store-dir>".into());
+    };
+    let (store, report) = open_durable(dir, opts)?;
+    print_report(&report);
+    let config = walrus_server::ServerConfig {
+        addr: opts.addr.clone(),
+        threads: opts.threads,
+        default_timeout: opts.timeout_ms.map(Duration::from_millis),
+        ..walrus_server::ServerConfig::default()
+    };
+    walrus_server::signals::install();
+    let handle =
+        walrus_server::Server::start(config, walrus_core::SharedDurableDatabase::new(store))
+            .map_err(|e| format!("cannot start server: {e}"))?;
+    println!("serving {dir} on http://{}", handle.addr());
+    println!("endpoints: /healthz /metrics /ingest /query /image/{{id}} /admin/checkpoint");
+    println!("press ctrl-c (or send SIGTERM) for graceful shutdown");
+    while !walrus_server::signals::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("shutdown requested: draining in-flight requests...");
+    handle.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    println!("drained and checkpointed; store {dir} is clean");
+    Ok(())
+}
+
+/// Self-contained HTTP round-trip benchmark: starts a server on an
+/// ephemeral port over a temp store, ingests a synthetic dataset through
+/// `POST /ingest`, fires concurrent queries, and records client-observed
+/// latency percentiles in `BENCH_server.json`.
+fn cmd_bench_http(opts: &Options, rest: &[String]) -> Result<(), String> {
+    use walrus_bench::report::BenchReport;
+    use walrus_imagery::synth::dataset::timing_image;
+    use walrus_server::{Client, Server, ServerConfig};
+
+    if !rest.is_empty() {
+        return Err("usage: walrus [--threads n] bench-http".into());
+    }
+    const IMAGES: usize = 8;
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 5;
+
+    let base = std::env::temp_dir().join(format!("walrus_bench_http_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).map_err(|e| e.to_string())?;
+    let (store, _) = open_durable(base.to_str().ok_or("temp path is not UTF-8")?, opts)?;
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Thread-per-connection: cover every concurrent client unless the
+        // user pinned a count.
+        threads: if opts.threads > 0 { opts.threads } else { CLIENTS + 2 },
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, walrus_core::SharedDurableDatabase::new(store))
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    println!("bench-http: {IMAGES} images, {CLIENTS} query clients x {ROUNDS} rounds on {addr}");
+
+    // Synthetic PPM bodies.
+    let mut bodies = Vec::with_capacity(IMAGES);
+    for seed in 0..IMAGES {
+        let img = timing_image(96, 64, seed as u64).map_err(|e| e.to_string())?;
+        let mut buf = Vec::new();
+        ppm::write_ppm(&img, &mut buf).map_err(|e| e.to_string())?;
+        bodies.push(buf);
+    }
+
+    // Sequential ingest, one request per image, client-observed latency.
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut ingest_ms = Vec::with_capacity(IMAGES);
+    let ingest_started = std::time::Instant::now();
+    for (i, body) in bodies.iter().enumerate() {
+        let started = std::time::Instant::now();
+        let resp = client
+            .request("POST", &format!("/ingest?name=bench-{i}"), body)
+            .map_err(|e| e.to_string())?;
+        if resp.status != 200 {
+            return Err(format!("ingest {i} answered {}: {}", resp.status, resp.text()));
+        }
+        ingest_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let ingest_wall = ingest_started.elapsed().as_secs_f64();
+
+    // Concurrent queries from independent connections.
+    let bodies = std::sync::Arc::new(bodies);
+    let mut workers = Vec::new();
+    for c in 0..CLIENTS {
+        let bodies = std::sync::Arc::clone(&bodies);
+        workers.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+            let mut latencies = Vec::with_capacity(ROUNDS);
+            for round in 0..ROUNDS {
+                let body = &bodies[(c + round) % bodies.len()];
+                let started = std::time::Instant::now();
+                let resp =
+                    client.request("POST", "/query?k=5", body).map_err(|e| e.to_string())?;
+                if resp.status != 200 {
+                    return Err(format!("query answered {}: {}", resp.status, resp.text()));
+                }
+                latencies.push(started.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut query_ms = Vec::new();
+    for worker in workers {
+        query_ms.extend(worker.join().map_err(|_| "query client panicked")??);
+    }
+    handle.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let _ = std::fs::remove_dir_all(&base);
+
+    let stats = |ms: &mut Vec<f64>| -> (f64, f64, f64) {
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |q: f64| ms[((q * ms.len() as f64).ceil() as usize).clamp(1, ms.len()) - 1];
+        (rank(0.50), rank(0.95), rank(0.99))
+    };
+    let (ing_p50, ing_p95, ing_p99) = stats(&mut ingest_ms);
+    let (q_p50, q_p95, q_p99) = stats(&mut query_ms);
+    println!(
+        "ingest: p50 {ing_p50:.2} ms, p95 {ing_p95:.2} ms, p99 {ing_p99:.2} ms \
+         ({:.1} images/sec)",
+        IMAGES as f64 / ingest_wall
+    );
+    println!("query:  p50 {q_p50:.2} ms, p95 {q_p95:.2} ms, p99 {q_p99:.2} ms");
+
+    let out_path = BenchReport::new("http_server")
+        .field("images", IMAGES.to_string())
+        .field("query_clients", CLIENTS.to_string())
+        .field("query_samples", query_ms.len().to_string())
+        .field(
+            "ingest",
+            format!(
+                "{{ \"p50_ms\": {ing_p50:.3}, \"p95_ms\": {ing_p95:.3}, \"p99_ms\": {ing_p99:.3}, \"images_per_sec\": {:.2} }}",
+                IMAGES as f64 / ingest_wall
+            ),
+        )
+        .field(
+            "query",
+            format!(
+                "{{ \"p50_ms\": {q_p50:.3}, \"p95_ms\": {q_p95:.3}, \"p99_ms\": {q_p99:.3} }}"
+            ),
+        )
+        .write("BENCH_server.json")
+        .map_err(|e| format!("cannot write benchmark output: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
 fn print_ranking<'a>(matches: impl Iterator<Item = &'a walrus_core::RankedImage>) {
     println!("{:>4} {:>5} {:>10} {:>7}  name", "rank", "id", "similarity", "pairs");
     let mut any = false;
@@ -553,6 +714,8 @@ fn print_usage() {
            open   <dir>                      create/open a crash-safe store\n\
            recover <dir>                     recover a store, report repairs\n\
            compact <dir>                     fold the write-ahead log into a snapshot\n\
+           serve  <dir>                      serve a store over HTTP until SIGTERM/ctrl-c\n\
+           bench-http                        HTTP round-trip benchmark -> BENCH_server.json\n\
          \n\
          <db> is a snapshot file or a durable store directory (see `open`).\n\
          \n\
@@ -564,7 +727,8 @@ fn print_usage() {
            --threads <n>          worker threads (0 = auto via WALRUS_THREADS/CPUs)\n\
            --timeout-ms <n>       request deadline (query: best-so-far partial;\n\
                                   index: all-or-nothing abort)\n\
-           --max-pixels <n>       reject larger images before decoding"
+           --max-pixels <n>       reject larger images before decoding\n\
+           --addr <host:port>     bind address for serve (default 127.0.0.1:8167)"
     );
 }
 
@@ -642,6 +806,16 @@ mod tests {
     fn run_rejects_unknown_command() {
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn serve_and_bench_http_validate_args() {
+        assert!(run(&s(&["serve"])).is_err());
+        assert!(run(&s(&["serve", "a", "b"])).is_err());
+        assert!(run(&s(&["bench-http", "unexpected"])).is_err());
+        let (opts, _) = parse_options(&s(&["--addr", "0.0.0.0:9999", "serve"])).unwrap();
+        assert_eq!(opts.addr, "0.0.0.0:9999");
+        assert!(parse_options(&s(&["--addr"])).is_err());
     }
 
     #[test]

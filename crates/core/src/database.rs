@@ -20,7 +20,7 @@ use crate::region::Region;
 use crate::{Result, WalrusError};
 use std::collections::HashMap;
 use std::sync::Arc;
-use walrus_guard::{Guard, Interrupt};
+use walrus_guard::{Budgets, Guard, Interrupt};
 use walrus_imagery::Image;
 use walrus_parallel::{parallel_map_partial, resolve_threads, try_parallel_map_guarded};
 use walrus_rstar::{bulk_load, RStarParams, RStarTree};
@@ -100,6 +100,46 @@ pub struct QueryOutcome {
     pub status: ResultStatus,
 }
 
+/// Per-request query knobs, the shape a serving layer assembles from request
+/// parameters. Every field is optional; `QueryOptions::default()` reproduces
+/// [`ImageDatabase::query_guarded`] exactly, and `k: Some(k)` alone
+/// reproduces [`ImageDatabase::top_k_guarded`] exactly — the HTTP path and
+/// the in-process path run the same code, which is what lets integration
+/// tests demand bit-identical rankings across the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryOptions {
+    /// Keep only the best `k` matches. Also drops the `τ` similarity floor
+    /// (top-k is "best k regardless of τ", matching
+    /// [`ImageDatabase::top_k_guarded`]) unless `min_similarity` says
+    /// otherwise.
+    pub k: Option<usize>,
+    /// Override of the querying epsilon `ε` for this request only.
+    pub epsilon: Option<f32>,
+    /// Explicit similarity floor; defaults to `τ` without `k` and `0.0`
+    /// with `k`.
+    pub min_similarity: Option<f64>,
+    /// Per-request resource ceilings; defaults to the database-wide
+    /// [`WalrusParams::budgets`].
+    pub budgets: Option<Budgets>,
+}
+
+/// Owned metadata snapshot of one indexed image — the response shape lookup
+/// endpoints hand out. Unlike [`IndexedImage`] it carries no region data, so
+/// cloning it out from under a shared lock is cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageMeta {
+    /// Database id.
+    pub id: usize,
+    /// Caller-supplied name.
+    pub name: String,
+    /// Pixel width.
+    pub width: usize,
+    /// Pixel height.
+    pub height: usize,
+    /// Number of extracted regions.
+    pub regions: usize,
+}
+
 /// The database.
 #[derive(Debug, Clone)]
 pub struct ImageDatabase {
@@ -148,6 +188,18 @@ impl ImageDatabase {
     /// Looks up an indexed image by id.
     pub fn image(&self, id: usize) -> Option<&IndexedImage> {
         self.images.get(id).and_then(|i| i.as_ref())
+    }
+
+    /// Owned metadata snapshot for an image, or `None` when the id is
+    /// unknown or removed.
+    pub fn image_meta(&self, id: usize) -> Option<ImageMeta> {
+        self.image(id).map(|img| ImageMeta {
+            id,
+            name: img.name.clone(),
+            width: img.width,
+            height: img.height,
+            regions: img.regions.len(),
+        })
     }
 
     /// All image slots in id order; removed images appear as `None`
@@ -367,6 +419,36 @@ impl ImageDatabase {
             guard,
         )?;
         outcome.matches.truncate(k);
+        Ok(outcome)
+    }
+
+    /// Runs a query shaped by per-request [`QueryOptions`], under a
+    /// lifecycle [`Guard`] (same degradation semantics as
+    /// [`ImageDatabase::query_guarded`]). Default options are bit-identical
+    /// to [`ImageDatabase::query_guarded`]; `k: Some(k)` alone is
+    /// bit-identical to [`ImageDatabase::top_k_guarded`].
+    pub fn query_with_options_guarded(
+        &self,
+        query: &Image,
+        opts: &QueryOptions,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        let (params, min_similarity) = opts.resolve(&self.params)?;
+        let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
+            Ok(r) => r,
+            Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
+            Err(e) => return Err(e),
+        };
+        let mut outcome = self.query_regions_with_params_guarded(
+            &params,
+            &regions,
+            query.area(),
+            min_similarity,
+            guard,
+        )?;
+        if let Some(k) = opts.k {
+            outcome.matches.truncate(k);
+        }
         Ok(outcome)
     }
 
@@ -590,6 +672,37 @@ impl ImageDatabase {
     }
 }
 
+impl QueryOptions {
+    /// Resolves this request's effective engine parameters and similarity
+    /// floor against the database-wide configuration, validating overrides
+    /// the same way the dedicated entry points do.
+    pub(crate) fn resolve(&self, base: &WalrusParams) -> Result<(WalrusParams, f64)> {
+        let mut params = *base;
+        if let Some(epsilon) = self.epsilon {
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                return Err(WalrusError::BadParams(format!("epsilon {epsilon} invalid")));
+            }
+            params.query_epsilon = epsilon;
+        }
+        if let Some(budgets) = self.budgets {
+            params.budgets = budgets;
+        }
+        let min_similarity = match self.min_similarity {
+            Some(min) => {
+                if !min.is_finite() {
+                    return Err(WalrusError::BadParams(format!(
+                        "min_similarity {min} invalid"
+                    )));
+                }
+                min
+            }
+            None if self.k.is_some() => 0.0,
+            None => params.tau,
+        };
+        Ok((params, min_similarity))
+    }
+}
+
 impl QueryOutcome {
     /// The outcome of a query whose deadline expired before any candidate
     /// could be probed or scored: no matches, zeroed statistics,
@@ -704,6 +817,40 @@ impl SharedDatabase {
             params.tau,
             guard,
         )
+    }
+
+    /// [`ImageDatabase::query_with_options_guarded`] on the shared handle:
+    /// extraction (with the per-request parameter overrides applied) runs
+    /// outside the lock, probe/score under the shared lock.
+    pub fn query_with_options_guarded(
+        &self,
+        query: &Image,
+        opts: &QueryOptions,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        let (params, min_similarity) = opts.resolve(&self.params())?;
+        let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
+            Ok(r) => r,
+            Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
+            Err(e) => return Err(e),
+        };
+        let mut outcome = self.inner.read().query_regions_with_params_guarded(
+            &params,
+            &regions,
+            query.area(),
+            min_similarity,
+            guard,
+        )?;
+        if let Some(k) = opts.k {
+            outcome.matches.truncate(k);
+        }
+        Ok(outcome)
+    }
+
+    /// Owned metadata snapshot for an image (shared lock held only for the
+    /// clone).
+    pub fn image_meta(&self, id: usize) -> Option<ImageMeta> {
+        self.inner.read().image_meta(id)
     }
 
     /// The `k` most similar images (extraction unlocked, probe/score under

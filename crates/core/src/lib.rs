@@ -78,13 +78,16 @@ pub mod storage;
 pub mod viz;
 pub mod wal;
 
-pub use database::{ImageDatabase, QueryOutcome, QueryStats, RankedImage, ResultStatus};
+pub use database::{
+    ImageDatabase, ImageMeta, QueryOptions, QueryOutcome, QueryStats, RankedImage, ResultStatus,
+};
 pub use extract::{extract_regions, extract_regions_guarded, extract_regions_with_threads};
 pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
 pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;
 pub use storage::{DiskIo, StorageIo};
 pub use walrus_guard::{Budgets, CancelToken, Deadline, Guard, Interrupt, RetryPolicy};
+pub use walrus_wavelet::SlidingParams;
 
 /// Errors produced by this crate.
 ///

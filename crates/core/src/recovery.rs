@@ -25,7 +25,7 @@
 //! <dir>/snapshot.walrus.tmp   transient; left only by a crash mid-checkpoint
 //! ```
 
-use crate::database::ImageDatabase;
+use crate::database::{ImageDatabase, ImageMeta, QueryOptions};
 use crate::params::WalrusParams;
 use crate::persist;
 use crate::region::Region;
@@ -446,6 +446,23 @@ impl DurableDatabase {
     pub fn top_k_guarded(&self, query: &Image, k: usize, guard: &Guard) -> Result<QueryOutcome> {
         self.db.top_k_guarded(query, k, guard)
     }
+
+    /// Per-request options query (see
+    /// [`ImageDatabase::query_with_options_guarded`]).
+    pub fn query_with_options_guarded(
+        &self,
+        query: &Image,
+        opts: &QueryOptions,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        self.db.query_with_options_guarded(query, opts, guard)
+    }
+
+    /// Owned metadata snapshot for an image (see
+    /// [`ImageDatabase::image_meta`]).
+    pub fn image_meta(&self, id: usize) -> Option<ImageMeta> {
+        self.db.image_meta(id)
+    }
 }
 
 /// A thread-safe handle over a [`DurableDatabase`]: concurrent readers,
@@ -529,6 +546,43 @@ impl SharedDurableDatabase {
     /// Guarded top-k (shared lock).
     pub fn top_k_guarded(&self, query: &Image, k: usize, guard: &Guard) -> Result<QueryOutcome> {
         self.inner.read().top_k_guarded(query, k, guard)
+    }
+
+    /// Per-request options query (shared lock; see
+    /// [`ImageDatabase::query_with_options_guarded`]).
+    pub fn query_with_options_guarded(
+        &self,
+        query: &Image,
+        opts: &QueryOptions,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        self.inner.read().query_with_options_guarded(query, opts, guard)
+    }
+
+    /// Owned metadata snapshot for an image (shared lock held only for the
+    /// clone).
+    pub fn image_meta(&self, id: usize) -> Option<ImageMeta> {
+        self.inner.read().image_meta(id)
+    }
+
+    /// A copy of the engine configuration (shared lock held for the copy).
+    pub fn params(&self) -> WalrusParams {
+        *self.inner.read().db().params()
+    }
+
+    /// Number of indexed regions (shared lock).
+    pub fn num_regions(&self) -> usize {
+        self.inner.read().db().num_regions()
+    }
+
+    /// Current WAL length in bytes (shared lock).
+    pub fn wal_len(&self) -> u64 {
+        self.inner.read().wal_len()
+    }
+
+    /// WAL records appended since the last checkpoint (shared lock).
+    pub fn records_since_checkpoint(&self) -> usize {
+        self.inner.read().records_since_checkpoint()
     }
 
     /// Checkpoints the store (exclusive lock).

@@ -137,6 +137,22 @@ impl Guard {
         Guard::none().token(token)
     }
 
+    /// Per-request construction: the shape a server builds for every incoming
+    /// request — an optional timeout from "now" (request admission, not
+    /// connection accept) plus an optional cancellation token shared with the
+    /// connection/shutdown machinery. `(None, None)` yields an unarmed guard,
+    /// so callers can use this unconditionally.
+    pub fn for_request(timeout: Option<Duration>, token: Option<CancelToken>) -> Self {
+        let mut guard = Guard::none();
+        if let Some(timeout) = timeout {
+            guard = guard.deadline(Deadline::after(timeout));
+        }
+        if let Some(token) = token {
+            guard = guard.token(token);
+        }
+        guard
+    }
+
     /// Attach (or replace) a deadline.
     pub fn deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = Some(deadline);
@@ -357,6 +373,20 @@ mod tests {
         }
         assert_eq!(guard.interrupted(), None);
         assert_eq!(guard.remaining(), None);
+    }
+
+    #[test]
+    fn for_request_combines_sources() {
+        assert!(!Guard::for_request(None, None).is_armed());
+
+        let timed = Guard::for_request(Some(Duration::ZERO), None);
+        assert_eq!(timed.poll(), Err(Interrupt::DeadlineExceeded));
+
+        let token = CancelToken::new();
+        let both = Guard::for_request(Some(Duration::from_secs(3600)), Some(token.clone()));
+        assert_eq!(both.poll(), Ok(()));
+        token.cancel();
+        assert_eq!(both.poll(), Err(Interrupt::Cancelled));
     }
 
     #[test]

@@ -81,6 +81,28 @@ pub fn parse_netpbm(bytes: &[u8]) -> Result<Image> {
 /// (also before allocation), so a small hostile file cannot demand a huge
 /// buffer.
 pub fn parse_netpbm_limited(bytes: &[u8], max_pixels: usize) -> Result<Image> {
+    parse_netpbm_limited_prefix(bytes, max_pixels).map(|(image, _)| image)
+}
+
+/// Parses one PPM/PGM image from the **front** of `bytes` and returns it
+/// together with the number of bytes consumed. Netpbm rasters are
+/// self-delimiting (the header declares exactly how long the raster is), so
+/// several images can be concatenated into one buffer — the batch-ingest wire
+/// format — and peeled off one at a time:
+///
+/// ```ignore
+/// let mut rest = body;
+/// while !rest.is_empty() {
+///     let (image, used) = parse_netpbm_limited_prefix(rest, max_pixels)?;
+///     rest = &rest[used..];
+/// }
+/// ```
+///
+/// Trailing whitespace after an ASCII raster is *not* consumed; the next
+/// parse skips leading whitespace, so concatenation still composes. All
+/// validation (overflow, pixel budget, raster length before allocation) is
+/// identical to [`parse_netpbm_limited`].
+pub fn parse_netpbm_limited_prefix(bytes: &[u8], max_pixels: usize) -> Result<(Image, usize)> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.token()?;
     let (channels, binary) = match magic.as_str() {
@@ -130,6 +152,7 @@ pub fn parse_netpbm_limited(bytes: &[u8], max_pixels: usize) -> Result<Image> {
             };
             data.push(v as f32 * scale);
         }
+        cursor.pos = raster_end;
         data
     } else {
         // ASCII samples are at least one digit plus a separator each, so
@@ -156,7 +179,7 @@ pub fn parse_netpbm_limited(bytes: &[u8], max_pixels: usize) -> Result<Image> {
         .map(|p| Channel::from_vec(width, height, p))
         .collect::<Result<Vec<_>>>()?;
     let space = if channels == 1 { ColorSpace::Gray } else { ColorSpace::Rgb };
-    Image::from_channels(chans, space)
+    Image::from_channels(chans, space).map(|image| (image, cursor.pos))
 }
 
 #[inline]
@@ -303,6 +326,34 @@ mod tests {
             parse_netpbm_limited(&buf, 5 * 4 - 1),
             Err(ImageError::TooLarge { max_pixels: 19, .. })
         ));
+    }
+
+    #[test]
+    fn prefix_parse_peels_concatenated_images() {
+        // Binary P6 + ASCII P2 + binary P5 back to back in one buffer.
+        let mut buf = Vec::new();
+        write_ppm(&test_image(), &mut buf).unwrap();
+        let first_len = buf.len();
+        buf.extend_from_slice(b"P2\n3 1\n10\n0 5 10\n");
+        write_pgm(&test_image(), &mut buf).unwrap();
+
+        let (a, used_a) = parse_netpbm_limited_prefix(&buf, usize::MAX).unwrap();
+        assert_eq!(used_a, first_len);
+        assert_eq!((a.width(), a.height()), (5, 4));
+
+        let rest = &buf[used_a..];
+        let (b, used_b) = parse_netpbm_limited_prefix(rest, usize::MAX).unwrap();
+        assert_eq!((b.width(), b.height()), (3, 1));
+        assert_eq!(b.space(), ColorSpace::Gray);
+
+        let rest = &rest[used_b..];
+        let (c, used_c) = parse_netpbm_limited_prefix(rest, usize::MAX).unwrap();
+        assert_eq!((c.width(), c.height()), (5, 4));
+        // Only inter-image whitespace may remain.
+        assert!(rest[used_c..].iter().all(|b| b.is_ascii_whitespace()));
+
+        // The pixel budget applies per image, not to the whole buffer.
+        assert!(parse_netpbm_limited_prefix(&buf, 2).is_err());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   each task owns disjoint data so results are deterministic.
 //! * [`resolve_threads`] — the engine-wide thread-count policy: explicit
 //!   request > `WALRUS_THREADS` env var > [`std::thread::available_parallelism`].
+//! * [`WorkerPool`] (in [`pool`]) — the serving counterpart to the scoped
+//!   primitives: a long-lived fixed-size pool with a bounded queue,
+//!   load-shedding submission, panic isolation, and a drain-then-shutdown
+//!   lifecycle for graceful server stop.
 //!
 //! ## Guarantees
 //!
@@ -36,6 +40,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod pool;
+
+pub use pool::WorkerPool;
 pub use walrus_guard::{Budgets, CancelToken, Deadline, Guard, Interrupt};
 
 /// Upper bound on worker threads; guards against absurd `WALRUS_THREADS`

@@ -1,0 +1,52 @@
+//! # walrus-server
+//!
+//! A dependency-free network service layer for the WALRUS engine: concurrent
+//! ingest and region-similarity queries over HTTP/1.1 on `std::net`.
+//!
+//! The container (and the paper-era spirit of this reproduction) rules out
+//! async runtimes and HTTP frameworks, so everything here is hand-rolled on
+//! blocking sockets:
+//!
+//! * [`http`] — a strict HTTP/1.1 request parser with hard size limits,
+//!   keep-alive, `Content-Length`-only framing, and slowloris defense;
+//! * [`router`] — maps endpoints onto the engine, translating per-request
+//!   `timeout_ms`/budget knobs into the same [`Guard`]/[`QueryOptions`]
+//!   machinery in-process callers use, so HTTP answers are bit-identical to
+//!   library answers (deadline-partial `206`s included);
+//! * [`metrics`] — lock-light counters and latency percentile rings behind
+//!   `GET /metrics`;
+//! * [`server`] — the accept loop feeding a bounded
+//!   [`WorkerPool`](walrus_parallel::WorkerPool), explicit `503`
+//!   load-shedding, and graceful drain-then-cancel shutdown ending in a
+//!   final checkpoint;
+//! * [`client`] — a tiny blocking client used by the e2e tests and
+//!   `walrus bench-http`.
+//!
+//! [`Guard`]: walrus_core::Guard
+//! [`QueryOptions`]: walrus_core::QueryOptions
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use walrus_core::{DurableDatabase, SharedDurableDatabase, WalrusParams};
+//! use walrus_server::{Server, ServerConfig};
+//!
+//! let (store, _report) = DurableDatabase::open("./store", WalrusParams::paper_defaults())?;
+//! let handle = Server::start(ServerConfig::default(), SharedDurableDatabase::new(store))?;
+//! println!("listening on {}", handle.addr());
+//! // ... serve until told otherwise ...
+//! handle.shutdown()?;
+//! # Ok::<(), walrus_core::WalrusError>(())
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+
+pub use client::{Client, ClientResponse};
+pub use http::{HttpLimits, Request, Response};
+pub use metrics::Metrics;
+pub use router::AppState;
+pub use server::{signals, Server, ServerConfig, ServerHandle};

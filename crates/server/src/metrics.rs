@@ -1,0 +1,232 @@
+//! Plain-text service counters and latency rings.
+//!
+//! No external metrics stack exists in this environment, so the server keeps
+//! a small set of atomics plus fixed-size latency rings and renders them in
+//! the Prometheus text-exposition style (`name value` lines) at
+//! `GET /metrics`. Percentiles are computed over the last
+//! [`LatencyRing::CAPACITY`] samples — a sliding window, which is what an
+//! operator watching a live service wants, and bounded memory, which is what
+//! a hostile client demands.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Fixed-capacity ring of recent latency samples (microseconds).
+#[derive(Debug, Default)]
+pub struct LatencyRing {
+    samples: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    /// Samples kept per ring; old samples are overwritten.
+    pub const CAPACITY: usize = 1024;
+
+    /// Records one duration.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.samples.lock().expect("latency ring lock");
+        let next = ring.next;
+        if ring.buf.len() < Self::CAPACITY {
+            ring.buf.push(micros);
+        } else {
+            ring.buf[next] = micros;
+        }
+        ring.next = (next + 1) % Self::CAPACITY;
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.lock().expect("latency ring lock").buf.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `p50/p95/p99` in microseconds over the window, or `None` when empty.
+    /// Uses the nearest-rank method on a sorted copy.
+    pub fn percentiles(&self) -> Option<[u64; 3]> {
+        let mut sorted = self.samples.lock().expect("latency ring lock").buf.clone();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_unstable();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        Some([rank(0.50), rank(0.95), rank(0.99)])
+    }
+}
+
+/// All counters the server exposes. One instance per server, shared across
+/// workers; everything is lock-free except the latency rings.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+    /// Connections bounced with 503 because the worker queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests fully parsed and routed.
+    pub requests_total: AtomicU64,
+    /// Responses by class.
+    pub responses_2xx: AtomicU64,
+    pub responses_4xx: AtomicU64,
+    pub responses_5xx: AtomicU64,
+    /// Queries answered `206`/`Partial` because their deadline expired.
+    pub partial_total: AtomicU64,
+    /// Requests currently being handled (gauge).
+    pub in_flight: AtomicU64,
+    /// `POST /ingest` requests and images ingested through them.
+    pub ingest_requests_total: AtomicU64,
+    pub ingest_images_total: AtomicU64,
+    /// `POST /query` requests.
+    pub query_requests_total: AtomicU64,
+    /// Checkpoints taken via `POST /admin/checkpoint` or shutdown.
+    pub checkpoints_total: AtomicU64,
+    /// Query / ingest handler latency windows.
+    pub query_latency: LatencyRing,
+    pub ingest_latency: LatencyRing,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            partial_total: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            ingest_requests_total: AtomicU64::new(0),
+            ingest_images_total: AtomicU64::new(0),
+            query_requests_total: AtomicU64::new(0),
+            checkpoints_total: AtomicU64::new(0),
+            query_latency: LatencyRing::default(),
+            ingest_latency: LatencyRing::default(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Classifies a response status into the 2xx/4xx/5xx counters.
+    pub fn count_response(&self, status: u16) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total error responses (4xx + 5xx).
+    pub fn errors_total(&self) -> u64 {
+        self.responses_4xx.load(Ordering::Relaxed) + self.responses_5xx.load(Ordering::Relaxed)
+    }
+
+    /// Renders the plain-text exposition. `gauges` carries point-in-time
+    /// values owned by the caller (store size, pool shape, ...) as
+    /// `(name, value)` pairs appended verbatim.
+    pub fn render(&self, gauges: &[(&str, u64)]) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(1024);
+        out.push_str("walrus_up 1\n");
+        out.push_str(&format!(
+            "walrus_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+        out.push_str(&format!("walrus_connections_total {}\n", load(&self.connections_total)));
+        out.push_str(&format!("walrus_rejected_total {}\n", load(&self.rejected_total)));
+        out.push_str(&format!("walrus_requests_total {}\n", load(&self.requests_total)));
+        out.push_str(&format!("walrus_responses_2xx_total {}\n", load(&self.responses_2xx)));
+        out.push_str(&format!("walrus_responses_4xx_total {}\n", load(&self.responses_4xx)));
+        out.push_str(&format!("walrus_responses_5xx_total {}\n", load(&self.responses_5xx)));
+        out.push_str(&format!("walrus_errors_total {}\n", self.errors_total()));
+        out.push_str(&format!("walrus_partial_results_total {}\n", load(&self.partial_total)));
+        out.push_str(&format!("walrus_in_flight {}\n", load(&self.in_flight)));
+        out.push_str(&format!(
+            "walrus_ingest_requests_total {}\n",
+            load(&self.ingest_requests_total)
+        ));
+        out.push_str(&format!(
+            "walrus_ingest_images_total {}\n",
+            load(&self.ingest_images_total)
+        ));
+        out.push_str(&format!(
+            "walrus_query_requests_total {}\n",
+            load(&self.query_requests_total)
+        ));
+        out.push_str(&format!("walrus_checkpoints_total {}\n", load(&self.checkpoints_total)));
+        for (ring, what) in [(&self.query_latency, "query"), (&self.ingest_latency, "ingest")] {
+            if let Some([p50, p95, p99]) = ring.percentiles() {
+                out.push_str(&format!("walrus_{what}_latency_p50_us {p50}\n"));
+                out.push_str(&format!("walrus_{what}_latency_p95_us {p95}\n"));
+                out.push_str(&format!("walrus_{what}_latency_p99_us {p99}\n"));
+                out.push_str(&format!("walrus_{what}_latency_samples {}\n", ring.len()));
+            }
+        }
+        for (name, value) in gauges {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_percentiles_nearest_rank() {
+        let ring = LatencyRing::default();
+        assert_eq!(ring.percentiles(), None);
+        for us in 1..=100u64 {
+            ring.record(Duration::from_micros(us));
+        }
+        let [p50, p95, p99] = ring.percentiles().unwrap();
+        assert_eq!(p50, 50);
+        assert_eq!(p95, 95);
+        assert_eq!(p99, 99);
+    }
+
+    #[test]
+    fn ring_overwrites_beyond_capacity() {
+        let ring = LatencyRing::default();
+        for us in 0..(LatencyRing::CAPACITY as u64 + 500) {
+            ring.record(Duration::from_micros(us));
+        }
+        assert_eq!(ring.len(), LatencyRing::CAPACITY);
+        // Every surviving sample comes from the most recent CAPACITY records.
+        let [p50, _, _] = ring.percentiles().unwrap();
+        assert!(p50 >= 500);
+    }
+
+    #[test]
+    fn render_contains_counters_and_gauges() {
+        let metrics = Metrics::default();
+        metrics.count_response(200);
+        metrics.count_response(404);
+        metrics.count_response(500);
+        metrics.query_latency.record(Duration::from_micros(123));
+        let text = metrics.render(&[("walrus_images", 7)]);
+        assert!(text.contains("walrus_up 1\n"));
+        assert!(text.contains("walrus_requests_total 3\n"));
+        assert!(text.contains("walrus_responses_4xx_total 1\n"));
+        assert!(text.contains("walrus_errors_total 2\n"));
+        assert!(text.contains("walrus_query_latency_p50_us 123\n"));
+        assert!(text.contains("walrus_images 7\n"));
+    }
+}

@@ -1,0 +1,531 @@
+//! Request routing: maps parsed HTTP requests onto the WALRUS engine.
+//!
+//! Endpoints (see the README "Serving" section for curl examples):
+//!
+//! | Method | Path                | Purpose                                   |
+//! |--------|---------------------|-------------------------------------------|
+//! | POST   | `/ingest`           | Durable ingest of 1..n concatenated PPMs  |
+//! | POST   | `/query`            | Region-similarity query (PPM body)        |
+//! | GET    | `/image/{id}`       | Metadata of one indexed image             |
+//! | GET    | `/healthz`          | Liveness + store size                     |
+//! | GET    | `/metrics`          | Plain-text counters                       |
+//! | POST   | `/admin/checkpoint` | Force a snapshot + WAL truncation         |
+//!
+//! Per-request knobs arrive as query parameters (`k`, `timeout_ms`, `eps`,
+//! `min_sim`, `max_pixels`, `max_candidates`) and are mapped onto a
+//! [`Guard`] + [`QueryOptions`] pair, so the HTTP path executes exactly the
+//! same engine code as in-process callers — including the degradation
+//! policy: a deadline-truncated query answers `206 Partial Content` with the
+//! best-so-far ranking ([`ResultStatus::Partial`] on the wire as
+//! `"status":"partial"`), cancellation (shutdown) answers `503`, and budget
+//! breaches answer `413`.
+//!
+//! Responses carry `similarity` twice: as a JSON number for humans and as
+//! `similarity_bits` (`f64::to_bits`) for clients that need the exact value
+//! — floating-point JSON round-trips are not trusted for bit-identity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use walrus_core::{
+    Budgets, CancelToken, Guard, QueryOptions, QueryOutcome, ResultStatus, SharedDurableDatabase,
+    WalrusError,
+};
+use walrus_imagery::ppm::{parse_netpbm_limited, parse_netpbm_limited_prefix};
+use walrus_imagery::{Image, ImageError};
+
+use crate::http::{json_string, Request, Response};
+use crate::metrics::Metrics;
+
+/// Everything a worker needs to answer requests. One instance per server,
+/// shared via `Arc`.
+pub struct AppState {
+    /// The WAL-durable store all mutations and queries go through.
+    pub store: SharedDurableDatabase,
+    pub metrics: Metrics,
+    /// Applied when a request carries no `timeout_ms` of its own.
+    pub default_timeout: Option<Duration>,
+    /// Cloned into every request guard; cancelled when graceful shutdown
+    /// runs out of drain budget, so stragglers abort as `503`.
+    pub cancel: CancelToken,
+    /// Set the moment shutdown begins: connections stop keep-alive and idle
+    /// reads return immediately.
+    pub stopping: Arc<AtomicBool>,
+    /// Pool shape, exposed as gauges in `/metrics`.
+    pub pool_threads: usize,
+    pub pool_queue_depth: usize,
+}
+
+impl AppState {
+    /// True once graceful shutdown has begun.
+    pub fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+}
+
+/// Routes one request and updates the response-class counters.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    let resp = route(state, req);
+    state.metrics.count_response(resp.status);
+    resp
+}
+
+fn route(state: &AppState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics_text(state),
+        ("POST", "/ingest") => ingest(state, req),
+        ("POST", "/query") => query(state, req),
+        ("POST", "/admin/checkpoint") => checkpoint(state),
+        ("GET", path) if path.starts_with("/image/") => image_meta(state, path),
+        // Known paths with the wrong method get 405, everything else 404.
+        (_, "/healthz" | "/metrics" | "/ingest" | "/query" | "/admin/checkpoint") => {
+            Response::error(405, "method not allowed")
+        }
+        (_, path) if path.starts_with("/image/") => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"images\":{},\"stopping\":{}}}",
+            state.store.len(),
+            state.is_stopping()
+        ),
+    )
+}
+
+fn metrics_text(state: &AppState) -> Response {
+    let gauges = [
+        ("walrus_images", state.store.len() as u64),
+        ("walrus_regions", state.store.num_regions() as u64),
+        ("walrus_wal_bytes", state.store.wal_len()),
+        (
+            "walrus_wal_records_since_checkpoint",
+            state.store.records_since_checkpoint() as u64,
+        ),
+        ("walrus_pool_threads", state.pool_threads as u64),
+        ("walrus_pool_queue_capacity", state.pool_queue_depth as u64),
+    ];
+    Response::text(200, state.metrics.render(&gauges))
+}
+
+fn image_meta(state: &AppState, path: &str) -> Response {
+    let id_str = path.trim_start_matches("/image/");
+    let Ok(id) = id_str.parse::<usize>() else {
+        return Response::error(400, "image id must be a non-negative integer");
+    };
+    match state.store.image_meta(id) {
+        Some(meta) => Response::json(
+            200,
+            format!(
+                "{{\"id\":{},\"name\":{},\"width\":{},\"height\":{},\"regions\":{}}}",
+                meta.id,
+                json_string(&meta.name),
+                meta.width,
+                meta.height,
+                meta.regions
+            ),
+        ),
+        None => Response::error(404, "unknown image id"),
+    }
+}
+
+fn checkpoint(state: &AppState) -> Response {
+    match state.store.checkpoint() {
+        Ok(()) => {
+            state.metrics.checkpoints_total.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"checkpointed\":true,\"wal_records_since_checkpoint\":{}}}",
+                    state.store.records_since_checkpoint()
+                ),
+            )
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn ingest(state: &AppState, req: &Request) -> Response {
+    let started = Instant::now();
+    state.metrics.ingest_requests_total.fetch_add(1, Ordering::Relaxed);
+    let guard = match request_guard(state, req) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
+    let budgets = match request_budgets(state, req) {
+        Ok(b) => b.unwrap_or_else(|| state.store.params().budgets),
+        Err(resp) => return resp,
+    };
+    if req.body.is_empty() {
+        return Response::error(400, "empty body; expected one or more PPM images");
+    }
+
+    // Peel concatenated netpbm images off the body; the wire format is
+    // simply PPMs back to back (netpbm rasters are self-delimiting).
+    let mut images: Vec<Image> = Vec::new();
+    let mut rest: &[u8] = &req.body;
+    loop {
+        while let Some((first, tail)) = rest.split_first() {
+            if first.is_ascii_whitespace() {
+                rest = tail;
+            } else {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            break;
+        }
+        match parse_netpbm_limited_prefix(rest, budgets.max_decoded_pixels) {
+            Ok((image, used)) => {
+                images.push(image);
+                rest = &rest[used..];
+            }
+            Err(e @ ImageError::TooLarge { .. }) => {
+                return Response::error(413, &format!("image {}: {e}", images.len()));
+            }
+            Err(e) => {
+                return Response::error(400, &format!("image {}: {e}", images.len()));
+            }
+        }
+    }
+    if images.is_empty() {
+        return Response::error(400, "no images in body");
+    }
+
+    let base = req.query_param("name").unwrap_or("img");
+    let names: Vec<String> = if images.len() == 1 {
+        vec![base.to_string()]
+    } else {
+        (0..images.len()).map(|i| format!("{base}-{i}")).collect()
+    };
+    let items: Vec<(&str, &Image)> =
+        names.iter().map(String::as_str).zip(images.iter()).collect();
+    match state.store.insert_images_batch_guarded(&items, &guard) {
+        Ok(ids) => {
+            state
+                .metrics
+                .ingest_images_total
+                .fetch_add(ids.len() as u64, Ordering::Relaxed);
+            state.metrics.ingest_latency.record(started.elapsed());
+            let ids_json: Vec<String> = ids.iter().map(|id| id.to_string()).collect();
+            Response::json(
+                200,
+                format!("{{\"ids\":[{}],\"count\":{}}}", ids_json.join(","), ids.len()),
+            )
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn query(state: &AppState, req: &Request) -> Response {
+    let started = Instant::now();
+    state.metrics.query_requests_total.fetch_add(1, Ordering::Relaxed);
+    let guard = match request_guard(state, req) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
+    let budgets = match request_budgets(state, req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let opts = QueryOptions {
+        k: match parse_param::<usize>(req, "k") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        },
+        epsilon: match parse_param::<f32>(req, "eps") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        },
+        min_similarity: match parse_param::<f64>(req, "min_sim") {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        },
+        budgets,
+    };
+    let decode_pixels =
+        budgets.unwrap_or_else(|| state.store.params().budgets).max_decoded_pixels;
+    if req.body.is_empty() {
+        return Response::error(400, "empty body; expected one PPM query image");
+    }
+    let image = match parse_netpbm_limited(&req.body, decode_pixels) {
+        Ok(image) => image,
+        Err(e @ ImageError::TooLarge { .. }) => {
+            return Response::error(413, &format!("query image: {e}"));
+        }
+        Err(e) => return Response::error(400, &format!("query image: {e}")),
+    };
+    match state.store.query_with_options_guarded(&image, &opts, &guard) {
+        Ok(outcome) => {
+            state.metrics.query_latency.record(started.elapsed());
+            if outcome.status == ResultStatus::Partial {
+                state.metrics.partial_total.fetch_add(1, Ordering::Relaxed);
+            }
+            let status = if outcome.status == ResultStatus::Partial { 206 } else { 200 };
+            Response::json(status, outcome_json(&outcome))
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// Serializes a [`QueryOutcome`]. Similarities are emitted both as JSON
+/// numbers and as `f64::to_bits` integers for bit-exact consumers.
+pub fn outcome_json(outcome: &QueryOutcome) -> String {
+    let matches: Vec<String> = outcome
+        .matches
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"id\":{},\"name\":{},\"similarity\":{},\"similarity_bits\":{},\"matched_pairs\":{}}}",
+                m.image_id,
+                json_string(&m.name),
+                m.similarity,
+                m.similarity.to_bits(),
+                m.matched_pairs
+            )
+        })
+        .collect();
+    format!(
+        "{{\"status\":{},\"count\":{},\"matches\":[{}],\"stats\":{{\"query_regions\":{},\"total_matching_regions\":{},\"avg_regions_per_query_region\":{},\"distinct_images\":{}}}}}",
+        match outcome.status {
+            ResultStatus::Complete => "\"complete\"",
+            ResultStatus::Partial => "\"partial\"",
+        },
+        outcome.matches.len(),
+        matches.join(","),
+        outcome.stats.query_regions,
+        outcome.stats.total_matching_regions,
+        outcome.stats.avg_regions_per_query_region,
+        outcome.stats.distinct_images
+    )
+}
+
+/// Builds the per-request [`Guard`]: `timeout_ms` (or the server default)
+/// plus the shared shutdown cancellation token.
+fn request_guard(state: &AppState, req: &Request) -> Result<Guard, Response> {
+    let timeout = parse_param::<u64>(req, "timeout_ms")?
+        .map(Duration::from_millis)
+        .or(state.default_timeout);
+    Ok(Guard::for_request(timeout, Some(state.cancel.clone())))
+}
+
+/// Per-request [`Budgets`] overrides (`max_pixels`, `max_candidates`) on top
+/// of the store-wide defaults; `None` when the request overrides nothing.
+fn request_budgets(state: &AppState, req: &Request) -> Result<Option<Budgets>, Response> {
+    let max_pixels = parse_param::<usize>(req, "max_pixels")?;
+    let max_candidates = parse_param::<usize>(req, "max_candidates")?;
+    if max_pixels.is_none() && max_candidates.is_none() {
+        return Ok(None);
+    }
+    let mut budgets = state.store.params().budgets;
+    if let Some(v) = max_pixels {
+        budgets.max_decoded_pixels = v;
+    }
+    if let Some(v) = max_candidates {
+        budgets.max_index_candidates = v;
+    }
+    Ok(Some(budgets))
+}
+
+fn parse_param<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option<T>, Response> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+            Response::error(400, &format!("invalid value for query parameter {name:?}"))
+        }),
+    }
+}
+
+/// Maps engine errors onto HTTP statuses. The degradation policy mirrors the
+/// in-process one: deadline on a *query* never reaches here (it becomes a
+/// `206` partial), deadline on *ingest* is `504` (the batch was rolled back),
+/// cancellation is `503` (shutdown), budget breaches are `413`.
+fn engine_error(err: &WalrusError) -> Response {
+    let status = match err {
+        WalrusError::Image(_) | WalrusError::BadParams(_) => 400,
+        WalrusError::UnknownImage(_) => 404,
+        WalrusError::BudgetExceeded { .. } => 413,
+        WalrusError::Cancelled => 503,
+        WalrusError::DeadlineExceeded => 504,
+        _ => 500,
+    };
+    Response::error(status, &err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walrus_core::{DurableDatabase, SlidingParams, WalrusParams};
+    use walrus_imagery::ppm::write_ppm;
+    use walrus_imagery::ColorSpace;
+
+    fn test_params() -> WalrusParams {
+        WalrusParams {
+            sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 4 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn test_state(dir: &std::path::Path) -> AppState {
+        let (store, _) = DurableDatabase::open(dir, test_params()).unwrap();
+        AppState {
+            store: SharedDurableDatabase::new(store),
+            metrics: Metrics::default(),
+            default_timeout: None,
+            cancel: CancelToken::new(),
+            stopping: Arc::new(AtomicBool::new(false)),
+            pool_threads: 2,
+            pool_queue_depth: 8,
+        }
+    }
+
+    fn request(method: &str, target: &str, body: Vec<u8>) -> Request {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (
+                p.to_string(),
+                q.split('&')
+                    .map(|pair| {
+                        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect(),
+            ),
+            None => (target.to_string(), Vec::new()),
+        };
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body,
+            keep_alive: true,
+        }
+    }
+
+    fn ppm_bytes(seed: usize) -> Vec<u8> {
+        let img = Image::from_fn(16, 16, ColorSpace::Rgb, |x, y, c| {
+            ((x / 4 + y / 4 + c + seed) % 4) as f32 / 3.0
+        })
+        .unwrap();
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).unwrap();
+        buf
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("walrus_router_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ingest_query_image_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let state = test_state(&dir);
+
+        // Batch body: two concatenated PPMs.
+        let mut body = ppm_bytes(0);
+        body.extend_from_slice(&ppm_bytes(9));
+        let resp = handle(&state, &request("POST", "/ingest?name=pair", body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"ids\":[0,1]"), "{text}");
+        assert_eq!(state.store.len(), 2);
+
+        let resp = handle(&state, &request("GET", "/image/0", Vec::new()));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"name\":\"pair-0\""), "{text}");
+        assert_eq!(handle(&state, &request("GET", "/image/99", Vec::new())).status, 404);
+
+        let resp = handle(&state, &request("POST", "/query?k=1", ppm_bytes(0)));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"status\":\"complete\""), "{text}");
+        assert!(text.contains("\"similarity_bits\":"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_timeout_query_is_partial_206() {
+        let dir = tmp_dir("partial");
+        let state = test_state(&dir);
+        handle(&state, &request("POST", "/ingest", ppm_bytes(1)));
+        let resp = handle(&state, &request("POST", "/query?timeout_ms=0", ppm_bytes(1)));
+        assert_eq!(resp.status, 206, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"status\":\"partial\""), "{text}");
+        assert_eq!(
+            state.metrics.partial_total.load(Ordering::Relaxed),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_inputs_are_4xx_and_do_not_mutate() {
+        let dir = tmp_dir("hostile");
+        let state = test_state(&dir);
+        assert_eq!(handle(&state, &request("POST", "/ingest", Vec::new())).status, 400);
+        assert_eq!(
+            handle(&state, &request("POST", "/ingest", b"not a ppm".to_vec())).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &request("POST", "/ingest?max_pixels=4", ppm_bytes(0))).status,
+            413
+        );
+        assert_eq!(
+            handle(&state, &request("POST", "/query?k=frog", ppm_bytes(0))).status,
+            400
+        );
+        assert_eq!(handle(&state, &request("GET", "/image/frog", Vec::new())).status, 400);
+        assert_eq!(handle(&state, &request("GET", "/nope", Vec::new())).status, 404);
+        assert_eq!(handle(&state, &request("DELETE", "/ingest", Vec::new())).status, 405);
+        assert_eq!(state.store.len(), 0, "hostile requests must not mutate the store");
+        assert_eq!(state.metrics.errors_total(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelled_store_answers_503() {
+        let dir = tmp_dir("cancel");
+        let state = test_state(&dir);
+        state.cancel.cancel();
+        let resp = handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
+        assert_eq!(resp.status, 503);
+        assert_eq!(state.store.len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_and_healthz_render() {
+        let dir = tmp_dir("metrics");
+        let state = test_state(&dir);
+        handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
+        let resp = handle(&state, &request("GET", "/healthz", Vec::new()));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"images\":1"));
+        let resp = handle(&state, &request("GET", "/metrics", Vec::new()));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("walrus_up 1\n"), "{text}");
+        assert!(text.contains("walrus_images 1\n"), "{text}");
+        assert!(text.contains("walrus_ingest_images_total 1\n"), "{text}");
+        assert!(text.contains("walrus_pool_threads 2\n"), "{text}");
+        let resp = handle(&state, &request("POST", "/admin/checkpoint", Vec::new()));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"wal_records_since_checkpoint\":0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

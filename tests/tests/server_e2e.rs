@@ -1,0 +1,240 @@
+//! End-to-end proof that the HTTP path is the library path: a live
+//! `walrus-server` on an ephemeral port must answer queries **bit-identical**
+//! (`f64::to_bits` of every similarity) to an in-process database holding
+//! the same images — under concurrency, for deadline-partial answers, and
+//! again after the store is shut down and recovered from disk.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use walrus_core::{
+    DurableDatabase, Guard, ImageDatabase, QueryOptions, ResultStatus, SharedDurableDatabase,
+    SlidingParams, WalrusParams,
+};
+use walrus_imagery::ppm::{parse_netpbm, write_ppm};
+use walrus_imagery::{ColorSpace, Image};
+use walrus_server::{Client, Server, ServerConfig};
+
+const NUM_IMAGES: usize = 4;
+const QUERY_THREADS: usize = 4;
+
+fn test_params() -> WalrusParams {
+    WalrusParams {
+        sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 4 },
+        ..WalrusParams::paper_defaults()
+    }
+}
+
+/// PPM bytes for a deterministic 16x16 test pattern. Both sides of the
+/// comparison decode *these bytes* (write_ppm quantizes to 8 bits, so the
+/// float image and its PPM round-trip differ).
+fn ppm_bytes(seed: usize) -> Vec<u8> {
+    let img = Image::from_fn(16, 16, ColorSpace::Rgb, |x, y, c| {
+        ((x / 4 + 2 * (y / 4) + c + seed) % 5) as f32 / 4.0
+    })
+    .unwrap();
+    let mut buf = Vec::new();
+    write_ppm(&img, &mut buf).unwrap();
+    buf
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("walrus_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Extracts every `"key":<integer>` occurrence, in order.
+fn extract_ints(text: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(v) = digits.parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// `(image_id, similarity_bits)` pairs from a ranked source, the common
+/// currency of every comparison below.
+fn reference_ranking(db: &ImageDatabase, query: &Image, k: usize) -> Vec<(u64, u64)> {
+    let opts = QueryOptions { k: Some(k), ..QueryOptions::default() };
+    let outcome = db.query_with_options_guarded(query, &opts, &Guard::none()).unwrap();
+    assert_eq!(outcome.status, ResultStatus::Complete);
+    outcome
+        .matches
+        .iter()
+        .map(|m| (m.image_id as u64, m.similarity.to_bits()))
+        .collect()
+}
+
+fn http_ranking(body: &str) -> Vec<(u64, u64)> {
+    let ids = extract_ints(body, "id");
+    let bits = extract_ints(body, "similarity_bits");
+    assert_eq!(ids.len(), bits.len(), "malformed response: {body}");
+    ids.into_iter().zip(bits).collect()
+}
+
+#[test]
+fn http_answers_are_bit_identical_to_in_process_and_survive_recovery() {
+    let dir = tmp_dir("main");
+    let images: Vec<Vec<u8>> = (0..NUM_IMAGES).map(ppm_bytes).collect();
+
+    // In-process reference database, built from the same decoded bytes in
+    // the same order.
+    let mut reference = ImageDatabase::new(test_params()).unwrap();
+    for (i, bytes) in images.iter().enumerate() {
+        let decoded = parse_netpbm(bytes).unwrap();
+        let id = reference.insert_image(&format!("img-{i}"), &decoded).unwrap();
+        assert_eq!(id, i);
+    }
+
+    // Live server over a fresh durable store.
+    let (store, _) = DurableDatabase::open(&dir, test_params()).unwrap();
+    // Thread-per-connection: a keep-alive connection holds its worker while
+    // open, so the pool must cover every concurrent connection this test
+    // makes (1 ingest client + QUERY_THREADS query clients) regardless of
+    // the machine's core count.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: QUERY_THREADS + 2,
+        queue_depth: 8,
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, SharedDurableDatabase::new(store)).unwrap();
+    let addr = handle.addr();
+
+    // Sequential HTTP ingest pins the id order to the reference's.
+    let mut client = Client::connect(addr).unwrap();
+    for (i, bytes) in images.iter().enumerate() {
+        let resp = client
+            .request("POST", &format!("/ingest?name=img-{i}"), bytes)
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert!(resp.text().contains(&format!("\"ids\":[{i}]")), "{}", resp.text());
+    }
+
+    // Concurrent queries from N threads, each with its own connection, must
+    // all match the single-threaded in-process answer bit for bit.
+    let expected: Vec<Vec<(u64, u64)>> = images
+        .iter()
+        .map(|bytes| reference_ranking(&reference, &parse_netpbm(bytes).unwrap(), NUM_IMAGES))
+        .collect();
+    let images = Arc::new(images);
+    let expected = Arc::new(expected);
+    let mut workers = Vec::new();
+    for t in 0..QUERY_THREADS {
+        let images = Arc::clone(&images);
+        let expected = Arc::clone(&expected);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for round in 0..3 {
+                let which = (t + round) % NUM_IMAGES;
+                let resp = client
+                    .request("POST", &format!("/query?k={NUM_IMAGES}"), &images[which])
+                    .unwrap();
+                assert_eq!(resp.status, 200, "{}", resp.text());
+                let body = resp.text();
+                assert!(body.contains("\"status\":\"complete\""), "{body}");
+                assert_eq!(
+                    http_ranking(&body),
+                    expected[which],
+                    "thread {t} round {round} diverged from in-process"
+                );
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("query thread panicked");
+    }
+
+    // Deadline-partial parity: timeout_ms=0 expires before extraction, so
+    // both paths must produce the same empty partial answer.
+    let resp = client
+        .request("POST", "/query?timeout_ms=0", &images[0])
+        .unwrap();
+    assert_eq!(resp.status, 206, "{}", resp.text());
+    assert!(resp.text().contains("\"status\":\"partial\""), "{}", resp.text());
+    assert!(resp.text().contains("\"count\":0"), "{}", resp.text());
+    let in_process = reference
+        .query_with_options_guarded(
+            &parse_netpbm(&images[0]).unwrap(),
+            &QueryOptions::default(),
+            &Guard::with_timeout(Duration::from_millis(0)),
+        )
+        .unwrap();
+    assert_eq!(in_process.status, ResultStatus::Partial);
+    assert!(in_process.matches.is_empty());
+
+    // Graceful shutdown, then recover the store from disk: the reopened
+    // database must serve the same answers the HTTP path served.
+    handle.shutdown().unwrap();
+    let (recovered, report) = DurableDatabase::open(&dir, test_params()).unwrap();
+    assert_eq!(recovered.len(), NUM_IMAGES);
+    assert_eq!(
+        report.records_replayed, 0,
+        "shutdown checkpoint should leave nothing to replay"
+    );
+    for (which, bytes) in images.iter().enumerate() {
+        let query = parse_netpbm(bytes).unwrap();
+        let opts = QueryOptions { k: Some(NUM_IMAGES), ..QueryOptions::default() };
+        let outcome = recovered
+            .query_with_options_guarded(&query, &opts, &Guard::none())
+            .unwrap();
+        let got: Vec<(u64, u64)> = outcome
+            .matches
+            .iter()
+            .map(|m| (m.image_id as u64, m.similarity.to_bits()))
+            .collect();
+        assert_eq!(got, expected[which], "recovered store diverged for query {which}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_sheds_with_503_not_collapse() {
+    // A tiny pool with a tiny queue: blast connections and require that
+    // every one either gets served or gets an explicit 503 — and that the
+    // server still works afterwards.
+    let dir = tmp_dir("overload");
+    let (store, _) = DurableDatabase::open(&dir, test_params()).unwrap();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, SharedDurableDatabase::new(store)).unwrap();
+    let addr = handle.addr();
+
+    let mut workers = Vec::new();
+    for _ in 0..16 {
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).ok()?;
+            let resp = client.request("GET", "/healthz", &[]).ok()?;
+            Some(resp.status)
+        }));
+    }
+    let mut served = 0;
+    let mut shed = 0;
+    for w in workers {
+        match w.join().expect("client thread panicked") {
+            Some(200) => served += 1,
+            Some(503) | None => shed += 1,
+            Some(other) => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(served >= 1, "nothing was served (served={served}, shed={shed})");
+    // Afterwards the server must be fully responsive again.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request("GET", "/healthz", &[]).unwrap().status, 200);
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
