@@ -53,6 +53,10 @@ pub struct Preclustering {
     pub assignments: Vec<usize>,
     /// Final CF-tree threshold (≥ the requested `ε_c` if rebuilds fired).
     pub final_threshold: f64,
+    /// CF-tree node splits (leaf + internal) during the insertion pass.
+    pub splits: usize,
+    /// Threshold-escalation rebuilds during the insertion pass.
+    pub rebuilds: usize,
 }
 
 /// Clusters `points` with a radius threshold of `epsilon` (WALRUS's `ε_c`).
@@ -88,7 +92,13 @@ pub fn precluster_guarded(
     guard: &Guard,
 ) -> Result<Preclustering> {
     if points.is_empty() {
-        return Ok(Preclustering { clusters: Vec::new(), assignments: Vec::new(), final_threshold: epsilon });
+        return Ok(Preclustering {
+            clusters: Vec::new(),
+            assignments: Vec::new(),
+            final_threshold: epsilon,
+            splits: 0,
+            rebuilds: 0,
+        });
     }
     let dims = points[0].len();
     let params = BirchParams {
@@ -164,7 +174,13 @@ pub fn precluster_guarded(
         *a = remap[*a];
         debug_assert_ne!(*a, usize::MAX);
     }
-    Ok(Preclustering { clusters, assignments, final_threshold: tree.threshold() })
+    Ok(Preclustering {
+        clusters,
+        assignments,
+        final_threshold: tree.threshold(),
+        splits: tree.split_count(),
+        rebuilds: tree.rebuild_count(),
+    })
 }
 
 #[cfg(test)]

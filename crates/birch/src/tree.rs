@@ -75,6 +75,8 @@ enum Node {
 struct InsertOutcome {
     sibling: Option<Node>,
     new_entry: bool,
+    /// Node splits (leaf + internal) this insertion caused.
+    splits: usize,
 }
 
 /// The CF-tree.
@@ -87,6 +89,7 @@ pub struct CfTree {
     leaf_entries: usize,
     points: u64,
     rebuilds: usize,
+    splits: usize,
 }
 
 impl CfTree {
@@ -104,6 +107,7 @@ impl CfTree {
             leaf_entries: 0,
             points: 0,
             rebuilds: 0,
+            splits: 0,
         })
     }
 
@@ -126,6 +130,7 @@ impl CfTree {
         }
         self.points += cf.count();
         let outcome = insert_rec(&mut self.root, &cf, self.threshold, &self.params);
+        self.splits += outcome.splits;
         if outcome.new_entry {
             self.leaf_entries += 1;
         }
@@ -157,6 +162,7 @@ impl CfTree {
             // `insert_cf`'s budget check by replaying the core path.
             self.points += cf.count();
             let outcome = insert_rec(&mut self.root, &cf, self.threshold, &self.params);
+            self.splits += outcome.splits;
             if outcome.new_entry {
                 self.leaf_entries += 1;
             }
@@ -196,6 +202,12 @@ impl CfTree {
         self.rebuilds
     }
 
+    /// Cumulative node splits (leaf + internal) over the tree's lifetime,
+    /// including splits replayed during rebuilds.
+    pub fn split_count(&self) -> usize {
+        self.splits
+    }
+
     /// Tree height (1 for a single leaf).
     pub fn height(&self) -> usize {
         let mut h = 1;
@@ -224,15 +236,15 @@ fn insert_rec(node: &mut Node, cf: &ClusteringFeature, threshold: f64, params: &
             if let Some(i) = closest {
                 if entries[i].merged(cf).radius() <= threshold {
                     entries[i].merge(cf);
-                    return InsertOutcome { sibling: None, new_entry: false };
+                    return InsertOutcome { sibling: None, new_entry: false, splits: 0 };
                 }
             }
             entries.push(cf.clone());
             if entries.len() > params.leaf_capacity {
                 let sibling = split_leaf(entries);
-                InsertOutcome { sibling: Some(sibling), new_entry: true }
+                InsertOutcome { sibling: Some(sibling), new_entry: true, splits: 1 }
             } else {
-                InsertOutcome { sibling: None, new_entry: true }
+                InsertOutcome { sibling: None, new_entry: true, splits: 0 }
             }
         }
         Node::Internal(children) => {
@@ -249,6 +261,7 @@ fn insert_rec(node: &mut Node, cf: &ClusteringFeature, threshold: f64, params: &
             let outcome = insert_rec(&mut children[i].node, cf, threshold, params);
             children[i].cf.merge(cf);
             let mut sibling = None;
+            let mut splits = outcome.splits;
             if let Some(sib) = outcome.sibling {
                 // Recompute both summaries after the split below.
                 children[i].cf = node_cf(&children[i].node, cf.dims());
@@ -256,9 +269,10 @@ fn insert_rec(node: &mut Node, cf: &ClusteringFeature, threshold: f64, params: &
                 children.insert(i + 1, Child { cf: sib_cf, node: Box::new(sib) });
                 if children.len() > params.branching {
                     sibling = Some(split_internal(children));
+                    splits += 1;
                 }
             }
-            InsertOutcome { sibling, new_entry: outcome.new_entry }
+            InsertOutcome { sibling, new_entry: outcome.new_entry, splits }
         }
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! walrus index  <db> <image.ppm>...   build/extend a database from PPM/PGM files
 //! walrus query  <db> <image.ppm>      rank database images by similarity
+//! walrus explain <db> <image.ppm>     run a query and print its stage trace
 //! walrus scene  <db> <image.ppm> <x> <y> <w> <h>
 //!                                     query by a marked sub-scene
 //! walrus remove <db> <id>             remove an image by id
@@ -115,6 +116,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "index" => cmd_index(&opts, rest),
         "query" => cmd_query(&opts, rest),
+        "explain" => cmd_explain(&opts, rest),
         "scene" => cmd_scene(&opts, rest),
         "remove" => cmd_remove(rest),
         "info" => cmd_info(&opts, rest),
@@ -377,6 +379,59 @@ fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
         outcome.stats.total_matching_regions,
         outcome.stats.distinct_images
     );
+    note_if_partial(outcome.status);
+    print_ranking(outcome.matches.iter().take(opts.k));
+    Ok(())
+}
+
+/// `walrus explain <db> <query.ppm>`: runs the query with tracing enabled
+/// and prints the per-stage span tree (times + counters) plus how much of
+/// each request budget the query consumed.
+fn cmd_explain(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let [db_path, image_path] = rest else {
+        return Err("usage: walrus explain <db> <image.ppm>".into());
+    };
+    let handle = load_handle(db_path, opts)?;
+    let db = handle.db();
+    let query = load_image(image_path, opts)?;
+    let trace = walrus_core::TraceContext::monotonic();
+    let guard = opts.guard().tracing(trace.clone());
+    let outcome = match opts.eps {
+        Some(eps) => db.query_with_epsilon_guarded(&query, eps, &guard),
+        None => db.query_guarded(&query, &guard),
+    }
+    .map_err(|e| e.to_string())?;
+    let report = trace.report();
+
+    println!("stage trace for {image_path} against {db_path}:");
+    print!("{}", report.render());
+
+    let budgets = db.params().budgets;
+    let used = |span: &str, counter: &str| report.counter(span, counter).unwrap_or(0);
+    println!("budget consumption:");
+    println!(
+        "  decoded pixels:    {} / {}",
+        used("decode", "pixels"),
+        budgets.max_decoded_pixels
+    );
+    println!(
+        "  regions per image: {} / {}",
+        used("birch", "clusters"),
+        budgets.max_regions_per_image
+    );
+    println!(
+        "  index candidates:  {} / {}",
+        used("rstar_probe", "hits"),
+        budgets.max_index_candidates
+    );
+    match opts.timeout_ms {
+        Some(ms) => {
+            let spent = report.duration_micros("query").unwrap_or(0);
+            println!("  deadline:          {} us spent of {} ms", spent, ms);
+        }
+        None => println!("  deadline:          none"),
+    }
+
     note_if_partial(outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
@@ -707,6 +762,7 @@ fn print_usage() {
          commands:\n\
            index  <db> <image.ppm>...        index PPM/PGM images\n\
            query  <db> <image.ppm>           rank images by similarity\n\
+           explain <db> <image.ppm>          query + per-stage trace and budget use\n\
            scene  <db> <image.ppm> x y w h   query by a marked sub-scene\n\
            remove <db> <id>                  remove an image\n\
            info   <db>                       show database statistics\n\
@@ -869,6 +925,12 @@ mod tests {
 
         // Query with image a: it must be the top result.
         run(&s(&["query", &db_str, pa.to_str().unwrap()])).unwrap();
+
+        // explain runs the same query with tracing; with and without a
+        // deadline, and rejects bad arity.
+        run(&s(&["explain", &db_str, pa.to_str().unwrap()])).unwrap();
+        run(&s(&["--timeout-ms", "5000", "explain", &db_str, pa.to_str().unwrap()])).unwrap();
+        assert!(run(&s(&["explain", &db_str])).is_err());
 
         // An already-expired deadline degrades to a partial (empty) ranking
         // instead of an error or a hang.

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use walrus_guard::{Budgets, Guard, Interrupt};
 use walrus_imagery::Image;
 use walrus_parallel::{parallel_map_partial, resolve_threads, try_parallel_map_guarded};
-use walrus_rstar::{bulk_load, RStarParams, RStarTree};
+use walrus_rstar::{bulk_load, RStarParams, RStarTree, SearchStats};
 
 /// A region's address in the database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -244,12 +244,24 @@ impl ImageDatabase {
     ) -> Result<Vec<usize>> {
         let threads = resolve_threads(self.params.threads);
         let params = self.params;
+        let ingest_span = guard.span("ingest");
+        if let Some(s) = &ingest_span {
+            s.add("images", items.len() as u64);
+        }
         // One worker per image; per-image extraction runs serial so worker
-        // counts do not multiply.
+        // counts do not multiply. Workers poll the same interrupt sources
+        // but carry no trace: spans are only opened by this orchestrating
+        // thread so the span tree is identical for every thread count.
+        let extract_span = guard.span("extract");
+        let worker_guard = guard.without_trace();
         let extracted: Vec<Vec<Region>> =
             try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
-                extract_regions_guarded(image, &params, 1, guard)
+                extract_regions_guarded(image, &params, 1, &worker_guard)
             })?;
+        if let Some(s) = &extract_span {
+            s.add("regions", extracted.iter().map(Vec::len).sum::<usize>() as u64);
+        }
+        drop(extract_span);
         guard.poll().map_err(WalrusError::from)?;
         let batch: Vec<(String, usize, usize, Vec<Region>)> = items
             .iter()
@@ -258,7 +270,12 @@ impl ImageDatabase {
                 (name.to_string(), image.width(), image.height(), regions)
             })
             .collect();
-        self.insert_regions_batch(batch)
+        let index_span = guard.span("index");
+        let ids = self.insert_regions_batch(batch);
+        if let (Some(s), Ok(ids)) = (&index_span, &ids) {
+            s.add("images_indexed", ids.len() as u64);
+        }
+        ids
     }
 
     /// Indexes many pre-extracted images at once. When the index is empty
@@ -382,6 +399,7 @@ impl ImageDatabase {
     /// [`WalrusError::Cancelled`]; budget breaches surface as
     /// [`WalrusError::BudgetExceeded`].
     pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
+        let _query_span = guard.span("query");
         let regions =
             match extract_regions_guarded(query, &self.params, self.params.threads, guard) {
                 Ok(r) => r,
@@ -403,6 +421,7 @@ impl ImageDatabase {
     /// [`Guard`] (same degradation semantics as
     /// [`ImageDatabase::query_guarded`]).
     pub fn top_k_guarded(&self, query: &Image, k: usize, guard: &Guard) -> Result<QueryOutcome> {
+        let _query_span = guard.span("query");
         let regions =
             match extract_regions_guarded(query, &self.params, self.params.threads, guard) {
                 Ok(r) => r,
@@ -434,6 +453,7 @@ impl ImageDatabase {
         guard: &Guard,
     ) -> Result<QueryOutcome> {
         let (params, min_similarity) = opts.resolve(&self.params)?;
+        let _query_span = guard.span("query");
         let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
             Ok(r) => r,
             Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
@@ -471,6 +491,7 @@ impl ImageDatabase {
         if !epsilon.is_finite() || epsilon < 0.0 {
             return Err(WalrusError::BadParams(format!("epsilon {epsilon} invalid")));
         }
+        let _query_span = guard.span("query");
         let regions = match extract_regions_guarded(query, &self.params, self.params.threads, guard)
         {
             Ok(r) => r,
@@ -558,24 +579,27 @@ impl ImageDatabase {
         // query region, fanned out across the pool. Each probe's hit list
         // preserves the tree's deterministic traversal order. Under a
         // deadline the probe fan-out may stop early; the merge below then
-        // sees only the completed probes.
+        // sees only the completed probes. The probe span is opened here on
+        // the orchestrating thread and its counters are order-independent
+        // sums over completed probes, so traces are thread-count-invariant.
+        let probe_span = guard.span("rstar_probe");
         let probe_out = parallel_map_partial(
             threads,
             guard,
             q_regions,
-            |_, qr| -> Result<Vec<RegionKey>> {
-                let hits = match params.signature_kind {
+            |_, qr| -> Result<(Vec<RegionKey>, SearchStats)> {
+                let (hits, stats) = match params.signature_kind {
                     SignatureKind::Centroid => {
-                        self.index.search_within(&qr.centroid, params.query_epsilon)?
+                        self.index.search_within_stats(&qr.centroid, params.query_epsilon)?
                     }
                     SignatureKind::BoundingBox => {
                         let probe = qr
                             .index_rect(SignatureKind::BoundingBox)
                             .extended(params.query_epsilon);
-                        self.index.search_intersecting(&probe)?
+                        self.index.search_intersecting_stats(&probe)?
                     }
                 };
-                Ok(hits.into_iter().map(|(_, key)| *key).collect())
+                Ok((hits.into_iter().map(|(_, key)| *key).collect(), stats))
             },
         );
         match probe_out.interrupted {
@@ -584,8 +608,12 @@ impl ImageDatabase {
             None => {}
         }
         let mut probes: Vec<(usize, Vec<RegionKey>)> = Vec::with_capacity(probe_out.completed.len());
+        let mut probe_stats = SearchStats::default();
         for (qi, res) in probe_out.completed {
-            probes.push((qi, res?));
+            let (keys, stats) = res?;
+            probe_stats.nodes_visited += stats.nodes_visited;
+            probe_stats.pruned += stats.pruned;
+            probes.push((qi, keys));
         }
         probes.sort_unstable_by_key(|(qi, _)| *qi);
 
@@ -599,6 +627,13 @@ impl ImageDatabase {
                 by_image.entry(key.image).or_default().push(MatchPair { q: *qi, t: key.region });
             }
         }
+        if let Some(s) = &probe_span {
+            s.add("probes", probes.len() as u64);
+            s.add("nodes_visited", probe_stats.nodes_visited as u64);
+            s.add("pruned", probe_stats.pruned as u64);
+            s.add("hits", total_hits as u64);
+        }
+        drop(probe_span);
         if total_hits > params.budgets.max_index_candidates {
             return Err(WalrusError::BudgetExceeded {
                 what: "index candidates",
@@ -616,6 +651,7 @@ impl ImageDatabase {
         let mut candidates: Vec<(usize, Vec<MatchPair>)> = by_image.into_iter().collect();
         candidates.sort_unstable_by_key(|(id, _)| *id);
         let distinct_images = candidates.len();
+        let match_span = guard.span("match");
         let score_out = parallel_map_partial(threads, guard, &candidates, |_, (image_id, pairs)| {
             let Some(img) = self.images.get(*image_id).and_then(|s| s.as_ref()) else {
                 debug_assert!(false, "index points at dead image slot {image_id}");
@@ -655,6 +691,11 @@ impl ImageDatabase {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.image_id.cmp(&b.image_id))
         });
+        if let Some(s) = &match_span {
+            s.add("candidates", distinct_images as u64);
+            s.add("matches", matches.len() as u64);
+        }
+        drop(match_span);
 
         let query_regions = q_regions.len();
         let stats = QueryStats {
@@ -770,10 +811,22 @@ impl SharedDatabase {
     ) -> Result<Vec<usize>> {
         let params = self.params();
         let threads = resolve_threads(params.threads);
+        let ingest_span = guard.span("ingest");
+        if let Some(s) = &ingest_span {
+            s.add("images", items.len() as u64);
+        }
+        // Workers share the interrupt sources but not the trace (spans are
+        // opened only on this orchestrating thread).
+        let extract_span = guard.span("extract");
+        let worker_guard = guard.without_trace();
         let extracted: Vec<Vec<Region>> =
             try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
-                extract_regions_guarded(image, &params, 1, guard)
+                extract_regions_guarded(image, &params, 1, &worker_guard)
             })?;
+        if let Some(s) = &extract_span {
+            s.add("regions", extracted.iter().map(Vec::len).sum::<usize>() as u64);
+        }
+        drop(extract_span);
         guard.poll().map_err(WalrusError::from)?;
         let batch: Vec<(String, usize, usize, Vec<Region>)> = items
             .iter()
@@ -782,7 +835,12 @@ impl SharedDatabase {
                 (name.to_string(), image.width(), image.height(), regions)
             })
             .collect();
-        self.inner.write().insert_regions_batch(batch)
+        let index_span = guard.span("index");
+        let ids = self.inner.write().insert_regions_batch(batch);
+        if let (Some(s), Ok(ids)) = (&index_span, &ids) {
+            s.add("images_indexed", ids.len() as u64);
+        }
+        ids
     }
 
     /// Removes an image (exclusive lock).
@@ -805,6 +863,7 @@ impl SharedDatabase {
     /// deadline firing there never holds up writers either.
     pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
         let params = self.params();
+        let _query_span = guard.span("query");
         let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
             Ok(r) => r,
             Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
@@ -829,6 +888,7 @@ impl SharedDatabase {
         guard: &Guard,
     ) -> Result<QueryOutcome> {
         let (params, min_similarity) = opts.resolve(&self.params())?;
+        let _query_span = guard.span("query");
         let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
             Ok(r) => r,
             Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),

@@ -55,7 +55,15 @@ pub fn extract_regions_guarded(
             limit: params.budgets.max_decoded_pixels,
         });
     }
+    let decode_span = guard.span("decode");
     let converted = image.to_space(params.color_space)?;
+    if let Some(s) = &decode_span {
+        s.add("pixels", pixels as u64);
+        s.add("channels", converted.channels().len() as u64);
+    }
+    drop(decode_span);
+
+    let wavelet_span = guard.span("wavelet");
     let planes: Vec<&[f32]> = converted.channels().iter().map(|c| c.as_slice()).collect();
     let signatures = sliding::compute_signatures_guarded(
         &planes,
@@ -65,6 +73,10 @@ pub fn extract_regions_guarded(
         threads,
         guard,
     )?;
+    if let Some(s) = &wavelet_span {
+        s.add("windows", signatures.len() as u64);
+    }
+    drop(wavelet_span);
     if signatures.is_empty() {
         return Err(WalrusError::Wavelet(walrus_wavelet::WaveletError::ImageTooSmall {
             width: image.width(),
@@ -72,6 +84,8 @@ pub fn extract_regions_guarded(
             omega_min: params.sliding.omega_min,
         }));
     }
+
+    let birch_span = guard.span("birch");
     let points: Vec<Vec<f32>> = signatures.iter().map(|s| s.coeffs.clone()).collect();
     let clustering = walrus_birch::precluster_guarded(
         &points,
@@ -79,6 +93,12 @@ pub fn extract_regions_guarded(
         params.max_regions_per_image,
         guard,
     )?;
+    if let Some(s) = &birch_span {
+        s.add("clusters", clustering.clusters.len() as u64);
+        s.add("cf_splits", clustering.splits as u64);
+        s.add("cf_rebuilds", clustering.rebuilds as u64);
+    }
+    drop(birch_span);
     if clustering.clusters.len() > params.budgets.max_regions_per_image {
         return Err(WalrusError::BudgetExceeded {
             what: "regions per image",

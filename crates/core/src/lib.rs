@@ -86,7 +86,10 @@ pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
 pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;
 pub use storage::{DiskIo, StorageIo};
-pub use walrus_guard::{Budgets, CancelToken, Deadline, Guard, Interrupt, RetryPolicy};
+pub use walrus_guard::{
+    monotonic, Budgets, CancelToken, Clock, Deadline, Guard, Interrupt, MonotonicClock,
+    RetryPolicy, SharedClock, Span, TestClock, TraceContext, TraceReport,
+};
 pub use walrus_wavelet::SlidingParams;
 
 /// Errors produced by this crate.

@@ -299,14 +299,32 @@ impl DurableDatabase {
     ) -> Result<Vec<usize>> {
         let params = *self.db.params();
         let threads = walrus_parallel::resolve_threads(params.threads);
+        let ingest_span = guard.span("ingest");
+        if let Some(s) = &ingest_span {
+            s.add("images", items.len() as u64);
+        }
+        // Workers share the interrupt sources but not the trace (spans are
+        // opened only on this orchestrating thread).
+        let extract_span = guard.span("extract");
+        let worker_guard = guard.without_trace();
         let extracted: Vec<Vec<Region>> =
             walrus_parallel::try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
-                crate::extract::extract_regions_guarded(image, &params, 1, guard)
+                crate::extract::extract_regions_guarded(image, &params, 1, &worker_guard)
             })?;
+        if let Some(s) = &extract_span {
+            s.add("regions", extracted.iter().map(Vec::len).sum::<usize>() as u64);
+        }
+        drop(extract_span);
         guard.poll().map_err(WalrusError::from)?;
+        let wal_span = guard.span("wal_append");
+        let wal_before = self.wal_len;
         let mut ids = Vec::with_capacity(items.len());
         for ((name, image), regions) in items.iter().zip(extracted) {
             ids.push(self.insert_regions(name, image.width(), image.height(), regions)?);
+        }
+        if let Some(s) = &wal_span {
+            s.add("records", ids.len() as u64);
+            s.add("bytes", self.wal_len.saturating_sub(wal_before));
         }
         Ok(ids)
     }
@@ -510,15 +528,33 @@ impl SharedDurableDatabase {
     ) -> Result<Vec<usize>> {
         let params = *self.inner.read().db().params();
         let threads = walrus_parallel::resolve_threads(params.threads);
+        let ingest_span = guard.span("ingest");
+        if let Some(s) = &ingest_span {
+            s.add("images", items.len() as u64);
+        }
+        // Workers share the interrupt sources but not the trace (spans are
+        // opened only on this orchestrating thread).
+        let extract_span = guard.span("extract");
+        let worker_guard = guard.without_trace();
         let extracted: Vec<Vec<Region>> =
             walrus_parallel::try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
-                crate::extract::extract_regions_guarded(image, &params, 1, guard)
+                crate::extract::extract_regions_guarded(image, &params, 1, &worker_guard)
             })?;
+        if let Some(s) = &extract_span {
+            s.add("regions", extracted.iter().map(Vec::len).sum::<usize>() as u64);
+        }
+        drop(extract_span);
         guard.poll().map_err(WalrusError::from)?;
+        let wal_span = guard.span("wal_append");
         let mut store = self.inner.write();
+        let wal_before = store.wal_len();
         let mut ids = Vec::with_capacity(items.len());
         for ((name, image), regions) in items.iter().zip(extracted) {
             ids.push(store.insert_regions(name, image.width(), image.height(), regions)?);
+        }
+        if let Some(s) = &wal_span {
+            s.add("records", ids.len() as u64);
+            s.add("bytes", store.wal_len().saturating_sub(wal_before));
         }
         Ok(ids)
     }

@@ -4,22 +4,29 @@
 //!
 //! - [`CancelToken`] — shared atomic cancellation flag; cloning is cheap and
 //!   all clones observe a single `cancel()`.
-//! - [`Deadline`] — monotonic point in time (`std::time::Instant` based, so
-//!   immune to wall-clock jumps).
+//! - [`Deadline`] — monotonic point in time measured on an injectable
+//!   [`Clock`] (immune to wall-clock jumps; deterministic under a
+//!   [`TestClock`]).
 //! - [`Guard`] — the per-request bundle the hot paths poll between work
 //!   chunks. `poll()` is a few atomic loads when armed and almost free when
-//!   not, so it is safe to call in inner loops.
+//!   not, so it is safe to call in inner loops. The guard also carries the
+//!   request's optional [`TraceContext`], so every `*_guarded` API
+//!   transports observability state without signature changes.
 //! - [`Budgets`] — per-request resource ceilings enforced at decode,
 //!   extraction, probe, and WAL-append time.
 //! - [`RetryPolicy`] — bounded exponential backoff for transient IO errors.
 //!
-//! The crate deliberately has no dependencies (not even on other walrus
-//! crates) so every layer — `parallel`, `wavelet`, `birch`, `core`, `cli` —
-//! can use it without cycles.
+//! The crate's only dependency is `walrus-trace` (itself dependency-free),
+//! so every layer — `parallel`, `wavelet`, `birch`, `core`, `cli` — can use
+//! it without cycles.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+pub use walrus_trace::{
+    monotonic, Clock, MonotonicClock, SharedClock, Span, TestClock, TraceContext, TraceReport,
+};
 
 /// Why a guarded computation stopped early.
 ///
@@ -69,34 +76,37 @@ impl CancelToken {
     }
 }
 
-/// A monotonic deadline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// A monotonic deadline on an injectable clock.
+///
+/// Cloning is cheap (an `Arc` bump); clones observe the same clock, so a
+/// deadline built on a [`TestClock`] expires exactly when the test advances
+/// time past it — no sleeping, no flakes.
+#[derive(Clone, Debug)]
 pub struct Deadline {
-    at: Instant,
+    at_nanos: u64,
+    clock: SharedClock,
 }
 
 impl Deadline {
-    /// Deadline `timeout` from now.
+    /// Deadline `timeout` from now on the process monotonic clock.
     pub fn after(timeout: Duration) -> Self {
-        Deadline { at: Instant::now() + timeout }
+        Deadline::after_on(monotonic(), timeout)
     }
 
-    /// Deadline at an absolute monotonic instant.
-    pub fn at(at: Instant) -> Self {
-        Deadline { at }
+    /// Deadline `timeout` from now, measured on `clock`.
+    pub fn after_on(clock: SharedClock, timeout: Duration) -> Self {
+        let timeout = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        let at_nanos = clock.now_nanos().saturating_add(timeout);
+        Deadline { at_nanos, clock }
     }
 
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.at
+        self.clock.now_nanos() >= self.at_nanos
     }
 
     /// Time left before expiry; zero once expired.
     pub fn remaining(&self) -> Duration {
-        self.at.saturating_duration_since(Instant::now())
-    }
-
-    pub fn instant(&self) -> Instant {
-        self.at
+        Duration::from_nanos(self.at_nanos.saturating_sub(self.clock.now_nanos()))
     }
 }
 
@@ -119,6 +129,7 @@ pub struct Guard {
     token: Option<CancelToken>,
     deadline: Option<Deadline>,
     trip: Option<Arc<Trip>>,
+    trace: Option<TraceContext>,
 }
 
 impl Guard {
@@ -132,6 +143,11 @@ impl Guard {
         Guard::none().deadline(Deadline::after(timeout))
     }
 
+    /// Guard with a deadline `timeout` from now, measured on `clock`.
+    pub fn with_timeout_on(clock: SharedClock, timeout: Duration) -> Self {
+        Guard::none().deadline(Deadline::after_on(clock, timeout))
+    }
+
     /// Guard tied to a cancellation token.
     pub fn with_token(token: CancelToken) -> Self {
         Guard::none().token(token)
@@ -143,9 +159,20 @@ impl Guard {
     /// connection/shutdown machinery. `(None, None)` yields an unarmed guard,
     /// so callers can use this unconditionally.
     pub fn for_request(timeout: Option<Duration>, token: Option<CancelToken>) -> Self {
+        Guard::for_request_on(walrus_trace::monotonic(), timeout, token)
+    }
+
+    /// [`Guard::for_request`] with the deadline measured on an explicit
+    /// `clock` — the injection point that lets servers and tests drive
+    /// request timeouts from a [`TestClock`].
+    pub fn for_request_on(
+        clock: SharedClock,
+        timeout: Option<Duration>,
+        token: Option<CancelToken>,
+    ) -> Self {
         let mut guard = Guard::none();
         if let Some(timeout) = timeout {
-            guard = guard.deadline(Deadline::after(timeout));
+            guard = guard.deadline(Deadline::after_on(clock, timeout));
         }
         if let Some(token) = token {
             guard = guard.token(token);
@@ -171,6 +198,37 @@ impl Guard {
     pub fn trip_after(mut self, polls: usize, kind: Interrupt) -> Self {
         self.trip = Some(Arc::new(Trip { remaining: AtomicUsize::new(polls), kind }));
         self
+    }
+
+    /// Attach (or replace) a per-request trace. Pipeline stages reached
+    /// through this guard will record spans and counters into it.
+    pub fn tracing(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&TraceContext> {
+        self.trace.as_ref()
+    }
+
+    /// Open a named span on the attached trace (`None` when untraced).
+    ///
+    /// Spans must only be opened from the stage's orchestrating thread —
+    /// never from parallel workers — so the recorded tree is identical
+    /// regardless of thread count; worker clones should carry
+    /// [`Guard::without_trace`].
+    pub fn span(&self, name: &'static str) -> Option<Span> {
+        self.trace.as_ref().map(|t| t.span(name))
+    }
+
+    /// A clone that shares every interrupt source but drops the trace:
+    /// the guard handed to parallel workers, which must poll but must not
+    /// open spans (span order would then depend on thread scheduling).
+    pub fn without_trace(&self) -> Guard {
+        let mut clone = self.clone();
+        clone.trace = None;
+        clone
     }
 
     /// True if any interrupt source is armed; lets callers skip guarded
@@ -231,7 +289,7 @@ impl Guard {
 
     /// Time remaining before the deadline, if one is set.
     pub fn remaining(&self) -> Option<Duration> {
-        self.deadline.map(|d| d.remaining())
+        self.deadline.as_ref().map(|d| d.remaining())
     }
 }
 
@@ -337,6 +395,18 @@ impl RetryPolicy {
     /// [`delay_for`]: RetryPolicy::delay_for
     pub fn run<T, E>(
         &self,
+        op: impl FnMut() -> Result<T, E>,
+        is_transient: impl FnMut(&E) -> bool,
+    ) -> Result<T, E> {
+        self.run_on(&MonotonicClock, op, is_transient)
+    }
+
+    /// [`run`](RetryPolicy::run) with the backoff sleeps taken on `clock`,
+    /// so retry tests on a [`TestClock`] observe the exact backoff schedule
+    /// in zero wall time.
+    pub fn run_on<T, E>(
+        &self,
+        clock: &dyn Clock,
         mut op: impl FnMut() -> Result<T, E>,
         mut is_transient: impl FnMut(&E) -> bool,
     ) -> Result<T, E> {
@@ -351,7 +421,7 @@ impl RetryPolicy {
                     }
                     let delay = self.delay_for(attempt);
                     if !delay.is_zero() {
-                        std::thread::sleep(delay);
+                        clock.sleep(delay);
                     }
                     attempt += 1;
                 }
@@ -441,6 +511,61 @@ mod tests {
         assert_eq!(clone.poll(), Ok(()));
         assert_eq!(guard.poll(), Err(Interrupt::Cancelled));
         assert_eq!(clone.poll(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_on_test_clock_expires_exactly_when_advanced() {
+        let clock = TestClock::new();
+        let guard = Guard::with_timeout_on(clock.clone(), Duration::from_millis(5));
+        assert_eq!(guard.poll(), Ok(()));
+        assert_eq!(guard.remaining(), Some(Duration::from_millis(5)));
+
+        clock.advance(Duration::from_millis(4));
+        assert_eq!(guard.poll(), Ok(()));
+        assert_eq!(guard.remaining(), Some(Duration::from_millis(1)));
+
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(guard.poll(), Err(Interrupt::DeadlineExceeded));
+        assert_eq!(guard.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn retry_backoff_on_test_clock_is_sleep_free_and_exact() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+        };
+        let mut calls = 0;
+        let out: Result<u32, &str> = policy.run_on(
+            clock.as_ref(),
+            || {
+                calls += 1;
+                Err("transient")
+            },
+            |e| *e == "transient",
+        );
+        assert_eq!(out, Err("transient"));
+        assert_eq!(calls, 4);
+        // Backoff schedule 2 + 4 + 8 ms elapsed on the test clock, not the
+        // wall clock.
+        assert_eq!(clock.elapsed(), Duration::from_millis(14));
+    }
+
+    #[test]
+    fn guard_span_records_only_when_traced() {
+        assert!(Guard::none().span("query").is_none());
+
+        let trace = TraceContext::new(TestClock::new());
+        let guard = Guard::none().tracing(trace.clone());
+        {
+            let span = guard.span("query").expect("traced guard opens spans");
+            span.add("hits", 3);
+        }
+        assert!(guard.without_trace().span("query").is_none());
+        let report = trace.report();
+        assert_eq!(report.counter("query", "hits"), Some(3));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod tree;
 
 pub use bulk::bulk_load;
 pub use rect::Rect;
-pub use tree::{RStarParams, RStarTree};
+pub use tree::{RStarParams, RStarTree, SearchStats};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq)]

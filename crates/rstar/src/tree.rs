@@ -230,12 +230,22 @@ impl<V> RStarTree<V> {
 
     /// All `(rect, value)` pairs whose rectangle intersects `query`.
     pub fn search_intersecting(&self, query: &Rect) -> Result<Vec<(&Rect, &V)>> {
+        self.search_intersecting_stats(query).map(|(out, _)| out)
+    }
+
+    /// [`search_intersecting`](RStarTree::search_intersecting) plus probe
+    /// statistics for observability.
+    pub fn search_intersecting_stats(
+        &self,
+        query: &Rect,
+    ) -> Result<(Vec<(&Rect, &V)>, SearchStats)> {
         if query.dims() != self.dims {
             return Err(RStarError::DimensionMismatch { expected: self.dims, got: query.dims() });
         }
         let mut out = Vec::new();
-        search_rec(&self.root, query, &mut out);
-        Ok(out)
+        let mut stats = SearchStats::default();
+        search_rec(&self.root, query, &mut out, &mut stats.nodes_visited);
+        Ok((out, stats))
     }
 
     /// All entries whose rectangle lies within L2 distance `eps` of `point`
@@ -243,15 +253,29 @@ impl<V> RStarTree<V> {
     /// centroid signatures; for box entries it is the ε-extended overlap
     /// test of Definition 4.1).
     pub fn search_within(&self, point: &[f32], eps: f32) -> Result<Vec<(&Rect, &V)>> {
+        self.search_within_stats(point, eps).map(|(out, _)| out)
+    }
+
+    /// [`search_within`](RStarTree::search_within) plus probe statistics:
+    /// nodes visited during the rectangle descent, and how many rectangle
+    /// candidates the exact ε-ball distance test then pruned.
+    pub fn search_within_stats(
+        &self,
+        point: &[f32],
+        eps: f32,
+    ) -> Result<(Vec<(&Rect, &V)>, SearchStats)> {
         if point.len() != self.dims {
             return Err(RStarError::DimensionMismatch { expected: self.dims, got: point.len() });
         }
         let probe = Rect::point(point)?.extended(eps);
         let eps_sq = (eps as f64) * (eps as f64);
         let mut out = Vec::new();
-        search_rec(&self.root, &probe, &mut out);
+        let mut stats = SearchStats::default();
+        search_rec(&self.root, &probe, &mut out, &mut stats.nodes_visited);
+        let coarse = out.len();
         out.retain(|(r, _)| r.min_dist_sq(point) <= eps_sq);
-        Ok(out)
+        stats.pruned = coarse - out.len();
+        Ok((out, stats))
     }
 
     /// The `k` entries nearest to `point` by minimum L2 distance to their
@@ -411,7 +435,23 @@ impl<V> RStarTree<V> {
     }
 }
 
-fn search_rec<'a, V>(node: &'a Node<V>, query: &Rect, out: &mut Vec<(&'a Rect, &'a V)>) {
+/// Counters a rectangle search accumulates, reported by the `_stats` search
+/// variants and surfaced in query traces.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Tree nodes (leaf + internal) the descent touched.
+    pub nodes_visited: usize,
+    /// Coarse rectangle hits discarded by the exact ε-ball distance test.
+    pub pruned: usize,
+}
+
+fn search_rec<'a, V>(
+    node: &'a Node<V>,
+    query: &Rect,
+    out: &mut Vec<(&'a Rect, &'a V)>,
+    visited: &mut usize,
+) {
+    *visited += 1;
     match node {
         Node::Leaf(entries) => {
             for e in entries {
@@ -423,7 +463,7 @@ fn search_rec<'a, V>(node: &'a Node<V>, query: &Rect, out: &mut Vec<(&'a Rect, &
         Node::Internal(children) => {
             for c in children {
                 if c.rect.intersects(query) {
-                    search_rec(&c.node, query, out);
+                    search_rec(&c.node, query, out, visited);
                 }
             }
         }

@@ -19,7 +19,9 @@
 //! either a 4xx [`ParseError::Bad`] (answerable) or a clean close.
 
 use std::io::{Read, Write};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use walrus_trace::Clock;
 
 /// Hard limits applied while parsing one request.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +112,11 @@ pub struct ReadOpts<'a> {
     /// stops waiting (idle connections close, half-received requests get
     /// `503`), which is what lets graceful shutdown drain quickly.
     pub stopping: &'a dyn Fn() -> bool,
+    /// Time source for the idle/read deadlines. Wall-clock ticks still come
+    /// from the socket's poll timeout; this clock only decides whether a
+    /// budget has elapsed, so tests can expire reads deterministically by
+    /// advancing a [`TestClock`](walrus_trace::TestClock).
+    pub clock: &'a dyn Clock,
 }
 
 enum Fill {
@@ -162,7 +169,9 @@ impl<S: Read + Write> Conn<S> {
         limits: &HttpLimits,
         opts: &ReadOpts<'_>,
     ) -> Result<Request, ParseError> {
-        let started = Instant::now();
+        let started = opts.clock.now_nanos();
+        let elapsed =
+            || Duration::from_nanos(opts.clock.now_nanos().saturating_sub(started));
         // Phase 1: accumulate the head (request line + headers).
         let (head_len, body_start) = loop {
             if let Some(found) = find_head_end(&self.buf) {
@@ -189,10 +198,10 @@ impl<S: Read + Write> Conn<S> {
                         };
                     }
                     if self.buf.is_empty() {
-                        if started.elapsed() >= opts.idle_timeout {
+                        if elapsed() >= opts.idle_timeout {
                             return Err(ParseError::Closed);
                         }
-                    } else if started.elapsed() >= opts.read_timeout {
+                    } else if elapsed() >= opts.read_timeout {
                         return Err(bad(408, "timed out receiving request head"));
                     }
                 }
@@ -274,7 +283,7 @@ impl<S: Read + Write> Conn<S> {
                     if (opts.stopping)() {
                         return Err(bad(503, "server shutting down"));
                     }
-                    if started.elapsed() >= opts.read_timeout {
+                    if elapsed() >= opts.read_timeout {
                         return Err(bad(408, "timed out receiving request body"));
                     }
                 }
@@ -500,6 +509,7 @@ mod tests {
             idle_timeout: Duration::from_secs(5),
             read_timeout: Duration::from_secs(5),
             stopping: &|| false,
+            clock: &walrus_trace::MonotonicClock,
         }
     }
 
@@ -631,6 +641,79 @@ mod tests {
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    /// Stream that yields scripted chunks, then endless `WouldBlock` ticks —
+    /// each tick advancing a [`TestClock`] — so read-deadline behavior is
+    /// exercised without any real waiting.
+    struct TickingStream {
+        chunks: std::collections::VecDeque<Vec<u8>>,
+        clock: std::sync::Arc<walrus_trace::TestClock>,
+        tick: Duration,
+    }
+
+    impl Read for TickingStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.chunks.pop_front() {
+                Some(chunk) => {
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+                None => {
+                    self.clock.advance(self.tick);
+                    Err(std::io::ErrorKind::WouldBlock.into())
+                }
+            }
+        }
+    }
+
+    impl Write for TickingStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn slowloris_hits_408_on_the_injected_clock() {
+        let clock = walrus_trace::TestClock::new();
+        let stream = TickingStream {
+            chunks: [b"GET / HT".to_vec()].into(),
+            clock: clock.clone(),
+            tick: Duration::from_secs(1),
+        };
+        let opts = ReadOpts {
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(5),
+            stopping: &|| false,
+            clock: clock.as_ref(),
+        };
+        let err = Conn::new(stream).read_request(&HttpLimits::default(), &opts);
+        assert!(matches!(err, Err(ParseError::Bad { status: 408, .. })), "{err:?}");
+        // The deadline fired exactly when the test clock crossed it —
+        // 5 scripted ticks — not after any wall-clock delay.
+        assert_eq!(clock.elapsed(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn idle_connection_closes_on_the_injected_clock() {
+        let clock = walrus_trace::TestClock::new();
+        let stream = TickingStream {
+            chunks: [].into(),
+            clock: clock.clone(),
+            tick: Duration::from_secs(2),
+        };
+        let opts = ReadOpts {
+            idle_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(5),
+            stopping: &|| false,
+            clock: clock.as_ref(),
+        };
+        let err = Conn::new(stream).read_request(&HttpLimits::default(), &opts);
+        assert!(matches!(err, Err(ParseError::Closed)), "{err:?}");
+        assert_eq!(clock.elapsed(), Duration::from_secs(10));
     }
 
     #[test]

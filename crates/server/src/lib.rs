@@ -47,6 +47,6 @@ pub mod server;
 
 pub use client::{Client, ClientResponse};
 pub use http::{HttpLimits, Request, Response};
-pub use metrics::Metrics;
+pub use metrics::{InFlight, Metrics, StageMetrics, TraceStore, STAGE_NAMES};
 pub use router::AppState;
 pub use server::{signals, Server, ServerConfig, ServerHandle};

@@ -1,4 +1,4 @@
-//! Plain-text service counters and latency rings.
+//! Plain-text service counters, latency rings, and per-stage histograms.
 //!
 //! No external metrics stack exists in this environment, so the server keeps
 //! a small set of atomics plus fixed-size latency rings and renders them in
@@ -7,10 +7,20 @@
 //! [`LatencyRing::CAPACITY`] samples — a sliding window, which is what an
 //! operator watching a live service wants, and bounded memory, which is what
 //! a hostile client demands.
+//!
+//! Per-pipeline-stage timings come from the request [`TraceReport`]s: each
+//! traced request folds its stage durations into a fixed set of lock-free
+//! [`Histogram`]s (DESIGN.md §12), so `/metrics` can answer stage-level
+//! p50/p95/p99 without retaining per-request data. Every declared stage is
+//! rendered even before its first sample — scrapers can rely on the full set
+//! being present from the first scrape.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use walrus_trace::{monotonic, Histogram, SharedClock, TraceReport};
 
 /// Fixed-capacity ring of recent latency samples (microseconds).
 #[derive(Debug, Default)]
@@ -67,11 +77,121 @@ impl LatencyRing {
     }
 }
 
+/// Pipeline stages with a dedicated duration histogram. Every name here is
+/// rendered in `/metrics` whether or not it has samples yet, so scrape-side
+/// dashboards and the CI invariant checker can rely on the complete set.
+/// Order matches the pipeline: query stages first, then the ingest-only WAL
+/// stage.
+pub const STAGE_NAMES: [&str; 6] =
+    ["decode", "wavelet", "birch", "rstar_probe", "match", "wal_append"];
+
+/// One lock-free duration histogram per declared pipeline stage.
+#[derive(Debug, Default)]
+pub struct StageMetrics {
+    histograms: [Histogram; STAGE_NAMES.len()],
+}
+
+impl StageMetrics {
+    /// Folds every stage duration of `report` into the matching histogram.
+    /// Spans whose name is not in [`STAGE_NAMES`] (the `query`/`ingest`
+    /// roots, future stages) are skipped — the roots are covered by the
+    /// request latency rings already.
+    pub fn record_report(&self, report: &TraceReport) {
+        for (name, micros) in report.stage_durations_micros() {
+            if let Some(i) = STAGE_NAMES.iter().position(|s| *s == name) {
+                self.histograms[i].record_micros(micros);
+            }
+        }
+    }
+
+    /// The histogram for `stage`, if declared.
+    pub fn histogram(&self, stage: &str) -> Option<&Histogram> {
+        STAGE_NAMES.iter().position(|s| *s == stage).map(|i| &self.histograms[i])
+    }
+
+    fn render_into(&self, out: &mut String) {
+        for (name, h) in STAGE_NAMES.iter().zip(&self.histograms) {
+            let q = |p: f64| h.quantile_micros(p).unwrap_or(0);
+            out.push_str(&format!("walrus_stage_{name}_count {}\n", h.count()));
+            out.push_str(&format!("walrus_stage_{name}_sum_us {}\n", h.sum_micros()));
+            out.push_str(&format!("walrus_stage_{name}_p50_us {}\n", q(0.50)));
+            out.push_str(&format!("walrus_stage_{name}_p95_us {}\n", q(0.95)));
+            out.push_str(&format!("walrus_stage_{name}_p99_us {}\n", q(0.99)));
+        }
+    }
+}
+
+/// Bounded ring of rendered trace reports, keyed by request id, behind
+/// `GET /trace/{id}`. Old traces are evicted FIFO; memory stays bounded no
+/// matter how many requests flow through.
+#[derive(Debug)]
+pub struct TraceStore {
+    ring: Mutex<VecDeque<(u64, String)>>,
+    capacity: usize,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceStore {
+    /// Traces retained by default.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// A store retaining the last `capacity` traces (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceStore { ring: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Stores the rendered trace of request `id`, evicting the oldest entry
+    /// when full.
+    pub fn insert(&self, id: u64, rendered: String) {
+        let mut ring = self.ring.lock().expect("trace ring lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back((id, rendered));
+    }
+
+    /// The rendered trace of request `id`, if still retained.
+    pub fn get(&self, id: u64) -> Option<String> {
+        let ring = self.ring.lock().expect("trace ring lock");
+        ring.iter().rev().find(|(rid, _)| *rid == id).map(|(_, t)| t.clone())
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring lock").len()
+    }
+
+    /// True when no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// RAII in-flight marker: increments `walrus_in_flight` on construction and
+/// decrements on drop, so the gauge covers the *entire* window in which a
+/// response is being produced and written — including error responses and
+/// unwinding — and can never leak an increment or under-report during
+/// graceful drain.
+#[derive(Debug)]
+pub struct InFlight<'a>(&'a Metrics);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// All counters the server exposes. One instance per server, shared across
 /// workers; everything is lock-free except the latency rings.
 #[derive(Debug)]
 pub struct Metrics {
-    started: Instant,
+    clock: SharedClock,
+    started_nanos: u64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
     /// Connections bounced with 503 because the worker queue was full.
@@ -96,12 +216,24 @@ pub struct Metrics {
     /// Query / ingest handler latency windows.
     pub query_latency: LatencyRing,
     pub ingest_latency: LatencyRing,
+    /// Per-pipeline-stage duration histograms, fed by request traces.
+    pub stages: StageMetrics,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        Metrics::with_clock(monotonic())
+    }
+}
+
+impl Metrics {
+    /// Metrics timed on an explicit clock — uptime and (via the caller)
+    /// request latencies become deterministic under a
+    /// [`TestClock`](walrus_trace::TestClock).
+    pub fn with_clock(clock: SharedClock) -> Self {
         Metrics {
-            started: Instant::now(),
+            started_nanos: clock.now_nanos(),
+            clock,
             connections_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
@@ -116,11 +248,22 @@ impl Default for Metrics {
             checkpoints_total: AtomicU64::new(0),
             query_latency: LatencyRing::default(),
             ingest_latency: LatencyRing::default(),
+            stages: StageMetrics::default(),
         }
     }
-}
 
-impl Metrics {
+    /// The clock this instance measures on.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Marks one request as in flight for the lifetime of the returned
+    /// guard.
+    pub fn begin_request(&self) -> InFlight<'_> {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        InFlight(self)
+    }
+
     /// Classifies a response status into the 2xx/4xx/5xx counters.
     pub fn count_response(&self, status: u16) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
@@ -141,12 +284,26 @@ impl Metrics {
     /// values owned by the caller (store size, pool shape, ...) as
     /// `(name, value)` pairs appended verbatim.
     pub fn render(&self, gauges: &[(&str, u64)]) -> String {
+        self.render_with(gauges, self.in_flight.load(Ordering::Relaxed))
+    }
+
+    /// [`render`](Metrics::render) for a scrape served over HTTP:
+    /// identical, except `walrus_in_flight` excludes the scrape request
+    /// itself (which holds an [`InFlight`] marker while this runs), so an
+    /// otherwise-idle server reports 0 rather than perpetually observing
+    /// its own observer.
+    pub fn render_for_scrape(&self, gauges: &[(&str, u64)]) -> String {
+        self.render_with(gauges, self.in_flight.load(Ordering::Relaxed).saturating_sub(1))
+    }
+
+    fn render_with(&self, gauges: &[(&str, u64)], in_flight: u64) -> String {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mut out = String::with_capacity(1024);
         out.push_str("walrus_up 1\n");
+        let uptime_nanos = self.clock.now_nanos().saturating_sub(self.started_nanos);
         out.push_str(&format!(
             "walrus_uptime_seconds {}\n",
-            self.started.elapsed().as_secs()
+            Duration::from_nanos(uptime_nanos).as_secs()
         ));
         out.push_str(&format!("walrus_connections_total {}\n", load(&self.connections_total)));
         out.push_str(&format!("walrus_rejected_total {}\n", load(&self.rejected_total)));
@@ -156,7 +313,7 @@ impl Metrics {
         out.push_str(&format!("walrus_responses_5xx_total {}\n", load(&self.responses_5xx)));
         out.push_str(&format!("walrus_errors_total {}\n", self.errors_total()));
         out.push_str(&format!("walrus_partial_results_total {}\n", load(&self.partial_total)));
-        out.push_str(&format!("walrus_in_flight {}\n", load(&self.in_flight)));
+        out.push_str(&format!("walrus_in_flight {in_flight}\n"));
         out.push_str(&format!(
             "walrus_ingest_requests_total {}\n",
             load(&self.ingest_requests_total)
@@ -178,6 +335,7 @@ impl Metrics {
                 out.push_str(&format!("walrus_{what}_latency_samples {}\n", ring.len()));
             }
         }
+        self.stages.render_into(&mut out);
         for (name, value) in gauges {
             out.push_str(&format!("{name} {value}\n"));
         }
@@ -228,5 +386,93 @@ mod tests {
         assert!(text.contains("walrus_errors_total 2\n"));
         assert!(text.contains("walrus_query_latency_p50_us 123\n"));
         assert!(text.contains("walrus_images 7\n"));
+    }
+
+    #[test]
+    fn every_stage_histogram_renders_even_when_empty() {
+        let text = Metrics::default().render(&[]);
+        for stage in STAGE_NAMES {
+            assert!(text.contains(&format!("walrus_stage_{stage}_count 0\n")), "{text}");
+            assert!(text.contains(&format!("walrus_stage_{stage}_p99_us 0\n")), "{text}");
+        }
+    }
+
+    #[test]
+    fn stage_metrics_fold_trace_reports() {
+        use walrus_trace::{TestClock, TraceContext};
+        let clock = TestClock::new();
+        let ctx = TraceContext::new(clock.clone());
+        {
+            let _root = ctx.span("query");
+            let decode = ctx.span("decode");
+            clock.advance(Duration::from_micros(100));
+            drop(decode);
+            let _unknown = ctx.span("not_a_stage");
+        }
+        let metrics = Metrics::default();
+        metrics.stages.record_report(&ctx.report());
+        let h = metrics.stages.histogram("decode").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_micros(), 100);
+        // Root spans and unknown names are not stage samples.
+        for stage in STAGE_NAMES.iter().filter(|s| **s != "decode") {
+            assert_eq!(metrics.stages.histogram(stage).unwrap().count(), 0);
+        }
+    }
+
+    #[test]
+    fn uptime_follows_injected_clock() {
+        use walrus_trace::TestClock;
+        let clock = TestClock::new();
+        let metrics = Metrics::with_clock(clock.clone());
+        assert!(metrics.render(&[]).contains("walrus_uptime_seconds 0\n"));
+        clock.advance(Duration::from_secs(42));
+        assert!(metrics.render(&[]).contains("walrus_uptime_seconds 42\n"));
+    }
+
+    #[test]
+    fn trace_store_evicts_fifo_and_finds_by_id() {
+        let store = TraceStore::new(2);
+        store.insert(1, "one".into());
+        store.insert(2, "two".into());
+        store.insert(3, "three".into());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.get(2).as_deref(), Some("two"));
+        assert_eq!(store.get(3).as_deref(), Some("three"));
+    }
+
+    #[test]
+    fn in_flight_guard_balances_on_all_paths() {
+        let metrics = Metrics::default();
+        {
+            let _a = metrics.begin_request();
+            let _b = metrics.begin_request();
+            assert_eq!(metrics.in_flight.load(Ordering::Acquire), 2);
+        }
+        assert_eq!(metrics.in_flight.load(Ordering::Acquire), 0);
+        // Unwinding also releases the marker.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = metrics.begin_request();
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(metrics.in_flight.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn scrape_render_excludes_the_scrape_itself() {
+        let metrics = Metrics::default();
+        // Idle server, scrape in progress: raw gauge 1, scrape reports 0.
+        let scrape = metrics.begin_request();
+        assert!(metrics.render(&[]).contains("walrus_in_flight 1\n"));
+        assert!(metrics.render_for_scrape(&[]).contains("walrus_in_flight 0\n"));
+        // One genuinely concurrent request is still visible to the scrape.
+        let _other = metrics.begin_request();
+        assert!(metrics.render_for_scrape(&[]).contains("walrus_in_flight 1\n"));
+        drop(scrape);
+        // Outside any request, the saturating exclusion cannot underflow.
+        drop(_other);
+        assert!(metrics.render_for_scrape(&[]).contains("walrus_in_flight 0\n"));
     }
 }

@@ -24,19 +24,19 @@
 //! `similarity_bits` (`f64::to_bits`) for clients that need the exact value
 //! — floating-point JSON round-trips are not trusted for bit-identity.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use walrus_core::{
-    Budgets, CancelToken, Guard, QueryOptions, QueryOutcome, ResultStatus, SharedDurableDatabase,
-    WalrusError,
+    Budgets, CancelToken, Guard, QueryOptions, QueryOutcome, ResultStatus, SharedClock,
+    SharedDurableDatabase, TraceContext, WalrusError,
 };
 use walrus_imagery::ppm::{parse_netpbm_limited, parse_netpbm_limited_prefix};
 use walrus_imagery::{Image, ImageError};
 
 use crate::http::{json_string, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, TraceStore};
 
 /// Everything a worker needs to answer requests. One instance per server,
 /// shared via `Arc`.
@@ -44,6 +44,13 @@ pub struct AppState {
     /// The WAL-durable store all mutations and queries go through.
     pub store: SharedDurableDatabase,
     pub metrics: Metrics,
+    /// Time source for request deadlines, latency samples, and trace spans.
+    pub clock: SharedClock,
+    /// Recent request traces, served at `GET /trace/{request_id}`.
+    pub traces: TraceStore,
+    /// Monotone request-id source; ids are echoed in `/query` and `/ingest`
+    /// responses so clients can fetch the matching trace.
+    pub request_ids: AtomicU64,
     /// Applied when a request carries no `timeout_ms` of its own.
     pub default_timeout: Option<Duration>,
     /// Cloned into every request guard; cancelled when graceful shutdown
@@ -62,6 +69,20 @@ impl AppState {
     pub fn is_stopping(&self) -> bool {
         self.stopping.load(Ordering::Acquire)
     }
+
+    /// Allocates the next request id (ids start at 1).
+    fn next_request_id(&self) -> u64 {
+        self.request_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Finalizes one traced request: folds its stage durations into the
+    /// `/metrics` histograms and retains the rendered span tree for
+    /// `GET /trace/{id}`.
+    fn finish_trace(&self, request_id: u64, trace: &TraceContext) {
+        let report = trace.report();
+        self.metrics.stages.record_report(&report);
+        self.traces.insert(request_id, report.render());
+    }
 }
 
 /// Routes one request and updates the response-class counters.
@@ -79,11 +100,14 @@ fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/query") => query(state, req),
         ("POST", "/admin/checkpoint") => checkpoint(state),
         ("GET", path) if path.starts_with("/image/") => image_meta(state, path),
+        ("GET", path) if path.starts_with("/trace/") => trace_text(state, path),
         // Known paths with the wrong method get 405, everything else 404.
         (_, "/healthz" | "/metrics" | "/ingest" | "/query" | "/admin/checkpoint") => {
             Response::error(405, "method not allowed")
         }
-        (_, path) if path.starts_with("/image/") => Response::error(405, "method not allowed"),
+        (_, path) if path.starts_with("/image/") || path.starts_with("/trace/") => {
+            Response::error(405, "method not allowed")
+        }
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -111,7 +135,7 @@ fn metrics_text(state: &AppState) -> Response {
         ("walrus_pool_threads", state.pool_threads as u64),
         ("walrus_pool_queue_capacity", state.pool_queue_depth as u64),
     ];
-    Response::text(200, state.metrics.render(&gauges))
+    Response::text(200, state.metrics.render_for_scrape(&gauges))
 }
 
 fn image_meta(state: &AppState, path: &str) -> Response {
@@ -135,6 +159,19 @@ fn image_meta(state: &AppState, path: &str) -> Response {
     }
 }
 
+/// `GET /trace/{request_id}`: the rendered span tree of a recent request.
+/// Traces are kept in a bounded ring, so old ids answer `404` once evicted.
+fn trace_text(state: &AppState, path: &str) -> Response {
+    let id_str = path.trim_start_matches("/trace/");
+    let Ok(id) = id_str.parse::<u64>() else {
+        return Response::error(400, "request id must be a non-negative integer");
+    };
+    match state.traces.get(id) {
+        Some(rendered) => Response::text(200, rendered),
+        None => Response::error(404, "no trace retained for this request id"),
+    }
+}
+
 fn checkpoint(state: &AppState) -> Response {
     match state.store.checkpoint() {
         Ok(()) => {
@@ -152,10 +189,12 @@ fn checkpoint(state: &AppState) -> Response {
 }
 
 fn ingest(state: &AppState, req: &Request) -> Response {
-    let started = Instant::now();
+    let started = state.clock.now_nanos();
     state.metrics.ingest_requests_total.fetch_add(1, Ordering::Relaxed);
+    let request_id = state.next_request_id();
+    let trace = TraceContext::new(state.clock.clone());
     let guard = match request_guard(state, req) {
-        Ok(g) => g,
+        Ok(g) => g.tracing(trace.clone()),
         Err(resp) => return resp,
     };
     let budgets = match request_budgets(state, req) {
@@ -206,17 +245,26 @@ fn ingest(state: &AppState, req: &Request) -> Response {
     };
     let items: Vec<(&str, &Image)> =
         names.iter().map(String::as_str).zip(images.iter()).collect();
-    match state.store.insert_images_batch_guarded(&items, &guard) {
+    let result = state.store.insert_images_batch_guarded(&items, &guard);
+    state.finish_trace(request_id, &trace);
+    match result {
         Ok(ids) => {
             state
                 .metrics
                 .ingest_images_total
                 .fetch_add(ids.len() as u64, Ordering::Relaxed);
-            state.metrics.ingest_latency.record(started.elapsed());
+            state
+                .metrics
+                .ingest_latency
+                .record(Duration::from_nanos(state.clock.now_nanos().saturating_sub(started)));
             let ids_json: Vec<String> = ids.iter().map(|id| id.to_string()).collect();
             Response::json(
                 200,
-                format!("{{\"ids\":[{}],\"count\":{}}}", ids_json.join(","), ids.len()),
+                format!(
+                    "{{\"ids\":[{}],\"count\":{},\"request_id\":{request_id}}}",
+                    ids_json.join(","),
+                    ids.len()
+                ),
             )
         }
         Err(e) => engine_error(&e),
@@ -224,10 +272,12 @@ fn ingest(state: &AppState, req: &Request) -> Response {
 }
 
 fn query(state: &AppState, req: &Request) -> Response {
-    let started = Instant::now();
+    let started = state.clock.now_nanos();
     state.metrics.query_requests_total.fetch_add(1, Ordering::Relaxed);
+    let request_id = state.next_request_id();
+    let trace = TraceContext::new(state.clock.clone());
     let guard = match request_guard(state, req) {
-        Ok(g) => g,
+        Ok(g) => g.tracing(trace.clone()),
         Err(resp) => return resp,
     };
     let budgets = match request_budgets(state, req) {
@@ -261,14 +311,19 @@ fn query(state: &AppState, req: &Request) -> Response {
         }
         Err(e) => return Response::error(400, &format!("query image: {e}")),
     };
-    match state.store.query_with_options_guarded(&image, &opts, &guard) {
+    let result = state.store.query_with_options_guarded(&image, &opts, &guard);
+    state.finish_trace(request_id, &trace);
+    match result {
         Ok(outcome) => {
-            state.metrics.query_latency.record(started.elapsed());
+            state
+                .metrics
+                .query_latency
+                .record(Duration::from_nanos(state.clock.now_nanos().saturating_sub(started)));
             if outcome.status == ResultStatus::Partial {
                 state.metrics.partial_total.fetch_add(1, Ordering::Relaxed);
             }
             let status = if outcome.status == ResultStatus::Partial { 206 } else { 200 };
-            Response::json(status, outcome_json(&outcome))
+            Response::json(status, outcome_json_with_id(&outcome, Some(request_id)))
         }
         Err(e) => engine_error(&e),
     }
@@ -277,6 +332,12 @@ fn query(state: &AppState, req: &Request) -> Response {
 /// Serializes a [`QueryOutcome`]. Similarities are emitted both as JSON
 /// numbers and as `f64::to_bits` integers for bit-exact consumers.
 pub fn outcome_json(outcome: &QueryOutcome) -> String {
+    outcome_json_with_id(outcome, None)
+}
+
+/// [`outcome_json`] with an optional `"request_id"` field appended — the id
+/// clients pass to `GET /trace/{id}`.
+fn outcome_json_with_id(outcome: &QueryOutcome, request_id: Option<u64>) -> String {
     let matches: Vec<String> = outcome
         .matches
         .iter()
@@ -291,8 +352,12 @@ pub fn outcome_json(outcome: &QueryOutcome) -> String {
             )
         })
         .collect();
+    let id_field = match request_id {
+        Some(id) => format!(",\"request_id\":{id}"),
+        None => String::new(),
+    };
     format!(
-        "{{\"status\":{},\"count\":{},\"matches\":[{}],\"stats\":{{\"query_regions\":{},\"total_matching_regions\":{},\"avg_regions_per_query_region\":{},\"distinct_images\":{}}}}}",
+        "{{\"status\":{},\"count\":{},\"matches\":[{}],\"stats\":{{\"query_regions\":{},\"total_matching_regions\":{},\"avg_regions_per_query_region\":{},\"distinct_images\":{}}}{}}}",
         match outcome.status {
             ResultStatus::Complete => "\"complete\"",
             ResultStatus::Partial => "\"partial\"",
@@ -302,7 +367,8 @@ pub fn outcome_json(outcome: &QueryOutcome) -> String {
         outcome.stats.query_regions,
         outcome.stats.total_matching_regions,
         outcome.stats.avg_regions_per_query_region,
-        outcome.stats.distinct_images
+        outcome.stats.distinct_images,
+        id_field
     )
 }
 
@@ -312,7 +378,7 @@ fn request_guard(state: &AppState, req: &Request) -> Result<Guard, Response> {
     let timeout = parse_param::<u64>(req, "timeout_ms")?
         .map(Duration::from_millis)
         .or(state.default_timeout);
-    Ok(Guard::for_request(timeout, Some(state.cancel.clone())))
+    Ok(Guard::for_request_on(state.clock.clone(), timeout, Some(state.cancel.clone())))
 }
 
 /// Per-request [`Budgets`] overrides (`max_pixels`, `max_candidates`) on top
@@ -377,6 +443,9 @@ mod tests {
         AppState {
             store: SharedDurableDatabase::new(store),
             metrics: Metrics::default(),
+            clock: walrus_core::monotonic(),
+            traces: TraceStore::default(),
+            request_ids: AtomicU64::new(0),
             default_timeout: None,
             cancel: CancelToken::new(),
             stopping: Arc::new(AtomicBool::new(false)),
@@ -504,6 +573,55 @@ mod tests {
         let resp = handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
         assert_eq!(resp.status, 503);
         assert_eq!(state.store.len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_requests_expose_span_trees_and_stage_histograms() {
+        let dir = tmp_dir("trace");
+        let state = test_state(&dir);
+
+        let resp = handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"request_id\":1"), "{text}");
+
+        let resp = handle(&state, &request("POST", "/query?k=1", ppm_bytes(0)));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"request_id\":2"), "{text}");
+
+        // The ingest trace shows the extraction + WAL stages...
+        let resp = handle(&state, &request("GET", "/trace/1", Vec::new()));
+        assert_eq!(resp.status, 200);
+        let trace = String::from_utf8(resp.body).unwrap();
+        for span in ["ingest", "extract", "wal_append"] {
+            assert!(trace.contains(span), "missing {span} in:\n{trace}");
+        }
+        // ...and the query trace shows all five pipeline stages.
+        let resp = handle(&state, &request("GET", "/trace/2", Vec::new()));
+        assert_eq!(resp.status, 200);
+        let trace = String::from_utf8(resp.body).unwrap();
+        for span in ["query", "decode", "wavelet", "birch", "rstar_probe", "match"] {
+            assert!(trace.contains(span), "missing {span} in:\n{trace}");
+        }
+
+        // Unknown / malformed trace ids.
+        assert_eq!(handle(&state, &request("GET", "/trace/999", Vec::new())).status, 404);
+        assert_eq!(handle(&state, &request("GET", "/trace/frog", Vec::new())).status, 400);
+        assert_eq!(handle(&state, &request("POST", "/trace/1", Vec::new())).status, 405);
+
+        // Stage histograms saw the samples.
+        let metrics = String::from_utf8(
+            handle(&state, &request("GET", "/metrics", Vec::new())).body,
+        )
+        .unwrap();
+        for stage in ["decode", "wavelet", "birch", "rstar_probe", "match", "wal_append"] {
+            assert!(
+                metrics.contains(&format!("walrus_stage_{stage}_count 1\n")),
+                "stage {stage} missing a sample in:\n{metrics}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

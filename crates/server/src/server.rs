@@ -19,17 +19,18 @@
 //! 5. join the workers and take a final checkpoint so recovery replays an
 //!    empty WAL.
 
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use walrus_core::{CancelToken, Result, SharedDurableDatabase, WalrusError};
+use walrus_core::{monotonic, CancelToken, Result, SharedClock, SharedDurableDatabase, WalrusError};
 use walrus_parallel::{resolve_threads, WorkerPool};
 
 use crate::http::{Conn, HttpLimits, ParseError, ReadOpts, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, TraceStore};
 use crate::router::{self, AppState};
 
 /// Everything tunable about one server instance.
@@ -55,6 +56,12 @@ pub struct ServerConfig {
     pub keep_alive_max: usize,
     /// HTTP parse limits.
     pub limits: HttpLimits,
+    /// Time source for request deadlines, read pacing, latency metrics, and
+    /// trace spans. Production uses the process-wide monotonic clock; tests
+    /// inject a [`TestClock`](walrus_core::TestClock) to drive timeouts
+    /// without sleeping. (Socket poll ticks still ride the OS timer — the
+    /// clock decides *whether* a deadline has passed, not when reads wake.)
+    pub clock: SharedClock,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +76,7 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(10),
             keep_alive_max: 1000,
             limits: HttpLimits::default(),
+            clock: monotonic(),
         }
     }
 }
@@ -101,7 +109,10 @@ impl Server {
         let pool = WorkerPool::new(threads, config.queue_depth);
         let state = Arc::new(AppState {
             store,
-            metrics: Metrics::default(),
+            metrics: Metrics::with_clock(config.clock.clone()),
+            clock: config.clock.clone(),
+            traces: TraceStore::default(),
+            request_ids: AtomicU64::new(0),
             default_timeout: config.default_timeout,
             cancel: CancelToken::new(),
             stopping: Arc::new(AtomicBool::new(false)),
@@ -194,8 +205,9 @@ fn reject_overload(stream: TcpStream) {
 }
 
 /// Serves one connection until it closes, errors, asks to close, hits the
-/// keep-alive cap, or the server starts stopping.
-fn handle_connection(state: Arc<AppState>, stream: TcpStream, config: &ServerConfig) {
+/// keep-alive cap, or the server starts stopping. Generic over the stream so
+/// tests can drive it with scripted in-memory connections.
+fn handle_connection<S: Read + Write>(state: Arc<AppState>, stream: S, config: &ServerConfig) {
     let mut conn = Conn::new(stream);
     let stopping = || state.is_stopping() || state.cancel.is_cancelled();
     for served in 0..config.keep_alive_max {
@@ -203,16 +215,21 @@ fn handle_connection(state: Arc<AppState>, stream: TcpStream, config: &ServerCon
             idle_timeout: config.idle_timeout,
             read_timeout: config.read_timeout,
             stopping: &stopping,
+            clock: config.clock.as_ref(),
         };
         match conn.read_request(&config.limits, &opts) {
             Ok(req) => {
-                state.metrics.in_flight.fetch_add(1, Ordering::AcqRel);
+                // The in-flight gauge covers routing *and* the response
+                // write: a `/metrics` scrape during graceful drain must see
+                // stragglers until their bytes are out (RAII also keeps the
+                // gauge balanced if response writing panics).
+                let in_flight = state.metrics.begin_request();
                 let mut resp = router::handle(&state, &req);
                 resp.close = !req.keep_alive
                     || state.is_stopping()
                     || served + 1 == config.keep_alive_max;
                 let write = conn.write_response(&resp);
-                state.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
+                drop(in_flight);
                 if write.is_err() || resp.close {
                     return;
                 }
@@ -220,11 +237,16 @@ fn handle_connection(state: Arc<AppState>, stream: TcpStream, config: &ServerCon
             Err(ParseError::Closed) | Err(ParseError::Io(_)) => return,
             Err(ParseError::Bad { status, message }) => {
                 // Protocol violations get one best-effort answer, then the
-                // connection closes — framing can no longer be trusted.
+                // connection closes — framing can no longer be trusted. The
+                // answer is a response in flight like any other: without the
+                // marker, a drain-time scrape would under-report while these
+                // 503s/4xxs are written.
+                let in_flight = state.metrics.begin_request();
                 state.metrics.count_response(status);
                 let mut resp = Response::error(status, &message);
                 resp.close = true;
                 let _ = conn.write_response(&resp);
+                drop(in_flight);
                 return;
             }
         }
@@ -376,6 +398,80 @@ mod tests {
         };
         let (store, _) = DurableDatabase::open(&dir, params).unwrap();
         (SharedDurableDatabase::new(store), dir)
+    }
+
+    /// Regression (in-flight under-report during graceful drain): a
+    /// half-received request answered `503` while the server is stopping
+    /// must be visible in `walrus_in_flight` for the whole response write.
+    /// Before the RAII marker, this error path never touched the gauge, so
+    /// a drain-time `/metrics` scrape read 0 while 503s were still being
+    /// written.
+    #[test]
+    fn drain_time_error_responses_are_counted_in_flight() {
+        let (store, dir) = test_store("inflight");
+        let state = Arc::new(AppState {
+            store,
+            metrics: Metrics::default(),
+            clock: monotonic(),
+            traces: TraceStore::default(),
+            request_ids: AtomicU64::new(0),
+            default_timeout: None,
+            cancel: walrus_core::CancelToken::new(),
+            // Drain in progress from the first read tick.
+            stopping: Arc::new(AtomicBool::new(true)),
+            pool_threads: 1,
+            pool_queue_depth: 1,
+        });
+
+        /// Half a request head, then endless ticks; the write side records
+        /// what the in-flight gauge said while the response went out.
+        struct HalfRequest {
+            state: Arc<AppState>,
+            sent: bool,
+            observed: Arc<AtomicU64>,
+        }
+        impl Read for HalfRequest {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.sent {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.sent = true;
+                let head = b"POST /query HTTP/1.1\r\n";
+                buf[..head.len()].copy_from_slice(head);
+                Ok(head.len())
+            }
+        }
+        impl Write for HalfRequest {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.observed
+                    .store(self.state.metrics.in_flight.load(Ordering::Acquire), Ordering::Release);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let observed = Arc::new(AtomicU64::new(u64::MAX));
+        let stream = HalfRequest {
+            state: Arc::clone(&state),
+            sent: false,
+            observed: Arc::clone(&observed),
+        };
+        handle_connection(Arc::clone(&state), stream, &test_config());
+
+        assert_eq!(
+            observed.load(Ordering::Acquire),
+            1,
+            "the drain-time 503 must be in flight while its bytes are written"
+        );
+        assert_eq!(
+            state.metrics.in_flight.load(Ordering::Acquire),
+            0,
+            "the gauge must return to zero once the response is out"
+        );
+        assert_eq!(state.metrics.responses_5xx.load(Ordering::Acquire), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! A fixed-bucket, lock-free latency histogram.
+//!
+//! Buckets are powers of two over microseconds: bucket 0 holds the value 0,
+//! bucket `i` holds values in `[2^(i-1), 2^i)`, and the last bucket absorbs
+//! everything larger. Recording is a single relaxed atomic increment, so the
+//! hot path never takes a lock; merging two histograms is a bucket-wise add,
+//! which makes merge commutative and associative by construction.
+//!
+//! Quantiles use the nearest-rank rule over bucket upper bounds: the
+//! reported value is the inclusive upper bound `2^i - 1` of the bucket
+//! containing the ranked sample, so estimates never under-report and values
+//! that sit exactly on a bucket boundary are exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets. Bucket 38 tops out at `2^38 - 1` µs ≈ 3.2 days, far
+/// past any request latency this engine can produce; the last bucket is the
+/// overflow catch-all.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Bucket index for a microsecond value.
+fn bucket_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (64 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the value a quantile in that bucket
+/// reports).
+pub fn bucket_bound_micros(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Lock-free fixed-bucket histogram of microsecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one duration, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold every sample of `other` into `self` (bucket-wise add).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(other.sum_micros.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, for comparison and serialization.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), reported as the upper bound
+    /// of the bucket holding the ranked sample. `None` when empty.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(bucket_bound_micros(i));
+            }
+        }
+        Some(bucket_bound_micros(HISTOGRAM_BUCKETS - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_are_exact() {
+        for k in 1..20 {
+            let h = Histogram::new();
+            let v = (1u64 << k) - 1;
+            h.record_micros(v);
+            assert_eq!(h.quantile_micros(1.0), Some(v));
+        }
+    }
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_micros(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_micros(3);
+        b.record_micros(300);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum_micros(), 303);
+    }
+}

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use walrus_core::storage::{Fault, FaultIo, FaultKind, RetryIo};
 use walrus_core::{
-    CancelToken, DurableDatabase, Guard, ImageDatabase, Interrupt, ResultStatus, RetryPolicy,
-    WalrusError, WalrusParams,
+    CancelToken, Deadline, DurableDatabase, Guard, ImageDatabase, Interrupt, ResultStatus,
+    RetryPolicy, TestClock, WalrusError, WalrusParams,
 };
 use walrus_imagery::{ColorSpace, Image};
 use walrus_wavelet::SlidingParams;
@@ -58,6 +58,9 @@ fn zero_delay_retry(max_attempts: u32) -> RetryPolicy {
     RetryPolicy { max_attempts, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
 }
 
+/// The one real-clock smoke in this suite: everything else that involves
+/// time runs on an injected [`TestClock`], but this acceptance headline
+/// keeps exercising the actual monotonic clock end to end.
 #[test]
 fn millisecond_deadline_query_on_1k_image_db_returns_partial() {
     let mut db = ImageDatabase::new(params()).unwrap();
@@ -86,6 +89,71 @@ fn millisecond_deadline_query_on_1k_image_db_returns_partial() {
     // The same query unguarded completes and reports Complete.
     let full = db.query_guarded(&query, &Guard::none()).unwrap();
     assert_eq!(full.status, ResultStatus::Complete);
+}
+
+#[test]
+fn deadline_on_a_test_clock_expires_exactly_at_the_boundary() {
+    let clock = TestClock::new();
+    let deadline = Deadline::after_on(clock.clone(), Duration::from_millis(50));
+    assert!(!deadline.expired());
+    assert_eq!(deadline.remaining(), Duration::from_millis(50));
+    clock.advance(Duration::from_millis(49));
+    assert!(!deadline.expired());
+    assert_eq!(deadline.remaining(), Duration::from_millis(1));
+    clock.advance(Duration::from_millis(1));
+    assert!(deadline.expired());
+    assert_eq!(deadline.remaining(), Duration::ZERO);
+}
+
+#[test]
+fn expired_test_clock_deadline_degrades_to_partial_without_sleeping() {
+    // The deterministic twin of the 1k-image smoke above: the deadline is
+    // expired by advancing an injected clock, so no database is large
+    // enough, no margin is generous enough, and no wall time is spent.
+    let mut db = ImageDatabase::new(params()).unwrap();
+    let images: Vec<(String, Image)> = (0..40).map(|i| (format!("img{i}"), tile(i))).collect();
+    let items: Vec<(&str, &Image)> = images.iter().map(|(n, i)| (n.as_str(), i)).collect();
+    db.insert_images_batch(&items).unwrap();
+
+    let clock = TestClock::new();
+    let guard = Guard::with_timeout_on(clock.clone(), Duration::from_millis(5));
+    clock.advance(Duration::from_millis(5));
+    let out = db.query_guarded(&tile(3), &guard).unwrap();
+    assert_eq!(out.status, ResultStatus::Partial);
+    assert!(out.matches.is_empty(), "deadline expired before extraction: nothing was scored");
+
+    // An unexpired deadline on the same (now frozen) clock completes in
+    // full — the degradation above came from the deadline, not the plumbing.
+    let guard = Guard::with_timeout_on(clock.clone(), Duration::from_millis(5));
+    let full = db.query_guarded(&tile(3), &guard).unwrap();
+    assert_eq!(full.status, ResultStatus::Complete);
+    assert!(!full.matches.is_empty());
+}
+
+#[test]
+fn retry_backoff_follows_the_exact_schedule_on_a_test_clock() {
+    // With the sleeps taken on a TestClock the *exact* exponential backoff
+    // schedule is observable — something the zero-delay policies used by
+    // the fault tests deliberately erase.
+    let clock = TestClock::new();
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(25),
+    };
+    let mut calls = 0;
+    let out: Result<(), &str> = policy.run_on(
+        clock.as_ref(),
+        || {
+            calls += 1;
+            Err("transient")
+        },
+        |_| true,
+    );
+    assert_eq!(out, Err("transient"));
+    assert_eq!(calls, 4);
+    // Backoffs between the 4 attempts: 10 ms, 20 ms, 25 ms (clamped).
+    assert_eq!(clock.elapsed(), Duration::from_millis(55));
 }
 
 #[test]

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use walrus_core::{
     DurableDatabase, Guard, ImageDatabase, QueryOptions, ResultStatus, SharedDurableDatabase,
-    SlidingParams, WalrusParams,
+    SlidingParams, TestClock, WalrusParams,
 };
 use walrus_imagery::ppm::{parse_netpbm, write_ppm};
 use walrus_imagery::{ColorSpace, Image};
@@ -195,6 +195,43 @@ fn http_answers_are_bit_identical_to_in_process_and_survive_recovery() {
             .collect();
         assert_eq!(got, expected[which], "recovered store diverged for query {which}");
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn server_timing_runs_on_the_injected_clock() {
+    // Everything time-shaped in the server — uptime, request deadlines —
+    // is measured on `ServerConfig::clock`, so a TestClock makes the
+    // timing assertions below exact and sleep-free. (The suites' remaining
+    // wall-clock timing coverage lives in the tests above, which run on
+    // the default monotonic clock.)
+    let dir = tmp_dir("testclock");
+    let (store, _) = DurableDatabase::open(&dir, test_params()).unwrap();
+    let clock = TestClock::new();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        clock: clock.clone(),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, SharedDurableDatabase::new(store)).unwrap();
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Uptime is frozen at 0 until the clock is advanced, then reads the
+    // advance exactly — no "roughly n seconds" margins.
+    let resp = client.request("GET", "/metrics", &[]).unwrap();
+    assert!(resp.text().contains("walrus_uptime_seconds 0\n"), "{}", resp.text());
+    clock.advance(Duration::from_secs(90));
+    let resp = client.request("GET", "/metrics", &[]).unwrap();
+    assert!(resp.text().contains("walrus_uptime_seconds 90\n"), "{}", resp.text());
+
+    // Request deadlines are armed on the same clock: `timeout_ms=0` is
+    // expired at admission and degrades to 206 Partial in zero wall time.
+    let resp = client.request("POST", "/query?timeout_ms=0", &ppm_bytes(0)).unwrap();
+    assert_eq!(resp.status, 206, "{}", resp.text());
+    assert!(resp.text().contains("\"status\":\"partial\""), "{}", resp.text());
+
+    handle.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
 
