@@ -47,7 +47,10 @@ use std::time::Duration;
 use walrus_core::persist;
 use walrus_core::recovery::{DurableDatabase, RecoveryReport};
 use walrus_core::scene_query::SceneRect;
-use walrus_core::{Guard, ImageDatabase, ResultStatus, WalrusParams};
+use walrus_core::sharded::{is_sharded_store, ShardRecovery};
+use walrus_core::{
+    Guard, ImageDatabase, QueryOptions, QueryOutcome, ResultStatus, ShardedStore, WalrusParams,
+};
 use walrus_imagery::{ppm, ColorSpace, Image};
 use walrus_wavelet::SlidingParams;
 
@@ -72,6 +75,11 @@ struct Options {
     timeout_ms: Option<u64>,
     max_pixels: Option<usize>,
     addr: String,
+    /// `--shards <n>`: shard count when creating a store (`None` = consult
+    /// `WALRUS_SHARDS`, then fall back to the legacy monolithic layout).
+    shards: Option<usize>,
+    /// `--shard <i>`: target one shard in `recover` / `compact`.
+    shard: Option<usize>,
 }
 
 impl Default for Options {
@@ -86,6 +94,8 @@ impl Default for Options {
             timeout_ms: None,
             max_pixels: None,
             addr: "127.0.0.1:8167".to_string(),
+            shards: None,
+            shard: None,
         }
     }
 }
@@ -167,6 +177,18 @@ fn parse_options(args: &[String]) -> Result<(Options, &[String]), String> {
                 opts.addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
                 i += 2;
             }
+            "--shards" => {
+                let n: usize = parse_at(args, i + 1, "--shards")?;
+                if n == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+                opts.shards = Some(n);
+                i += 2;
+            }
+            "--shard" => {
+                opts.shard = Some(parse_at(args, i + 1, "--shard")?);
+                i += 2;
+            }
             "--window" => {
                 opts.omega_min = parse_at(args, i + 1, "--window min")?;
                 opts.omega_max = parse_at(args, i + 2, "--window max")?;
@@ -214,19 +236,56 @@ fn params_for(opts: &Options) -> Result<WalrusParams, String> {
     Ok(params)
 }
 
-/// A database handle that is either a plain snapshot file or a durable
-/// store directory. Mutations on a durable store commit through its WAL;
-/// snapshot files are saved explicitly (and atomically) after mutating.
+/// A database handle: a plain snapshot file, a monolithic durable store
+/// directory, or an N-shard durable store (detected by its `MANIFEST`).
+/// Mutations on durable stores commit through their WALs; snapshot files
+/// are saved explicitly (and atomically) after mutating.
 enum DbHandle {
-    File { db: ImageDatabase, path: String },
+    File { db: Box<ImageDatabase>, path: String },
     Durable(Box<DurableDatabase>),
+    Sharded(Box<ShardedStore>),
 }
 
 impl DbHandle {
-    fn db(&self) -> &ImageDatabase {
+    /// The in-memory database of a single-directory handle. Sharded stores
+    /// have no single inner database; commands that support them route
+    /// through the other accessors instead.
+    fn db(&self) -> Result<&ImageDatabase, String> {
         match self {
-            DbHandle::File { db, .. } => db,
-            DbHandle::Durable(store) => store.db(),
+            DbHandle::File { db, .. } => Ok(db),
+            DbHandle::Durable(store) => Ok(store.db()),
+            DbHandle::Sharded(_) => {
+                Err("this operation is not supported on a sharded store".into())
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DbHandle::File { db, .. } => db.len(),
+            DbHandle::Durable(store) => store.len(),
+            DbHandle::Sharded(store) => store.len(),
+        }
+    }
+
+    fn num_regions(&self) -> usize {
+        match self {
+            DbHandle::File { db, .. } => db.num_regions(),
+            DbHandle::Durable(store) => store.db().num_regions(),
+            DbHandle::Sharded(store) => store.num_regions(),
+        }
+    }
+
+    /// Region count of one image (0 when unknown or unreachable).
+    fn image_regions(&self, id: usize) -> usize {
+        match self {
+            DbHandle::File { db, .. } => db.image(id).map(|i| i.regions.len()).unwrap_or(0),
+            DbHandle::Durable(store) => {
+                store.db().image(id).map(|i| i.regions.len()).unwrap_or(0)
+            }
+            DbHandle::Sharded(store) => {
+                store.image_meta(id).ok().flatten().map(|m| m.regions).unwrap_or(0)
+            }
         }
     }
 
@@ -234,6 +293,7 @@ impl DbHandle {
         match self {
             DbHandle::File { db, .. } => db.insert_image(name, image),
             DbHandle::Durable(store) => store.insert_image(name, image),
+            DbHandle::Sharded(store) => store.insert_image(name, image),
         }
         .map_err(|e| e.to_string())
     }
@@ -249,6 +309,7 @@ impl DbHandle {
         match self {
             DbHandle::File { db, .. } => db.insert_images_batch_guarded(items, guard),
             DbHandle::Durable(store) => store.insert_images_batch_guarded(items, guard),
+            DbHandle::Sharded(store) => store.insert_images_batch_guarded(items, guard),
         }
         .map_err(|e| e.to_string())
     }
@@ -257,8 +318,38 @@ impl DbHandle {
         match self {
             DbHandle::File { db, .. } => db.remove_image(id),
             DbHandle::Durable(store) => store.remove_image(id),
+            DbHandle::Sharded(store) => store.remove_image(id),
         }
         .map_err(|e| e.to_string())
+    }
+
+    /// Full-image query honoring `--eps` / `--timeout-ms`, routed through
+    /// whichever engine this handle fronts.
+    fn query(&self, image: &Image, opts: &Options, guard: &Guard) -> Result<QueryOutcome, String> {
+        match self {
+            DbHandle::File { db, .. } => match opts.eps {
+                Some(eps) => db.query_with_epsilon_guarded(image, eps, guard),
+                None => db.query_guarded(image, guard),
+            },
+            DbHandle::Durable(store) => match opts.eps {
+                Some(eps) => store.db().query_with_epsilon_guarded(image, eps, guard),
+                None => store.db().query_guarded(image, guard),
+            },
+            DbHandle::Sharded(store) => store.query_with_options_guarded(
+                image,
+                &QueryOptions { epsilon: opts.eps, ..QueryOptions::default() },
+                guard,
+            ),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn params(&self) -> WalrusParams {
+        match self {
+            DbHandle::File { db, .. } => *db.params(),
+            DbHandle::Durable(store) => *store.db().params(),
+            DbHandle::Sharded(store) => store.params(),
+        }
     }
 
     /// Persists a snapshot-file handle; durable stores already committed
@@ -268,7 +359,7 @@ impl DbHandle {
             DbHandle::File { db, path } => {
                 persist::save_to_file(db, path).map_err(|e| format!("cannot save {path}: {e}"))
             }
-            DbHandle::Durable(_) => Ok(()),
+            DbHandle::Durable(_) | DbHandle::Sharded(_) => Ok(()),
         }
     }
 }
@@ -282,26 +373,69 @@ fn open_durable(path: &str, opts: &Options) -> Result<(DurableDatabase, Recovery
         .map_err(|e| format!("cannot open store {path}: {e}"))
 }
 
+/// Shard count to use when a command touches a store: `--shards` wins, then
+/// the `WALRUS_SHARDS` environment variable; `0` means "legacy monolithic
+/// layout" (and, on an existing sharded store, "whatever the manifest
+/// says").
+fn resolved_shards(opts: &Options) -> Result<usize, String> {
+    if let Some(n) = opts.shards {
+        return Ok(n);
+    }
+    match std::env::var("WALRUS_SHARDS") {
+        Ok(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| format!("WALRUS_SHARDS: cannot parse {raw:?}")),
+        Err(_) => Ok(0),
+    }
+}
+
+fn open_sharded(
+    path: &str,
+    opts: &Options,
+    shards: usize,
+) -> Result<(ShardedStore, Vec<ShardRecovery>), String> {
+    ShardedStore::open(path, params_for(opts)?, shards)
+        .map_err(|e| format!("cannot open sharded store {path}: {e}"))
+}
+
+/// True when `path` should open as a sharded store: it already is one, or a
+/// shard count was requested for a path that does not exist yet.
+fn wants_sharded(path: &str, shards: usize) -> bool {
+    is_sharded_store(std::path::Path::new(path))
+        || (shards > 0 && !std::path::Path::new(path).exists())
+}
+
 /// Opens an existing database (file or store directory) read-only.
 fn load_handle(path: &str, opts: &Options) -> Result<DbHandle, String> {
-    if is_store_dir(path) {
+    let shards = resolved_shards(opts)?;
+    if is_sharded_store(std::path::Path::new(path)) {
+        let (store, recoveries) = open_sharded(path, opts, shards)?;
+        warn_if_degraded(path, &recoveries);
+        Ok(DbHandle::Sharded(Box::new(store)))
+    } else if is_store_dir(path) {
         let (store, _) = open_durable(path, opts)?;
         Ok(DbHandle::Durable(Box::new(store)))
     } else {
         let db =
             persist::load_from_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
-        Ok(DbHandle::File { db, path: path.to_string() })
+        Ok(DbHandle::File { db: Box::new(db), path: path.to_string() })
     }
 }
 
-/// Opens a database for mutation, creating a snapshot file if the path
-/// does not exist yet.
+/// Opens a database for mutation, creating a store if the path does not
+/// exist yet: sharded when a shard count was requested, a snapshot file
+/// otherwise.
 fn load_or_create_handle(path: &str, opts: &Options) -> Result<DbHandle, String> {
-    if is_store_dir(path) || std::path::Path::new(path).exists() {
+    let shards = resolved_shards(opts)?;
+    if wants_sharded(path, shards) {
+        let (store, recoveries) = open_sharded(path, opts, shards)?;
+        warn_if_degraded(path, &recoveries);
+        Ok(DbHandle::Sharded(Box::new(store)))
+    } else if is_store_dir(path) || std::path::Path::new(path).exists() {
         load_handle(path, opts)
     } else {
         let db = ImageDatabase::new(params_for(opts)?).map_err(|e| e.to_string())?;
-        Ok(DbHandle::File { db, path: path.to_string() })
+        Ok(DbHandle::File { db: Box::new(db), path: path.to_string() })
     }
 }
 
@@ -312,9 +446,61 @@ fn load_image(path: &str, opts: &Options) -> Result<Image, String> {
         .map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn note_if_partial(status: ResultStatus) {
-    if status == ResultStatus::Partial {
-        println!("note: deadline expired mid-query; showing the best-so-far partial ranking");
+fn note_if_partial(status: &ResultStatus) {
+    match status {
+        ResultStatus::Complete => {}
+        ResultStatus::Partial => {
+            println!("note: deadline expired mid-query; showing the best-so-far partial ranking");
+        }
+        ResultStatus::Degraded { shards_unavailable } => {
+            let shards: Vec<String> =
+                shards_unavailable.iter().map(|s| s.to_string()).collect();
+            println!(
+                "note: shard(s) {} are quarantined; ranking covers the healthy shards only",
+                shards.join(", ")
+            );
+        }
+    }
+}
+
+/// Per-shard recovery summary for sharded opens.
+fn print_shard_recoveries(recoveries: &[ShardRecovery]) {
+    for r in recoveries {
+        match (&r.report, &r.error) {
+            (Some(report), _) => {
+                println!(
+                    "shard {:03}: snapshot {} (lsn {}), {} wal record(s) replayed, {} skipped{}",
+                    r.shard,
+                    if report.snapshot_loaded { "loaded" } else { "absent" },
+                    report.snapshot_lsn,
+                    report.records_replayed,
+                    report.records_skipped,
+                    if report.torn_tail_truncated {
+                        format!(", torn tail truncated ({} bytes)", report.truncated_bytes)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            (None, Some(error)) => println!("shard {:03}: QUARANTINED: {error}", r.shard),
+            (None, None) => {}
+        }
+    }
+}
+
+/// One-line stderr warning when an open store has quarantined shards.
+fn warn_if_degraded(path: &str, recoveries: &[ShardRecovery]) {
+    let quarantined: Vec<String> = recoveries
+        .iter()
+        .filter(|r| r.error.is_some())
+        .map(|r| r.shard.to_string())
+        .collect();
+    if !quarantined.is_empty() {
+        eprintln!(
+            "warning: store {path} is degraded; shard(s) {} quarantined \
+             (run `walrus recover {path} --shard <i>`)",
+            quarantined.join(", ")
+        );
     }
 }
 
@@ -348,14 +534,13 @@ fn cmd_index(opts: &Options, rest: &[String]) -> Result<(), String> {
         .insert_images_batch(&items, &opts.guard())
         .map_err(|e| format!("batch index: {e}"))?;
     for (path, id) in images.iter().zip(&ids) {
-        let regions = handle.db().image(*id).map(|i| i.regions.len()).unwrap_or(0);
-        println!("indexed {path} as id {id} ({regions} regions)");
+        println!("indexed {path} as id {id} ({} regions)", handle.image_regions(*id));
     }
     handle.finish()?;
     println!(
         "database {db_path}: {} images, {} regions",
-        handle.db().len(),
-        handle.db().num_regions()
+        handle.len(),
+        handle.num_regions()
     );
     Ok(())
 }
@@ -365,21 +550,16 @@ fn cmd_query(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err("usage: walrus query <db> <image.ppm>".into());
     };
     let handle = load_handle(db_path, opts)?;
-    let db = handle.db();
     let query = load_image(image_path, opts)?;
     let guard = opts.guard();
-    let outcome = match opts.eps {
-        Some(eps) => db.query_with_epsilon_guarded(&query, eps, &guard),
-        None => db.query_guarded(&query, &guard),
-    }
-    .map_err(|e| e.to_string())?;
+    let outcome = handle.query(&query, opts, &guard)?;
     println!(
         "query regions: {}; matching regions: {}; candidate images: {}",
         outcome.stats.query_regions,
         outcome.stats.total_matching_regions,
         outcome.stats.distinct_images
     );
-    note_if_partial(outcome.status);
+    note_if_partial(&outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
 }
@@ -392,21 +572,16 @@ fn cmd_explain(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err("usage: walrus explain <db> <image.ppm>".into());
     };
     let handle = load_handle(db_path, opts)?;
-    let db = handle.db();
     let query = load_image(image_path, opts)?;
     let trace = walrus_core::TraceContext::monotonic();
     let guard = opts.guard().tracing(trace.clone());
-    let outcome = match opts.eps {
-        Some(eps) => db.query_with_epsilon_guarded(&query, eps, &guard),
-        None => db.query_guarded(&query, &guard),
-    }
-    .map_err(|e| e.to_string())?;
+    let outcome = handle.query(&query, opts, &guard)?;
     let report = trace.report();
 
     println!("stage trace for {image_path} against {db_path}:");
     print!("{}", report.render());
 
-    let budgets = db.params().budgets;
+    let budgets = handle.params().budgets;
     let used = |span: &str, counter: &str| report.counter(span, counter).unwrap_or(0);
     println!("budget consumption:");
     println!(
@@ -432,7 +607,7 @@ fn cmd_explain(opts: &Options, rest: &[String]) -> Result<(), String> {
         None => println!("  deadline:          none"),
     }
 
-    note_if_partial(outcome.status);
+    note_if_partial(&outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
 }
@@ -449,12 +624,14 @@ fn cmd_scene(opts: &Options, rest: &[String]) -> Result<(), String> {
         width: w.parse().map_err(|_| "bad w")?,
         height: h.parse().map_err(|_| "bad h")?,
     };
+    // Scene queries need the single in-memory database; `db()` reports a
+    // clear error on sharded stores, where they are not supported yet.
     let outcome = handle
-        .db()
+        .db()?
         .query_scene_guarded(&query, rect, 0.0, &opts.guard())
         .map_err(|e| e.to_string())?;
     println!("scene {rect:?}: {} candidate images", outcome.stats.distinct_images);
-    note_if_partial(outcome.status);
+    note_if_partial(&outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())
 }
@@ -467,7 +644,7 @@ fn cmd_remove(rest: &[String]) -> Result<(), String> {
     let id: usize = id.parse().map_err(|_| "bad id")?;
     handle.remove_image(id)?;
     handle.finish()?;
-    println!("removed id {id}; {} images remain", handle.db().len());
+    println!("removed id {id}; {} images remain", handle.len());
     Ok(())
 }
 
@@ -476,17 +653,33 @@ fn cmd_info(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err("usage: walrus info <db>".into());
     };
     let handle = load_handle(db_path, opts)?;
-    let db = handle.db();
-    let p = db.params();
+    let p = handle.params();
     println!("database: {db_path}");
-    println!("  images:  {}", db.len());
-    println!("  regions: {}", db.num_regions());
+    println!("  images:  {}", handle.len());
+    println!("  regions: {}", handle.num_regions());
     if let DbHandle::Durable(store) = &handle {
         println!(
             "  wal:     {} bytes, {} record(s) since last checkpoint",
             store.wal_len(),
             store.records_since_checkpoint()
         );
+    }
+    if let DbHandle::Sharded(store) = &handle {
+        println!(
+            "  wal:     {} bytes, {} record(s) since last checkpoint",
+            store.wal_len(),
+            store.records_since_checkpoint()
+        );
+        println!("  shards:  {}", store.shard_count());
+        for h in store.shard_health() {
+            match h.error {
+                None => println!(
+                    "    shard {:03}: healthy, {} image(s), wal {} bytes",
+                    h.shard, h.images, h.wal_bytes
+                ),
+                Some(error) => println!("    shard {:03}: QUARANTINED: {error}", h.shard),
+            }
+        }
     }
     println!(
         "  params:  windows {}..{} stride {}, signature {}x{} per {} channel(s) ({}), \
@@ -502,15 +695,31 @@ fn cmd_info(opts: &Options, rest: &[String]) -> Result<(), String> {
         p.query_epsilon,
         p.tau,
     );
-    for img in db.image_slots().iter().flatten() {
-        println!(
-            "  [{}] {} {}x{} ({} regions)",
-            img.id,
-            img.name,
-            img.width,
-            img.height,
-            img.regions.len()
-        );
+    match &handle {
+        DbHandle::Sharded(store) => {
+            for id in 0..store.next_id() {
+                // Quarantined-shard ids are unknowable; skip them silently —
+                // the shard listing above already says which are missing.
+                if let Ok(Some(meta)) = store.image_meta(id) {
+                    println!(
+                        "  [{}] {} {}x{} ({} regions)",
+                        meta.id, meta.name, meta.width, meta.height, meta.regions
+                    );
+                }
+            }
+        }
+        _ => {
+            for img in handle.db()?.image_slots().iter().flatten() {
+                println!(
+                    "  [{}] {} {}x{} ({} regions)",
+                    img.id,
+                    img.name,
+                    img.width,
+                    img.height,
+                    img.regions.len()
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -540,8 +749,21 @@ fn cmd_demo(opts: &Options, rest: &[String]) -> Result<(), String> {
 
 fn cmd_open(opts: &Options, rest: &[String]) -> Result<(), String> {
     let [dir] = rest else {
-        return Err("usage: walrus open <dir>".into());
+        return Err("usage: walrus [--shards n] open <dir>".into());
     };
+    let shards = resolved_shards(opts)?;
+    if wants_sharded(dir, shards) {
+        let (store, recoveries) = open_sharded(dir, opts, shards)?;
+        print_shard_recoveries(&recoveries);
+        println!(
+            "sharded store {dir}: {} shard(s), {} images, {} regions, wal {} bytes",
+            store.shard_count(),
+            store.len(),
+            store.num_regions(),
+            store.wal_len()
+        );
+        return Ok(());
+    }
     let (store, report) = open_durable(dir, opts)?;
     print_report(&report);
     println!(
@@ -553,12 +775,61 @@ fn cmd_open(opts: &Options, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `<dir> [--shard i]`, also honoring a `--shard` given before the
+/// subcommand.
+fn dir_and_shard(rest: &[String], opts: &Options, usage: &str) -> Result<(String, Option<usize>), String> {
+    match rest {
+        [dir] => Ok((dir.clone(), opts.shard)),
+        [dir, flag, value] if flag == "--shard" => {
+            let shard =
+                value.parse().map_err(|_| format!("--shard: cannot parse {value:?}"))?;
+            Ok((dir.clone(), Some(shard)))
+        }
+        _ => Err(usage.into()),
+    }
+}
+
 fn cmd_recover(opts: &Options, rest: &[String]) -> Result<(), String> {
-    let [dir] = rest else {
-        return Err("usage: walrus recover <dir>".into());
-    };
+    let usage = "usage: walrus recover <dir> [--shard <i>]";
+    let (dir, shard) = dir_and_shard(rest, opts, usage)?;
+    let dir = dir.as_str();
     if !is_store_dir(dir) {
         return Err(format!("{dir} is not a store directory"));
+    }
+    if is_sharded_store(std::path::Path::new(dir)) {
+        let (store, recoveries) = open_sharded(dir, opts, resolved_shards(opts)?)?;
+        print_shard_recoveries(&recoveries);
+        if let Some(shard) = shard {
+            // Explicit repair: truncate the shard's WAL to its longest clean
+            // prefix (accepting the loss of whatever followed the damage)
+            // and swap the shard back in.
+            let repair = store
+                .recover_shard(shard)
+                .map_err(|e| format!("cannot repair shard {shard}: {e}"))?;
+            println!(
+                "shard {:03}: repaired, {} wal record(s) kept, {} damaged byte(s) truncated",
+                repair.shard, repair.records_kept, repair.truncated_bytes
+            );
+        }
+        let quarantined = store.quarantined_shards();
+        if quarantined.is_empty() {
+            println!(
+                "sharded store {dir} is consistent: {} shard(s), {} images, \
+                 {} wal record(s) pending checkpoint",
+                store.shard_count(),
+                store.len(),
+                store.records_since_checkpoint()
+            );
+            return Ok(());
+        }
+        let shards: Vec<String> = quarantined.iter().map(|s| s.to_string()).collect();
+        return Err(format!(
+            "store {dir} is degraded: shard(s) {} quarantined; \
+             run `walrus recover {dir} --shard <i>` to repair one",
+            shards.join(", ")
+        ));
+    } else if shard.is_some() {
+        return Err(format!("{dir} is not a sharded store; --shard does not apply"));
     }
     let (store, report) = open_durable(dir, opts)?;
     print_report(&report);
@@ -572,11 +843,40 @@ fn cmd_recover(opts: &Options, rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_compact(opts: &Options, rest: &[String]) -> Result<(), String> {
-    let [dir] = rest else {
-        return Err("usage: walrus compact <dir>".into());
-    };
+    let usage = "usage: walrus compact <dir> [--shard <i>]";
+    let (dir, shard) = dir_and_shard(rest, opts, usage)?;
+    let dir = dir.as_str();
     if !is_store_dir(dir) {
         return Err(format!("{dir} is not a store directory"));
+    }
+    if is_sharded_store(std::path::Path::new(dir)) {
+        let (store, recoveries) = open_sharded(dir, opts, resolved_shards(opts)?)?;
+        warn_if_degraded(dir, &recoveries);
+        let before = store.wal_len();
+        let reports = match shard {
+            Some(shard) => vec![store
+                .checkpoint_shard(shard)
+                .map_err(|e| format!("checkpoint of shard {shard} failed: {e}"))?],
+            None => store.checkpoint().map_err(|e| format!("checkpoint failed: {e}"))?,
+        };
+        for r in &reports {
+            println!(
+                "shard {:03}: checkpointed at lsn {} in {} us",
+                r.shard,
+                r.last_lsn,
+                r.duration.as_micros()
+            );
+        }
+        println!(
+            "compacted {dir}: wal {} -> {} bytes, {} shard snapshot(s) cover {} images",
+            before,
+            store.wal_len(),
+            reports.len(),
+            store.len()
+        );
+        return Ok(());
+    } else if shard.is_some() {
+        return Err(format!("{dir} is not a sharded store; --shard does not apply"));
     }
     let (mut store, report) = open_durable(dir, opts)?;
     print_report(&report);
@@ -595,8 +895,6 @@ fn cmd_serve(opts: &Options, rest: &[String]) -> Result<(), String> {
     let [dir] = rest else {
         return Err("usage: walrus [--addr host:port] [--threads n] [--timeout-ms n] serve <store-dir>".into());
     };
-    let (store, report) = open_durable(dir, opts)?;
-    print_report(&report);
     let config = walrus_server::ServerConfig {
         addr: opts.addr.clone(),
         threads: opts.threads,
@@ -604,9 +902,18 @@ fn cmd_serve(opts: &Options, rest: &[String]) -> Result<(), String> {
         ..walrus_server::ServerConfig::default()
     };
     walrus_server::signals::install();
-    let handle =
+    let shards = resolved_shards(opts)?;
+    let handle = if wants_sharded(dir, shards) {
+        let (store, recoveries) = open_sharded(dir, opts, shards)?;
+        print_shard_recoveries(&recoveries);
+        warn_if_degraded(dir, &recoveries);
+        walrus_server::Server::start(config, store)
+    } else {
+        let (store, report) = open_durable(dir, opts)?;
+        print_report(&report);
         walrus_server::Server::start(config, walrus_core::SharedDurableDatabase::new(store))
-            .map_err(|e| format!("cannot start server: {e}"))?;
+    }
+    .map_err(|e| format!("cannot start server: {e}"))?;
     println!("serving {dir} on http://{}", handle.addr());
     println!("endpoints: /healthz /metrics /ingest /query /image/{{id}} /admin/checkpoint");
     println!("press ctrl-c (or send SIGTERM) for graceful shutdown");
@@ -768,8 +1075,10 @@ fn print_usage() {
            info   <db>                       show database statistics\n\
            demo   <db>                       populate with synthetic images\n\
            open   <dir>                      create/open a crash-safe store\n\
-           recover <dir>                     recover a store, report repairs\n\
-           compact <dir>                     fold the write-ahead log into a snapshot\n\
+                                             (--shards n creates a sharded store)\n\
+           recover <dir> [--shard <i>]       recover a store, report repairs;\n\
+                                             --shard repairs one quarantined shard\n\
+           compact <dir> [--shard <i>]       fold write-ahead log(s) into snapshot(s)\n\
            serve  <dir>                      serve a store over HTTP until SIGTERM/ctrl-c\n\
            bench-http                        HTTP round-trip benchmark -> BENCH_server.json\n\
          \n\
@@ -784,7 +1093,10 @@ fn print_usage() {
            --timeout-ms <n>       request deadline (query: best-so-far partial;\n\
                                   index: all-or-nothing abort)\n\
            --max-pixels <n>       reject larger images before decoding\n\
-           --addr <host:port>     bind address for serve (default 127.0.0.1:8167)"
+           --addr <host:port>     bind address for serve (default 127.0.0.1:8167)\n\
+           --shards <n>           shard count when creating a store (or WALRUS_SHARDS;\n\
+                                  fixed at creation; omit for the single-directory layout)\n\
+           --shard <i>            target one shard in recover/compact"
     );
 }
 
@@ -974,6 +1286,49 @@ mod tests {
         assert_eq!(db.len(), 1);
 
         // remove commits through the WAL.
+        run(&s(&["remove", &store_str, "0"])).unwrap();
+        run(&s(&["recover", &store_str])).unwrap();
+
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn sharded_store_end_to_end() {
+        let base = std::env::temp_dir().join("walrus_cli_sharded_test");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let store = base.join("store");
+        let store_str = store.to_str().unwrap().to_string();
+
+        // --shards creates the sharded layout: manifest + per-shard dirs.
+        run(&s(&["--shards", "3", "open", &store_str])).unwrap();
+        assert!(store.join("MANIFEST").exists());
+        assert!(store.join("shard-000").join("snapshot.walrus").exists());
+        assert!(!store.join("snapshot.walrus").exists(), "no top-level monolithic files");
+
+        // index/query/info/remove auto-detect the sharded store.
+        let img = walrus_imagery::synth::dataset::timing_image(96, 64, 5).unwrap();
+        let ppm_path = base.join("i.ppm");
+        ppm::save_ppm(&img, &ppm_path).unwrap();
+        run(&s(&["index", &store_str, ppm_path.to_str().unwrap()])).unwrap();
+        run(&s(&["query", &store_str, ppm_path.to_str().unwrap()])).unwrap();
+        run(&s(&["info", &store_str])).unwrap();
+
+        // scene queries are clearly refused, not silently wrong.
+        let err =
+            run(&s(&["scene", &store_str, ppm_path.to_str().unwrap(), "0", "0", "8", "8"]))
+                .unwrap_err();
+        assert!(err.contains("sharded"), "unexpected error: {err}");
+
+        // Per-shard and rolling compaction; recover confirms consistency.
+        run(&s(&["compact", &store_str, "--shard", "1"])).unwrap();
+        run(&s(&["compact", &store_str])).unwrap();
+        run(&s(&["recover", &store_str])).unwrap();
+        // A mismatched --shards on an existing store is refused.
+        assert!(run(&s(&["--shards", "2", "open", &store_str])).is_err());
+        // --shard out of range is a clean error.
+        assert!(run(&s(&["recover", &store_str, "--shard", "9"])).is_err());
+
         run(&s(&["remove", &store_str, "0"])).unwrap();
         run(&s(&["recover", &store_str])).unwrap();
 

@@ -76,7 +76,7 @@ pub struct QueryStats {
 }
 
 /// Whether a query ran to completion or was stopped early by its deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResultStatus {
     /// Every query region was probed and every candidate image scored.
     Complete,
@@ -86,6 +86,14 @@ pub enum ResultStatus {
     /// correctly scored and ranked, but images the query never reached are
     /// silently absent.
     Partial,
+    /// One or more shards of a [`crate::sharded::ShardedStore`] were
+    /// quarantined when the query ran. `matches` covers every healthy
+    /// shard completely (or partially, if a deadline also fired) but
+    /// images living on the listed shards are silently absent.
+    Degraded {
+        /// Indices of the quarantined shards that were skipped.
+        shards_unavailable: Vec<usize>,
+    },
 }
 
 /// Full result of a query.

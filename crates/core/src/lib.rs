@@ -74,7 +74,9 @@ pub mod recovery;
 pub mod refine;
 pub mod region;
 pub mod scene_query;
+pub mod sharded;
 pub mod storage;
+pub mod store;
 pub mod viz;
 pub mod wal;
 
@@ -85,7 +87,9 @@ pub use extract::{extract_regions, extract_regions_guarded, extract_regions_with
 pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
 pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;
+pub use sharded::{ShardRecovery, ShardRepair, ShardedStore};
 pub use storage::{DiskIo, StorageIo};
+pub use store::{ShardCheckpoint, ShardHealth, Store};
 pub use walrus_guard::{
     monotonic, Budgets, CancelToken, Clock, Deadline, Guard, Interrupt, MonotonicClock,
     RetryPolicy, SharedClock, Span, TestClock, TraceContext, TraceReport,
@@ -140,6 +144,14 @@ pub enum WalrusError {
         /// The configured ceiling.
         limit: usize,
     },
+    /// The operation needed a shard that is quarantined (its storage
+    /// failed or its log is damaged). Queries degrade around a quarantined
+    /// shard; mutations are refused with this error until the shard is
+    /// repaired (`walrus recover <db> --shard <i>`) and the store reopened.
+    ShardUnavailable {
+        /// Index of the quarantined shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for WalrusError {
@@ -160,6 +172,9 @@ impl std::fmt::Display for WalrusError {
             WalrusError::Cancelled => write!(f, "request cancelled"),
             WalrusError::BudgetExceeded { what, used, limit } => {
                 write!(f, "resource budget exceeded: {what} {used} > limit {limit}")
+            }
+            WalrusError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is quarantined; repair and reopen to restore writes")
             }
         }
     }

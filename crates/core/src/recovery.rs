@@ -176,6 +176,20 @@ impl DurableDatabase {
     fn replay(&mut self, op: WalOp) -> Result<()> {
         match op {
             WalOp::Insert { expected_id, name, width, height, regions } => {
+                let len = self.db.image_slots().len();
+                if expected_id < len {
+                    return Err(WalrusError::Corrupt(format!(
+                        "wal replay: insert id {expected_id} below next slot {len}"
+                    )));
+                }
+                // A shard of a sharded store sees only the ids hashed to it;
+                // the gaps belong to other shards and are padded with
+                // tombstones so global id assignment is reproduced exactly.
+                // Monolithic stores log consecutive ids, so this loop is
+                // empty for them and the strict check below still holds.
+                for _ in len..expected_id {
+                    self.db.insert_tombstone();
+                }
                 let got = self.db.insert_regions(&name, width, height, regions).map_err(|e| {
                     WalrusError::Corrupt(format!("wal replay: insert failed: {e}"))
                 })?;
@@ -359,6 +373,45 @@ impl DurableDatabase {
         Ok(expected_id)
     }
 
+    /// Durably inserts pre-extracted regions **at an explicit id**, padding
+    /// the slots below it with tombstones. This is the ingest primitive of
+    /// the sharded store ([`crate::sharded::ShardedStore`]): ids are
+    /// assigned globally, so the ids a single shard stores are sparse, and
+    /// the WAL record carries the global id for replay to reproduce.
+    /// `id` must be at or above this store's next free slot.
+    pub fn insert_regions_at(
+        &mut self,
+        id: usize,
+        name: &str,
+        width: usize,
+        height: usize,
+        regions: Vec<Region>,
+    ) -> Result<usize> {
+        let dims = self.db.params().signature_dims();
+        for r in &regions {
+            if r.dims() != dims {
+                return Err(WalrusError::BadParams(format!(
+                    "region has {} dims, database expects {dims}",
+                    r.dims()
+                )));
+            }
+        }
+        let len = self.db.image_slots().len();
+        if id < len {
+            return Err(WalrusError::BadParams(format!(
+                "insert at id {id} below next slot {len}"
+            )));
+        }
+        self.log_then_apply(WalOp::Insert {
+            expected_id: id,
+            name: name.to_string(),
+            width,
+            height,
+            regions,
+        })?;
+        Ok(id)
+    }
+
     /// Durably removes an image.
     pub fn remove_image(&mut self, id: usize) -> Result<()> {
         if self.db.image(id).is_none() {
@@ -423,6 +476,11 @@ impl DurableDatabase {
     /// Current valid WAL length in bytes.
     pub fn wal_len(&self) -> u64 {
         self.wal_len
+    }
+
+    /// LSN of the last committed operation (0 = none yet).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
     }
 
     /// Records appended since the last checkpoint.
@@ -619,6 +677,11 @@ impl SharedDurableDatabase {
     /// WAL records appended since the last checkpoint (shared lock).
     pub fn records_since_checkpoint(&self) -> usize {
         self.inner.read().records_since_checkpoint()
+    }
+
+    /// LSN of the last committed operation (shared lock).
+    pub fn last_lsn(&self) -> u64 {
+        self.inner.read().last_lsn()
     }
 
     /// Checkpoints the store (exclusive lock).

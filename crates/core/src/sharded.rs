@@ -1,0 +1,1044 @@
+//! Sharded durable store: fault isolation, rolling checkpoints, and
+//! degraded-mode queries.
+//!
+//! [`ShardedStore`] splits one logical image database across `N`
+//! independent [`DurableDatabase`] shards. Each shard owns its own
+//! R\*-tree, write-ahead log, and snapshot under `shard-<i>/`; an image id
+//! is hashed to its shard with [`shard_of`], so every region of an image
+//! lives on exactly one shard. `N` is fixed at creation and recorded in a
+//! checksummed `MANIFEST` at the store root.
+//!
+//! ## Why the answers are bit-identical to one shard
+//!
+//! The R\*-tree probe is exact — a query region's ε-neighborhood is
+//! enumerated fully on every shard — and an image is scored only from its
+//! own region pairs. Scattering a query over N shards therefore produces
+//! exactly the per-image similarities the monolithic store produces, and
+//! the gather merges them with the same deterministic order (similarity
+//! descending, id ascending). The parallel-consistency suite asserts this
+//! bit-for-bit.
+//!
+//! ## Fault isolation
+//!
+//! A shard whose storage fails — at open (unreadable snapshot, corrupt
+//! WAL) or at runtime (append failure, poisoned WAL tail) — is
+//! **quarantined**: queries skip it and report
+//! [`ResultStatus::Degraded`] naming the missing shards, while the store
+//! goes *read-only* (every mutation answers
+//! [`WalrusError::ShardUnavailable`]). Writes must stop because ids are
+//! assigned globally: a quarantined shard may hold the highest id, and
+//! handing that id out again would corrupt the store on recovery.
+//! `walrus recover <db> --shard <i>` repairs the shard's WAL to its
+//! longest clean prefix ([`crate::wal::scan_valid_prefix`]) and swaps the
+//! shard back in, restoring writes.
+//!
+//! ## Rolling checkpoints
+//!
+//! [`ShardedStore::checkpoint`] folds shards **one at a time**: only the
+//! shard being checkpointed takes its exclusive lock, so ingest and
+//! queries on every other shard proceed concurrently — the store never
+//! stops the world. Writability is tracked in lock-free flags, so ingest
+//! admission never blocks on a checkpointing shard's lock.
+
+use crate::database::{ImageMeta, QueryOptions, ResultStatus};
+use crate::extract::{extract_regions, extract_regions_guarded};
+use crate::params::WalrusParams;
+use crate::persist::{put_u32, put_u64};
+use crate::recovery::{DurableDatabase, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
+use crate::region::Region;
+use crate::storage::{DiskIo, RetryIo, StorageIo};
+use crate::store::{ShardCheckpoint, ShardHealth, Store};
+use crate::wal;
+use crate::{crc32::crc32, QueryOutcome, QueryStats, Result, WalrusError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use walrus_guard::{Guard, RetryPolicy};
+use walrus_imagery::Image;
+
+/// Manifest file name at the store root.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Most shards a store may be created with (bounds query fan-out).
+pub const MAX_SHARDS: usize = 64;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"WALRUSMF";
+const MANIFEST_VERSION: u32 = 1;
+/// magic (8) + version (4) + shard count (8) + crc32 (4).
+const MANIFEST_LEN: usize = 24;
+
+/// Directory name of shard `i` under the store root.
+pub fn shard_dir_name(shard: usize) -> String {
+    format!("shard-{shard:03}")
+}
+
+/// Maps a global image id to its shard. The hash is the splitmix64
+/// finalizer — uniform over sequential ids, platform-independent, and
+/// **stable**: it is part of manifest version 1, so changing it requires a
+/// new manifest version.
+pub fn shard_of(id: usize, shard_count: usize) -> usize {
+    let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shard_count as u64) as usize
+}
+
+fn encode_manifest(shard_count: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MANIFEST_LEN);
+    out.extend_from_slice(MANIFEST_MAGIC);
+    put_u32(&mut out, MANIFEST_VERSION);
+    put_u64(&mut out, shard_count as u64);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<usize> {
+    let corrupt = |what: &str| WalrusError::Corrupt(format!("store manifest: {what}"));
+    if bytes.len() != MANIFEST_LEN {
+        return Err(corrupt(&format!("wrong length {} (want {MANIFEST_LEN})", bytes.len())));
+    }
+    if &bytes[..8] != MANIFEST_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("length checked"));
+    if crc32(&bytes[..20]) != stored_crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("length checked"));
+    if version != MANIFEST_VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let count = u64::from_le_bytes(bytes[12..20].try_into().expect("length checked")) as usize;
+    if !(1..=MAX_SHARDS).contains(&count) {
+        return Err(corrupt(&format!("implausible shard count {count}")));
+    }
+    Ok(count)
+}
+
+/// Writes the manifest atomically (temp file → fsync → rename → directory
+/// fsync), same discipline as snapshots.
+fn write_manifest(io: &dyn StorageIo, root: &Path, shard_count: usize) -> Result<()> {
+    let path = root.join(MANIFEST_FILE);
+    let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
+    let write = io
+        .write(&tmp, &encode_manifest(shard_count))
+        .and_then(|()| io.fsync(&tmp))
+        .and_then(|()| io.rename(&tmp, &path))
+        .and_then(|()| io.fsync(root));
+    write.map_err(WalrusError::io_context("write manifest", &path))
+}
+
+/// Reads and validates the manifest; returns the shard count.
+pub fn read_manifest(io: &dyn StorageIo, root: &Path) -> Result<usize> {
+    let path = root.join(MANIFEST_FILE);
+    let bytes = io.read(&path).map_err(WalrusError::io_context("read manifest", &path))?;
+    decode_manifest(&bytes)
+}
+
+/// True when `root` holds a sharded store (its manifest is present).
+pub fn is_sharded_store(root: &Path) -> bool {
+    root.join(MANIFEST_FILE).exists()
+}
+
+/// What opening one shard found: its recovery report, or the error that
+/// quarantined it.
+#[derive(Debug, Clone)]
+pub struct ShardRecovery {
+    /// Shard index.
+    pub shard: usize,
+    /// Recovery report when the shard opened cleanly.
+    pub report: Option<RecoveryReport>,
+    /// Open error when the shard was quarantined.
+    pub error: Option<String>,
+}
+
+/// What [`ShardedStore::recover_shard`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRepair {
+    /// Shard index.
+    pub shard: usize,
+    /// WAL bytes dropped to restore a clean log (0 = log was clean).
+    pub truncated_bytes: u64,
+    /// Committed WAL records that survived the repair.
+    pub records_kept: usize,
+    /// The reopen's recovery report.
+    pub report: RecoveryReport,
+}
+
+#[derive(Debug)]
+enum ShardSlot {
+    Healthy(Box<DurableDatabase>),
+    Quarantined { error: String },
+}
+
+/// N-shard durable store. See the module docs for the design.
+#[derive(Debug)]
+pub struct ShardedStore {
+    io: Arc<dyn StorageIo>,
+    root: PathBuf,
+    params: WalrusParams,
+    shards: Vec<parking_lot::RwLock<ShardSlot>>,
+    /// Lock-free mirror of each slot's quarantine bit, so write admission
+    /// ([`ShardedStore::ensure_writable`]) never blocks on a shard lock
+    /// held by a rolling checkpoint.
+    quarantined: Vec<AtomicBool>,
+    /// Global id assignment: the next id to hand out. Held across the
+    /// target shard's WAL append so ids arrive at each shard in strictly
+    /// increasing order (a WAL invariant).
+    ingest: parking_lot::Mutex<usize>,
+}
+
+fn quarantine_worthy(e: &WalrusError) -> bool {
+    matches!(e, WalrusError::Io { .. } | WalrusError::Corrupt(_))
+}
+
+impl ShardedStore {
+    /// Opens (or creates) a sharded store on the real filesystem.
+    ///
+    /// `shards` is the shard count for a **new** store; pass `0` to require
+    /// an existing store. An existing manifest always wins — a non-zero
+    /// `shards` that disagrees with it is an error, because shard count is
+    /// fixed at creation (ids are hashed to shards; re-hashing would strand
+    /// every image).
+    ///
+    /// A shard that fails to open is quarantined, not fatal: the returned
+    /// [`ShardRecovery`] list says what happened to each shard. Only a
+    /// missing or corrupt manifest fails the open itself.
+    pub fn open(
+        root: impl AsRef<Path>,
+        params: WalrusParams,
+        shards: usize,
+    ) -> Result<(Self, Vec<ShardRecovery>)> {
+        Self::open_with(
+            Arc::new(RetryIo::new(Arc::new(DiskIo), RetryPolicy::default())),
+            root,
+            params,
+            shards,
+        )
+    }
+
+    /// Like [`ShardedStore::open`] but over a pluggable I/O layer — the
+    /// entry point for fault-injection tests.
+    pub fn open_with(
+        io: Arc<dyn StorageIo>,
+        root: impl AsRef<Path>,
+        params: WalrusParams,
+        shards: usize,
+    ) -> Result<(Self, Vec<ShardRecovery>)> {
+        let root = root.as_ref().to_path_buf();
+        io.create_dir_all(&root)?;
+        let manifest_path = root.join(MANIFEST_FILE);
+        let count = if io.exists(&manifest_path) {
+            let bytes = io
+                .read(&manifest_path)
+                .map_err(WalrusError::io_context("read manifest", &manifest_path))?;
+            let count = decode_manifest(&bytes)?;
+            if shards != 0 && shards != count {
+                return Err(WalrusError::BadParams(format!(
+                    "store has {count} shards (fixed at creation); requested {shards}"
+                )));
+            }
+            count
+        } else {
+            if io.exists(&root.join(SNAPSHOT_FILE)) {
+                return Err(WalrusError::BadParams(
+                    "directory holds a non-sharded store (snapshot present, no manifest)"
+                        .to_string(),
+                ));
+            }
+            if shards == 0 {
+                return Err(WalrusError::BadParams(
+                    "no sharded store here; a shard count is required to create one".to_string(),
+                ));
+            }
+            if !(1..=MAX_SHARDS).contains(&shards) {
+                return Err(WalrusError::BadParams(format!(
+                    "shard count {shards} out of range 1..={MAX_SHARDS}"
+                )));
+            }
+            write_manifest(io.as_ref(), &root, shards)?;
+            shards
+        };
+
+        let mut slots = Vec::with_capacity(count);
+        let mut quarantined = Vec::with_capacity(count);
+        let mut recoveries = Vec::with_capacity(count);
+        let mut resolved_params: Option<WalrusParams> = None;
+        for shard in 0..count {
+            let dir = root.join(shard_dir_name(shard));
+            match DurableDatabase::open_with(io.clone(), &dir, params) {
+                Ok((db, report)) => {
+                    // Persisted shard parameters win over the caller's, the
+                    // same precedence the monolithic open has.
+                    if resolved_params.is_none() {
+                        resolved_params = Some(*db.db().params());
+                    }
+                    slots.push(parking_lot::RwLock::new(ShardSlot::Healthy(Box::new(db))));
+                    quarantined.push(AtomicBool::new(false));
+                    recoveries.push(ShardRecovery { shard, report: Some(report), error: None });
+                }
+                Err(e) => {
+                    let error = e.to_string();
+                    slots.push(parking_lot::RwLock::new(ShardSlot::Quarantined {
+                        error: error.clone(),
+                    }));
+                    quarantined.push(AtomicBool::new(true));
+                    recoveries.push(ShardRecovery { shard, report: None, error: Some(error) });
+                }
+            }
+        }
+
+        let next_id = slots
+            .iter()
+            .map(|slot| match &*slot.read() {
+                ShardSlot::Healthy(db) => db.db().image_slots().len(),
+                ShardSlot::Quarantined { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0);
+
+        let store = ShardedStore {
+            io,
+            root,
+            params: resolved_params.unwrap_or(params),
+            shards: slots,
+            quarantined,
+            ingest: parking_lot::Mutex::new(next_id),
+        };
+        Ok((store, recoveries))
+    }
+
+    /// Store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of shards (fixed at creation).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A copy of the engine configuration.
+    pub fn params(&self) -> WalrusParams {
+        self.params
+    }
+
+    /// The next global id that would be assigned — an exclusive upper bound
+    /// on every id the store has handed out.
+    pub fn next_id(&self) -> usize {
+        *self.ingest.lock()
+    }
+
+    /// Indices of the currently quarantined shards.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Refuses mutations while any shard is quarantined (ids are global;
+    /// see the module docs). Lock-free, so admission never waits behind a
+    /// shard checkpoint.
+    fn ensure_writable(&self) -> Result<()> {
+        match self.quarantined.iter().position(|q| q.load(Ordering::Acquire)) {
+            Some(shard) => Err(WalrusError::ShardUnavailable { shard }),
+            None => Ok(()),
+        }
+    }
+
+    fn mark_quarantined(&self, shard: usize, slot: &mut ShardSlot, error: String) {
+        self.quarantined[shard].store(true, Ordering::Release);
+        *slot = ShardSlot::Quarantined { error };
+    }
+
+    /// Inserts pre-extracted regions at the next global id. Caller holds
+    /// the ingest lock (`next`).
+    fn insert_extracted_locked(
+        &self,
+        next: &mut usize,
+        name: &str,
+        width: usize,
+        height: usize,
+        regions: Vec<Region>,
+    ) -> Result<usize> {
+        let id = *next;
+        let shard = shard_of(id, self.shards.len());
+        let mut slot = self.shards[shard].write();
+        let (result, poisoned) = match &mut *slot {
+            ShardSlot::Healthy(db) => {
+                let r = db.insert_regions_at(id, name, width, height, regions);
+                let poisoned = db.is_poisoned();
+                (r, poisoned)
+            }
+            ShardSlot::Quarantined { .. } => {
+                return Err(WalrusError::ShardUnavailable { shard });
+            }
+        };
+        match result {
+            Ok(got) => {
+                *next = id + 1;
+                Ok(got)
+            }
+            Err(e) => {
+                if poisoned || quarantine_worthy(&e) {
+                    self.mark_quarantined(shard, &mut slot, e.to_string());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Extracts regions of `image` and durably inserts them; returns the
+    /// new global id.
+    pub fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
+        let regions = extract_regions(image, &self.params)?;
+        let mut next = self.ingest.lock();
+        self.ensure_writable()?;
+        self.insert_extracted_locked(&mut next, name, image.width(), image.height(), regions)
+    }
+
+    /// Durably inserts pre-extracted regions at the next global id — the
+    /// sharded counterpart of [`DurableDatabase::insert_regions`], used by
+    /// fault sweeps that pre-compute extraction once per fixture.
+    pub fn insert_regions(
+        &self,
+        name: &str,
+        width: usize,
+        height: usize,
+        regions: Vec<Region>,
+    ) -> Result<usize> {
+        let mut next = self.ingest.lock();
+        self.ensure_writable()?;
+        self.insert_extracted_locked(&mut next, name, width, height, regions)
+    }
+
+    /// Durable batch ingest: parallel lock-free extraction, then the
+    /// ingest lock for id assignment and the per-shard WAL appends. A
+    /// mid-batch failure commits the prefix, like a serial insert loop.
+    pub fn insert_images_batch(&self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
+        self.insert_images_batch_guarded(items, &Guard::none())
+    }
+
+    /// [`ShardedStore::insert_images_batch`] under a lifecycle [`Guard`];
+    /// all-or-nothing under interruption, with the final poll before the
+    /// ingest lock is taken.
+    pub fn insert_images_batch_guarded(
+        &self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>> {
+        let params = self.params;
+        let threads = walrus_parallel::resolve_threads(params.threads);
+        let ingest_span = guard.span("ingest");
+        if let Some(s) = &ingest_span {
+            s.add("images", items.len() as u64);
+        }
+        // Workers share the interrupt sources but not the trace (spans are
+        // opened only on this orchestrating thread).
+        let extract_span = guard.span("extract");
+        let worker_guard = guard.without_trace();
+        let extracted: Vec<Vec<Region>> =
+            walrus_parallel::try_parallel_map_guarded(threads, guard, items, |_, (_, image)| {
+                extract_regions_guarded(image, &params, 1, &worker_guard)
+            })?;
+        if let Some(s) = &extract_span {
+            s.add("regions", extracted.iter().map(Vec::len).sum::<usize>() as u64);
+        }
+        drop(extract_span);
+        guard.poll().map_err(WalrusError::from)?;
+        let wal_span = guard.span("wal_append");
+        let mut next = self.ingest.lock();
+        self.ensure_writable()?;
+        let wal_before = self.wal_len();
+        let mut ids = Vec::with_capacity(items.len());
+        for ((name, image), regions) in items.iter().zip(extracted) {
+            ids.push(self.insert_extracted_locked(
+                &mut next,
+                name,
+                image.width(),
+                image.height(),
+                regions,
+            )?);
+        }
+        if let Some(s) = &wal_span {
+            s.add("records", ids.len() as u64);
+            s.add("bytes", self.wal_len().saturating_sub(wal_before));
+        }
+        Ok(ids)
+    }
+
+    /// Durably removes an image from its shard.
+    pub fn remove_image(&self, id: usize) -> Result<()> {
+        let _next = self.ingest.lock();
+        self.ensure_writable()?;
+        let shard = shard_of(id, self.shards.len());
+        let mut slot = self.shards[shard].write();
+        let (result, poisoned) = match &mut *slot {
+            ShardSlot::Healthy(db) => {
+                let r = db.remove_image(id);
+                let poisoned = db.is_poisoned();
+                (r, poisoned)
+            }
+            ShardSlot::Quarantined { .. } => {
+                return Err(WalrusError::ShardUnavailable { shard });
+            }
+        };
+        result.map_err(|e| {
+            if poisoned || quarantine_worthy(&e) {
+                self.mark_quarantined(shard, &mut slot, e.to_string());
+            }
+            e
+        })
+    }
+
+    /// Scatter-gather query under per-request [`QueryOptions`]. Healthy
+    /// shards are probed sequentially on this thread (each under a
+    /// `shard_probe` span, so the trace tree is identical for every thread
+    /// count); quarantined shards are skipped and reported in
+    /// [`ResultStatus::Degraded`].
+    pub fn query_with_options_guarded(
+        &self,
+        query: &Image,
+        opts: &QueryOptions,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        let (params, min_similarity) = opts.resolve(&self.params)?;
+        let _query_span = guard.span("query");
+        let regions = match extract_regions_guarded(query, &params, params.threads, guard) {
+            Ok(r) => r,
+            Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
+            Err(e) => return Err(e),
+        };
+        let mut outcome =
+            self.scatter_gather(&params, &regions, query.area(), min_similarity, guard)?;
+        if let Some(k) = opts.k {
+            outcome.matches.truncate(k);
+        }
+        Ok(outcome)
+    }
+
+    /// Query with default options (the sharded counterpart of
+    /// [`crate::ImageDatabase::query_guarded`]).
+    pub fn query_guarded(&self, query: &Image, guard: &Guard) -> Result<QueryOutcome> {
+        self.query_with_options_guarded(query, &QueryOptions::default(), guard)
+    }
+
+    /// Full query without a guard.
+    pub fn query(&self, query: &Image) -> Result<QueryOutcome> {
+        self.query_guarded(query, &Guard::none())
+    }
+
+    fn scatter_gather(
+        &self,
+        params: &WalrusParams,
+        q_regions: &[Region],
+        query_area: usize,
+        min_similarity: f64,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        let mut shards_unavailable = Vec::new();
+        let mut partial = false;
+        let mut matches = Vec::new();
+        let mut total_hits = 0usize;
+        let mut distinct_images = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let probe_span = guard.span("shard_probe");
+            if let Some(s) = &probe_span {
+                s.add("shard", i as u64);
+            }
+            let slot = shard.read();
+            let db = match &*slot {
+                ShardSlot::Healthy(db) => db,
+                ShardSlot::Quarantined { .. } => {
+                    shards_unavailable.push(i);
+                    continue;
+                }
+            };
+            // Each shard probes under the *full* candidate budget; the
+            // aggregate is enforced after the gather. Splitting the budget
+            // across shards instead would reject queries the monolithic
+            // store accepts (one hot shard vs. an even spread), breaking
+            // the error/no-error equivalence the bit-identity tests pin.
+            let shard_outcome = db.db().query_regions_with_params_guarded(
+                params,
+                q_regions,
+                query_area,
+                min_similarity,
+                guard,
+            )?;
+            if let Some(s) = &probe_span {
+                s.add("images", shard_outcome.stats.distinct_images as u64);
+                s.add("hits", shard_outcome.stats.total_matching_regions as u64);
+            }
+            partial |= shard_outcome.status == ResultStatus::Partial;
+            total_hits += shard_outcome.stats.total_matching_regions;
+            distinct_images += shard_outcome.stats.distinct_images;
+            matches.extend(shard_outcome.matches);
+        }
+        if total_hits > params.budgets.max_index_candidates {
+            return Err(WalrusError::BudgetExceeded {
+                what: "index candidates",
+                used: total_hits,
+                limit: params.budgets.max_index_candidates,
+            });
+        }
+        // Deterministic gather: the same total order the monolithic store
+        // sorts into (each image lives on exactly one shard, with a
+        // distinct id, so the comparator is total).
+        matches.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.image_id.cmp(&b.image_id))
+        });
+        let query_regions = q_regions.len();
+        let stats = QueryStats {
+            query_regions,
+            total_matching_regions: total_hits,
+            avg_regions_per_query_region: if query_regions == 0 {
+                0.0
+            } else {
+                total_hits as f64 / query_regions as f64
+            },
+            distinct_images,
+        };
+        let status = if !shards_unavailable.is_empty() {
+            ResultStatus::Degraded { shards_unavailable }
+        } else if partial {
+            ResultStatus::Partial
+        } else {
+            ResultStatus::Complete
+        };
+        Ok(QueryOutcome { matches, stats, status })
+    }
+
+    /// Owned metadata for an image. `Ok(None)` = unknown or removed;
+    /// `Err(ShardUnavailable)` = its shard is quarantined, so its
+    /// existence cannot be determined.
+    pub fn image_meta(&self, id: usize) -> Result<Option<ImageMeta>> {
+        let shard = shard_of(id, self.shards.len());
+        match &*self.shards[shard].read() {
+            ShardSlot::Healthy(db) => Ok(db.image_meta(id)),
+            ShardSlot::Quarantined { .. } => Err(WalrusError::ShardUnavailable { shard }),
+        }
+    }
+
+    /// Checkpoints one shard (exclusive lock on that shard only). A
+    /// storage failure during the checkpoint quarantines the shard.
+    pub fn checkpoint_shard(&self, shard: usize) -> Result<ShardCheckpoint> {
+        if shard >= self.shards.len() {
+            return Err(WalrusError::BadParams(format!(
+                "shard {shard} out of range (store has {})",
+                self.shards.len()
+            )));
+        }
+        let started = Instant::now();
+        let mut slot = self.shards[shard].write();
+        let (result, poisoned) = match &mut *slot {
+            ShardSlot::Healthy(db) => {
+                let r = db.checkpoint().map(|()| ShardCheckpoint {
+                    shard,
+                    last_lsn: db.last_lsn(),
+                    duration: started.elapsed(),
+                });
+                let poisoned = db.is_poisoned();
+                (r, poisoned)
+            }
+            ShardSlot::Quarantined { .. } => {
+                return Err(WalrusError::ShardUnavailable { shard });
+            }
+        };
+        result.map_err(|e| {
+            if poisoned || quarantine_worthy(&e) {
+                self.mark_quarantined(shard, &mut slot, e.to_string());
+            }
+            e
+        })
+    }
+
+    /// Rolling checkpoint: folds shards one at a time — never the whole
+    /// store at once — skipping quarantined shards. The report lists what
+    /// each healthy shard did.
+    pub fn checkpoint(&self) -> Result<Vec<ShardCheckpoint>> {
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            if self.quarantined[shard].load(Ordering::Acquire) {
+                continue;
+            }
+            match self.checkpoint_shard(shard) {
+                Ok(report) => reports.push(report),
+                // Raced with a quarantine transition: skip, like any other
+                // quarantined shard.
+                Err(WalrusError::ShardUnavailable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Per-shard health, in shard order.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| match &*slot.read() {
+                ShardSlot::Healthy(db) => ShardHealth {
+                    shard,
+                    healthy: true,
+                    error: None,
+                    images: db.len(),
+                    wal_bytes: db.wal_len(),
+                },
+                ShardSlot::Quarantined { error } => ShardHealth {
+                    shard,
+                    healthy: false,
+                    error: Some(error.clone()),
+                    images: 0,
+                    wal_bytes: 0,
+                },
+            })
+            .collect()
+    }
+
+    /// Repairs a quarantined shard **in place** and swaps it back in:
+    ///
+    /// 1. truncate its WAL to the longest clean prefix
+    ///    ([`crate::wal::scan_valid_prefix`]) — an explicit, operator-
+    ///    requested acceptance that records past the damage are lost;
+    /// 2. reopen the shard from its snapshot + repaired WAL;
+    /// 3. on success, clear the quarantine and restore writes.
+    ///
+    /// Snapshot damage is not repairable this way — the reopen error is
+    /// returned and the shard stays quarantined. Also works on a healthy
+    /// shard (a no-op repair followed by a clean reopen).
+    pub fn recover_shard(&self, shard: usize) -> Result<ShardRepair> {
+        if shard >= self.shards.len() {
+            return Err(WalrusError::BadParams(format!(
+                "shard {shard} out of range (store has {})",
+                self.shards.len()
+            )));
+        }
+        // Hold the ingest lock across the swap so id assignment sees the
+        // recovered shard's slots atomically.
+        let mut next = self.ingest.lock();
+        let mut slot = self.shards[shard].write();
+        let dir = self.root.join(shard_dir_name(shard));
+        let wal_path = dir.join(WAL_FILE);
+        let mut truncated_bytes = 0u64;
+        let mut records_kept = 0usize;
+        if self.io.exists(&wal_path) {
+            let bytes = self
+                .io
+                .read(&wal_path)
+                .map_err(WalrusError::io_context("read", &wal_path))?;
+            let scan = wal::scan_valid_prefix(&bytes);
+            records_kept = scan.records.len();
+            if scan.valid_len < bytes.len() as u64 {
+                truncated_bytes = bytes.len() as u64 - scan.valid_len;
+                self.io
+                    .truncate(&wal_path, scan.valid_len)
+                    .and_then(|()| self.io.fsync(&wal_path))
+                    .map_err(WalrusError::io_context("truncate damaged", &wal_path))?;
+            }
+        }
+        let (db, report) = DurableDatabase::open_with(self.io.clone(), &dir, self.params)?;
+        *next = (*next).max(db.db().image_slots().len());
+        *slot = ShardSlot::Healthy(Box::new(db));
+        self.quarantined[shard].store(false, Ordering::Release);
+        Ok(ShardRepair { shard, truncated_bytes, records_kept, report })
+    }
+
+    /// Live images across healthy shards.
+    pub fn len(&self) -> usize {
+        self.fold_healthy(|db| db.len())
+    }
+
+    /// True when no healthy shard holds an image.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indexed regions across healthy shards.
+    pub fn num_regions(&self) -> usize {
+        self.fold_healthy(|db| db.db().num_regions())
+    }
+
+    /// Valid WAL bytes across healthy shards.
+    pub fn wal_len(&self) -> u64 {
+        self.fold_healthy(|db| db.wal_len())
+    }
+
+    /// WAL records since the last checkpoint, across healthy shards.
+    pub fn records_since_checkpoint(&self) -> usize {
+        self.fold_healthy(|db| db.records_since_checkpoint())
+    }
+
+    fn fold_healthy<T: std::iter::Sum>(&self, f: impl Fn(&DurableDatabase) -> T) -> T {
+        self.shards
+            .iter()
+            .filter_map(|slot| match &*slot.read() {
+                ShardSlot::Healthy(db) => Some(f(db)),
+                ShardSlot::Quarantined { .. } => None,
+            })
+            .sum()
+    }
+}
+
+impl Store for ShardedStore {
+    fn params(&self) -> WalrusParams {
+        ShardedStore::params(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedStore::shard_count(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedStore::len(self)
+    }
+
+    fn num_regions(&self) -> usize {
+        ShardedStore::num_regions(self)
+    }
+
+    fn wal_len(&self) -> u64 {
+        ShardedStore::wal_len(self)
+    }
+
+    fn records_since_checkpoint(&self) -> usize {
+        ShardedStore::records_since_checkpoint(self)
+    }
+
+    fn image_meta(&self, id: usize) -> Result<Option<ImageMeta>> {
+        ShardedStore::image_meta(self, id)
+    }
+
+    fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
+        ShardedStore::insert_image(self, name, image)
+    }
+
+    fn insert_images_batch_guarded(
+        &self,
+        items: &[(&str, &Image)],
+        guard: &Guard,
+    ) -> Result<Vec<usize>> {
+        ShardedStore::insert_images_batch_guarded(self, items, guard)
+    }
+
+    fn remove_image(&self, id: usize) -> Result<()> {
+        ShardedStore::remove_image(self, id)
+    }
+
+    fn query_with_options_guarded(
+        &self,
+        query: &Image,
+        opts: &QueryOptions,
+        guard: &Guard,
+    ) -> Result<QueryOutcome> {
+        ShardedStore::query_with_options_guarded(self, query, opts, guard)
+    }
+
+    fn checkpoint(&self) -> Result<Vec<ShardCheckpoint>> {
+        ShardedStore::checkpoint(self)
+    }
+
+    fn shard_health(&self) -> Vec<ShardHealth> {
+        ShardedStore::shard_health(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::FaultIo;
+    use walrus_imagery::synth::scene::{Scene, SceneObject};
+    use walrus_imagery::synth::shapes::Shape;
+    use walrus_imagery::synth::texture::{Rgb, Texture};
+    use walrus_wavelet::SlidingParams;
+
+    fn params() -> WalrusParams {
+        WalrusParams {
+            sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 16, stride: 4 },
+            ..WalrusParams::paper_defaults()
+        }
+    }
+
+    fn scene(hue: f32) -> Image {
+        Scene::new(Texture::Solid(Rgb(hue, 0.4, 0.3)))
+            .with(SceneObject::new(
+                Shape::Ellipse { rx: 0.5, ry: 0.5 },
+                Texture::Solid(Rgb(0.9, 0.2, 0.2)),
+                (0.5, 0.5),
+                0.4,
+            ))
+            .render(32, 32)
+            .unwrap()
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        // Pinned values: shard routing is an on-disk compatibility surface
+        // (manifest version 1). If this test fails, bump the manifest
+        // version instead of accepting the new routing.
+        let pinned: Vec<usize> = (0..8).map(|id| shard_of(id, 4)).collect();
+        assert_eq!(pinned, vec![3, 1, 2, 1, 2, 2, 0, 3]);
+        for id in 0..10_000 {
+            assert!(shard_of(id, 4) < 4);
+            assert_eq!(shard_of(id, 1), 0);
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_damage() {
+        let bytes = encode_manifest(4);
+        assert_eq!(decode_manifest(&bytes).unwrap(), 4);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(decode_manifest(&bad).is_err(), "flip at byte {i} must be caught");
+        }
+        assert!(decode_manifest(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn inserts_route_by_hash_and_survive_reopen() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io.clone(), "db", params(), 4).unwrap();
+        let a = store.insert_image("a", &scene(0.2)).unwrap();
+        let b = store.insert_image("b", &scene(0.5)).unwrap();
+        let c = store.insert_image("c", &scene(0.8)).unwrap();
+        assert_eq!((a, b, c), (0, 1, 2), "global ids are dense");
+        assert_eq!(store.len(), 3);
+        store.remove_image(b).unwrap();
+        drop(store);
+
+        // Reopen with shards = 0 ("existing store only"): manifest wins.
+        let (store, recoveries) = ShardedStore::open_with(io.clone(), "db", params(), 0).unwrap();
+        assert_eq!(store.shard_count(), 4);
+        assert!(recoveries.iter().all(|r| r.error.is_none()));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.image_meta(a).unwrap().unwrap().name, "a");
+        assert!(store.image_meta(b).unwrap().is_none(), "removed image is gone");
+        // New ids continue after the highest assigned one.
+        assert_eq!(store.insert_image("d", &scene(0.35)).unwrap(), 3);
+
+        // A mismatched shard count is refused, not silently rehashed.
+        drop(store);
+        let err = ShardedStore::open_with(io, "db", params(), 2).unwrap_err();
+        assert!(matches!(err, WalrusError::BadParams(_)), "{err}");
+    }
+
+    #[test]
+    fn legacy_monolithic_directory_is_refused() {
+        let io = Arc::new(FaultIo::new());
+        let (mono, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        drop(mono);
+        let err = ShardedStore::open_with(io, "db", params(), 4).unwrap_err();
+        assert!(matches!(err, WalrusError::BadParams(_)), "{err}");
+    }
+
+    #[test]
+    fn rolling_checkpoint_reports_every_healthy_shard() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io, "db", params(), 3).unwrap();
+        for i in 0..5 {
+            store.insert_image(&format!("img{i}"), &scene(0.1 + 0.15 * i as f32)).unwrap();
+        }
+        assert!(store.records_since_checkpoint() > 0);
+        let reports = ShardedStore::checkpoint(&store).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(store.records_since_checkpoint(), 0);
+        for r in &reports {
+            assert!(r.last_lsn > 0 || store.shard_health()[r.shard].images == 0);
+        }
+    }
+
+    #[test]
+    fn degraded_store_serves_reads_and_sheds_writes() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io.clone(), "db", params(), 4).unwrap();
+        let mut by_shard = vec![Vec::new(); 4];
+        for i in 0..8 {
+            let id = store.insert_image(&format!("img{i}"), &scene(0.1 + 0.1 * i as f32)).unwrap();
+            by_shard[shard_of(id, 4)].push(id);
+        }
+        drop(store);
+        // Destroy shard 2's WAL header: that shard cannot open.
+        let victim = 2usize;
+        let wal = Path::new("db/shard-002/wal.log");
+        let mut bytes = io.file_bytes(wal).unwrap();
+        bytes[0] ^= 0xFF;
+        io.write(wal, &bytes).unwrap();
+        io.fsync(wal).unwrap();
+
+        let (store, recoveries) = ShardedStore::open_with(io, "db", params(), 0).unwrap();
+        assert!(recoveries[victim].error.is_some());
+        assert_eq!(store.quarantined_shards(), vec![victim]);
+
+        // Reads: degraded status naming the shard, healthy images present.
+        let outcome = store.query(&scene(0.1)).unwrap();
+        assert_eq!(
+            outcome.status,
+            ResultStatus::Degraded { shards_unavailable: vec![victim] }
+        );
+        for &id in &by_shard[0] {
+            assert!(store.image_meta(id).unwrap().is_some());
+        }
+        for &id in &by_shard[victim] {
+            assert!(matches!(
+                store.image_meta(id),
+                Err(WalrusError::ShardUnavailable { shard }) if shard == victim
+            ));
+        }
+
+        // Writes: shed with the typed error naming the quarantined shard.
+        let err = store.insert_image("new", &scene(0.9)).unwrap_err();
+        assert!(matches!(err, WalrusError::ShardUnavailable { shard } if shard == victim));
+        let err = store.remove_image(by_shard[0][0]).unwrap_err();
+        assert!(matches!(err, WalrusError::ShardUnavailable { shard } if shard == victim));
+
+        // Checkpoint still covers the healthy shards.
+        let reports = ShardedStore::checkpoint(&store).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.shard != victim));
+    }
+
+    #[test]
+    fn recover_shard_truncates_damage_and_restores_writes() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io.clone(), "db", params(), 2).unwrap();
+        // Find a shard with at least 2 records so mid-log damage exists.
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(store.insert_image(&format!("img{i}"), &scene(0.1 + 0.12 * i as f32)).unwrap());
+        }
+        let victim = (0..2)
+            .max_by_key(|&s| ids.iter().filter(|&&id| shard_of(id, 2) == s).count())
+            .unwrap();
+        drop(store);
+        // Flip a byte in the victim's first record while records follow:
+        // mid-log corruption, which read_wal refuses.
+        let wal_path_string = format!("db/{}/wal.log", shard_dir_name(victim));
+        let wal = Path::new(&wal_path_string);
+        let mut bytes = io.file_bytes(wal).unwrap();
+        let pos = wal::WAL_HEADER_LEN as usize + 20;
+        bytes[pos] ^= 0xFF;
+        io.write(wal, &bytes).unwrap();
+        io.fsync(wal).unwrap();
+
+        let (store, _) = ShardedStore::open_with(io, "db", params(), 0).unwrap();
+        assert_eq!(store.quarantined_shards(), vec![victim]);
+        let repair = store.recover_shard(victim).unwrap();
+        assert_eq!(repair.shard, victim);
+        assert!(repair.truncated_bytes > 0, "damaged suffix was dropped");
+        assert!(store.quarantined_shards().is_empty());
+        // Writes are restored and ids never collide with surviving ones.
+        let new_id = store.insert_image("after", &scene(0.77)).unwrap();
+        assert!(new_id >= ids.len() - ids.iter().filter(|&&id| shard_of(id, 2) == victim).count());
+        assert_eq!(store.image_meta(new_id).unwrap().unwrap().name, "after");
+    }
+}

@@ -137,6 +137,16 @@ pub struct Fault {
     pub kind: FaultKind,
 }
 
+/// A fault scoped to one path prefix: fires on the `at_op`-th operation
+/// (0-based) whose path starts with `prefix`, counting only those
+/// operations. Lets a multi-shard sweep inject into exactly one shard's
+/// files deterministically, regardless of how other shards interleave.
+#[derive(Debug, Clone)]
+struct PathFault {
+    prefix: PathBuf,
+    fault: Fault,
+}
+
 /// The fate of unsynced data when a [`FaultIo::crash`] is simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashMode {
@@ -170,6 +180,10 @@ struct FaultState {
     pending_renames: Vec<(PathBuf, PathBuf, Option<FileState>)>,
     ops: usize,
     faults: Vec<Fault>,
+    /// Path-scoped faults, each counted against its own prefix counter.
+    path_faults: Vec<PathFault>,
+    /// Operations seen so far under each armed prefix.
+    prefix_ops: BTreeMap<PathBuf, usize>,
     halted: bool,
 }
 
@@ -181,7 +195,7 @@ pub struct FaultIo {
 }
 
 fn injected() -> io::Error {
-    io::Error::new(io::ErrorKind::Other, "injected fault")
+    io::Error::other("injected fault")
 }
 
 fn transient() -> io::Error {
@@ -196,7 +210,7 @@ pub fn is_transient(e: &io::Error) -> bool {
 }
 
 fn crashed() -> io::Error {
-    io::Error::new(io::ErrorKind::Other, "filesystem halted by injected fault")
+    io::Error::other("filesystem halted by injected fault")
 }
 
 fn not_found(path: &Path) -> io::Error {
@@ -268,6 +282,10 @@ impl FaultIo {
         }
         st.pending_renames.clear();
         st.faults.clear();
+        st.path_faults.clear();
+        for counter in st.prefix_ops.values_mut() {
+            *counter = 0;
+        }
         st.halted = false;
         st.ops = 0;
     }
@@ -298,15 +316,64 @@ impl FaultIo {
         self.state.lock().expect("poisoned").files.keys().cloned().collect()
     }
 
-    /// Checks the armed fault before an operation runs; returns the kind to
-    /// apply *during* this operation, if any.
-    fn begin_op(st: &mut FaultState) -> io::Result<Option<FaultKind>> {
+    /// Arms a fault scoped to `prefix`: it fires on the `fault.at_op`-th
+    /// operation (0-based) whose path starts with `prefix`, counting only
+    /// those operations. Multi-shard fault sweeps use this to hit exactly
+    /// one shard's directory no matter how other shards' I/O interleaves.
+    /// Accumulates like [`FaultIo::arm_fault`]; cleared by
+    /// [`FaultIo::crash`] and [`FaultIo::clear_path_faults`].
+    pub fn arm_fault_at_path(&self, prefix: impl Into<PathBuf>, fault: Fault) {
+        let mut st = self.state.lock().expect("poisoned");
+        let prefix = prefix.into();
+        st.prefix_ops.entry(prefix.clone()).or_insert(0);
+        st.path_faults.push(PathFault { prefix, fault });
+    }
+
+    /// Clears all path-scoped faults and their prefix counters.
+    pub fn clear_path_faults(&self) {
+        let mut st = self.state.lock().expect("poisoned");
+        st.path_faults.clear();
+        st.prefix_ops.clear();
+    }
+
+    /// Operations executed so far whose path starts with `prefix`. Only
+    /// counted while a fault is (or was) armed on that prefix.
+    pub fn op_count_at_path(&self, prefix: impl AsRef<Path>) -> usize {
+        let st = self.state.lock().expect("poisoned");
+        st.prefix_ops.get(prefix.as_ref()).copied().unwrap_or(0)
+    }
+
+    /// Checks the armed faults before an operation on `path` runs; returns
+    /// the kind to apply *during* this operation, if any. Global faults
+    /// (by absolute op index) are checked first, then path-scoped ones.
+    fn begin_op(st: &mut FaultState, path: &Path) -> io::Result<Option<FaultKind>> {
         if st.halted {
             return Err(crashed());
         }
         let idx = st.ops;
         st.ops += 1;
-        match st.faults.iter().find(|f| f.at_op == idx).map(|f| f.kind) {
+        let mut hit = st.faults.iter().find(|f| f.at_op == idx).map(|f| f.kind);
+        // Advance every matching prefix counter even when a global fault
+        // already fired, so prefix indices stay stable across fault plans.
+        let prefixes: Vec<PathBuf> = st
+            .prefix_ops
+            .keys()
+            .filter(|prefix| path.starts_with(prefix))
+            .cloned()
+            .collect();
+        for prefix in prefixes {
+            let pidx = st.prefix_ops.get_mut(&prefix).expect("armed prefix");
+            let at = *pidx;
+            *pidx += 1;
+            if hit.is_none() {
+                hit = st
+                    .path_faults
+                    .iter()
+                    .find(|pf| pf.prefix == prefix && pf.fault.at_op == at)
+                    .map(|pf| pf.fault.kind);
+            }
+        }
+        match hit {
             Some(FaultKind::Error) => {
                 st.halted = true;
                 Err(injected())
@@ -320,8 +387,8 @@ impl FaultIo {
     /// [`FaultIo::begin_op`] for operations that write no data:
     /// `ShortWrite` degrades to `Error` (and halts), `BitFlip` has nothing
     /// to corrupt and passes through.
-    fn begin_non_write_op(st: &mut FaultState) -> io::Result<()> {
-        match Self::begin_op(st)? {
+    fn begin_non_write_op(st: &mut FaultState, path: &Path) -> io::Result<()> {
+        match Self::begin_op(st, path)? {
             Some(FaultKind::BitFlip) | None => Ok(()),
             Some(_) => {
                 st.halted = true;
@@ -334,13 +401,13 @@ impl FaultIo {
 impl StorageIo for FaultIo {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         let mut st = self.state.lock().expect("poisoned");
-        Self::begin_non_write_op(&mut st)?;
+        Self::begin_non_write_op(&mut st, path)?;
         st.files.get(path).map(|f| f.current.clone()).ok_or_else(|| not_found(path))
     }
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let mut st = self.state.lock().expect("poisoned");
-        let fault = Self::begin_op(&mut st)?;
+        let fault = Self::begin_op(&mut st, path)?;
         let entry = st.files.entry(path.to_path_buf()).or_default();
         match fault {
             None => {
@@ -369,7 +436,7 @@ impl StorageIo for FaultIo {
 
     fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let mut st = self.state.lock().expect("poisoned");
-        let fault = Self::begin_op(&mut st)?;
+        let fault = Self::begin_op(&mut st, path)?;
         let entry = st.files.entry(path.to_path_buf()).or_default();
         match fault {
             None => {
@@ -398,7 +465,7 @@ impl StorageIo for FaultIo {
 
     fn fsync(&self, path: &Path) -> io::Result<()> {
         let mut st = self.state.lock().expect("poisoned");
-        Self::begin_non_write_op(&mut st)?;
+        Self::begin_non_write_op(&mut st, path)?;
         if let Some(f) = st.files.get_mut(path) {
             f.synced = f.current.clone();
             return Ok(());
@@ -411,7 +478,9 @@ impl StorageIo for FaultIo {
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         let mut st = self.state.lock().expect("poisoned");
-        Self::begin_non_write_op(&mut st)?;
+        // A rename is attributed to its destination; checkpoint renames
+        // stay within one shard directory, so either path would do.
+        Self::begin_non_write_op(&mut st, to)?;
         let f = st.files.remove(from).ok_or_else(|| not_found(from))?;
         let displaced = st.files.insert(to.to_path_buf(), f);
         st.pending_renames.push((from.to_path_buf(), to.to_path_buf(), displaced));
@@ -420,7 +489,7 @@ impl StorageIo for FaultIo {
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
         let mut st = self.state.lock().expect("poisoned");
-        Self::begin_non_write_op(&mut st)?;
+        Self::begin_non_write_op(&mut st, path)?;
         let f = st.files.get_mut(path).ok_or_else(|| not_found(path))?;
         f.current.truncate(len as usize);
         Ok(())
@@ -428,7 +497,7 @@ impl StorageIo for FaultIo {
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         let mut st = self.state.lock().expect("poisoned");
-        Self::begin_non_write_op(&mut st)?;
+        Self::begin_non_write_op(&mut st, path)?;
         st.files.remove(path).ok_or_else(|| not_found(path))?;
         Ok(())
     }
@@ -442,10 +511,10 @@ impl StorageIo for FaultIo {
         st.files.get(path).map(|f| f.current.len() as u64).ok_or_else(|| not_found(path))
     }
 
-    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         // Directories are implicit in the in-memory model.
         let mut st = self.state.lock().expect("poisoned");
-        Self::begin_non_write_op(&mut st)?;
+        Self::begin_non_write_op(&mut st, path)?;
         Ok(())
     }
 }

@@ -226,6 +226,44 @@ pub fn read_wal(bytes: &[u8]) -> Result<WalScan> {
     Ok(WalScan { records, valid_len: pos as u64, torn_tail: false })
 }
 
+/// Scans the **longest clean prefix** of a WAL image without ever erroring:
+/// decoding stops at the first frame that is broken, structurally invalid,
+/// or carries a non-increasing LSN, regardless of what follows.
+///
+/// This is the basis of explicit repair (`walrus recover <db> --shard <i>`):
+/// where [`read_wal`] refuses mid-log corruption because silently dropping
+/// committed history is never acceptable *implicitly*, an operator who asks
+/// for repair accepts exactly that loss in exchange for bringing a
+/// quarantined shard back. `valid_len` is the byte length to truncate the
+/// file to; `torn_tail` is true whenever anything was dropped.
+pub fn scan_valid_prefix(bytes: &[u8]) -> WalScan {
+    if bytes.len() < WAL_HEADER_LEN as usize
+        || &bytes[..8] != WAL_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().expect("length checked")) != WAL_VERSION
+    {
+        // No usable header: nothing is recoverable.
+        return WalScan { records: Vec::new(), valid_len: 0, torn_tail: !bytes.is_empty() };
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut last_lsn: Option<u64> = None;
+    while pos < bytes.len() {
+        if !frame_is_intact(bytes, pos) {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("length checked"))
+            as usize;
+        let Ok(rec) = decode_payload(&bytes[pos + 8..pos + 8 + len]) else { break };
+        if last_lsn.is_some_and(|prev| rec.lsn <= prev) {
+            break;
+        }
+        last_lsn = Some(rec.lsn);
+        records.push(rec);
+        pos += 8 + len;
+    }
+    WalScan { records, valid_len: pos as u64, torn_tail: pos < bytes.len() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +418,39 @@ mod tests {
     fn non_monotonic_lsns_rejected() {
         let bytes = log_with(&[(2, insert_op(0)), (2, WalOp::Remove { id: 0 })]);
         assert!(read_wal(&bytes).is_err());
+    }
+
+    #[test]
+    fn scan_valid_prefix_stops_at_damage_where_read_wal_errors() {
+        // Mid-log flip: read_wal refuses, the repair scan keeps the prefix.
+        let bytes = log_with(&[(1, insert_op(0)), (2, WalOp::Remove { id: 0 }), (3, insert_op(1))]);
+        let first_len = log_with(&[(1, insert_op(0))]).len();
+        let mut mid_flip = bytes.clone();
+        mid_flip[first_len + 10] ^= 0xFF;
+        assert!(read_wal(&mid_flip).is_err());
+        let scan = scan_valid_prefix(&mid_flip);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, first_len as u64);
+        assert!(scan.torn_tail);
+
+        // Non-monotonic LSN: everything before the regression survives.
+        let regressed = log_with(&[(5, insert_op(0)), (4, WalOp::Remove { id: 0 })]);
+        let scan = scan_valid_prefix(&regressed);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_tail);
+
+        // Clean log: identical verdict to read_wal.
+        let scan = scan_valid_prefix(&bytes);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(!scan.torn_tail);
+
+        // Destroyed header: nothing recoverable.
+        let mut bad_header = bytes;
+        bad_header[0] = b'X';
+        let scan = scan_valid_prefix(&bad_header);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.torn_tail);
     }
 }

@@ -229,12 +229,23 @@ mod tests {
         let pool = WorkerPool::new(4, 64);
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
-            let counter = Arc::clone(&counter);
-            pool.try_execute(move || {
-                counter.fetch_add(1, Ordering::SeqCst);
-            })
-            .ok()
-            .expect("queue has room");
+            let mut job = {
+                let counter = Arc::clone(&counter);
+                move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            };
+            // On a single-core box the submitter can outrun the workers and
+            // briefly fill the queue; spin until a slot frees up.
+            loop {
+                match pool.try_execute(job) {
+                    Ok(()) => break,
+                    Err(rejected) => {
+                        job = rejected;
+                        std::thread::yield_now();
+                    }
+                }
+            }
         }
         assert!(pool.wait_idle(Duration::from_secs(10)));
         assert_eq!(counter.load(Ordering::SeqCst), 100);

@@ -204,6 +204,8 @@ pub struct Metrics {
     pub responses_5xx: AtomicU64,
     /// Queries answered `206`/`Partial` because their deadline expired.
     pub partial_total: AtomicU64,
+    /// Queries answered `206`/`Degraded` because shards were quarantined.
+    pub degraded_total: AtomicU64,
     /// Requests currently being handled (gauge).
     pub in_flight: AtomicU64,
     /// `POST /ingest` requests and images ingested through them.
@@ -241,6 +243,7 @@ impl Metrics {
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
             partial_total: AtomicU64::new(0),
+            degraded_total: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             ingest_requests_total: AtomicU64::new(0),
             ingest_images_total: AtomicU64::new(0),
@@ -313,6 +316,7 @@ impl Metrics {
         out.push_str(&format!("walrus_responses_5xx_total {}\n", load(&self.responses_5xx)));
         out.push_str(&format!("walrus_errors_total {}\n", self.errors_total()));
         out.push_str(&format!("walrus_partial_results_total {}\n", load(&self.partial_total)));
+        out.push_str(&format!("walrus_degraded_results_total {}\n", load(&self.degraded_total)));
         out.push_str(&format!("walrus_in_flight {in_flight}\n"));
         out.push_str(&format!(
             "walrus_ingest_requests_total {}\n",

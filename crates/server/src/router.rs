@@ -29,8 +29,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use walrus_core::{
-    Budgets, CancelToken, Guard, QueryOptions, QueryOutcome, ResultStatus, SharedClock,
-    SharedDurableDatabase, TraceContext, WalrusError,
+    Budgets, CancelToken, Guard, QueryOptions, QueryOutcome, ResultStatus, SharedClock, Store,
+    TraceContext, WalrusError,
 };
 use walrus_imagery::ppm::{parse_netpbm_limited, parse_netpbm_limited_prefix};
 use walrus_imagery::{Image, ImageError};
@@ -41,8 +41,10 @@ use crate::metrics::{Metrics, TraceStore};
 /// Everything a worker needs to answer requests. One instance per server,
 /// shared via `Arc`.
 pub struct AppState {
-    /// The WAL-durable store all mutations and queries go through.
-    pub store: SharedDurableDatabase,
+    /// The WAL-durable store all mutations and queries go through — the
+    /// monolithic [`SharedDurableDatabase`](walrus_core::SharedDurableDatabase)
+    /// or an N-shard [`ShardedStore`](walrus_core::ShardedStore).
+    pub store: Arc<dyn Store>,
     pub metrics: Metrics,
     /// Time source for request deadlines, latency samples, and trace spans.
     pub clock: SharedClock,
@@ -113,28 +115,59 @@ fn route(state: &AppState, req: &Request) -> Response {
 }
 
 fn healthz(state: &AppState) -> Response {
+    let health = state.store.shard_health();
+    let degraded = health.iter().any(|h| !h.healthy);
+    let shards: Vec<String> = health
+        .iter()
+        .map(|h| match &h.error {
+            None => format!(
+                "{{\"shard\":{},\"healthy\":true,\"images\":{},\"wal_bytes\":{}}}",
+                h.shard, h.images, h.wal_bytes
+            ),
+            Some(error) => format!(
+                "{{\"shard\":{},\"healthy\":false,\"error\":{}}}",
+                h.shard,
+                json_string(error)
+            ),
+        })
+        .collect();
     Response::json(
         200,
         format!(
-            "{{\"status\":\"ok\",\"images\":{},\"stopping\":{}}}",
+            "{{\"status\":{},\"images\":{},\"stopping\":{},\"shards\":[{}]}}",
+            if degraded { "\"degraded\"" } else { "\"ok\"" },
             state.store.len(),
-            state.is_stopping()
+            state.is_stopping(),
+            shards.join(",")
         ),
     )
 }
 
 fn metrics_text(state: &AppState) -> Response {
-    let gauges = [
-        ("walrus_images", state.store.len() as u64),
-        ("walrus_regions", state.store.num_regions() as u64),
-        ("walrus_wal_bytes", state.store.wal_len()),
+    let health = state.store.shard_health();
+    let mut named: Vec<(String, u64)> = vec![
+        ("walrus_images".to_string(), state.store.len() as u64),
+        ("walrus_regions".to_string(), state.store.num_regions() as u64),
+        ("walrus_wal_bytes".to_string(), state.store.wal_len()),
         (
-            "walrus_wal_records_since_checkpoint",
+            "walrus_wal_records_since_checkpoint".to_string(),
             state.store.records_since_checkpoint() as u64,
         ),
-        ("walrus_pool_threads", state.pool_threads as u64),
-        ("walrus_pool_queue_capacity", state.pool_queue_depth as u64),
+        ("walrus_pool_threads".to_string(), state.pool_threads as u64),
+        ("walrus_pool_queue_capacity".to_string(), state.pool_queue_depth as u64),
+        ("walrus_shards".to_string(), health.len() as u64),
+        (
+            "walrus_shards_quarantined".to_string(),
+            health.iter().filter(|h| !h.healthy).count() as u64,
+        ),
     ];
+    for h in &health {
+        named.push((format!("walrus_shard_healthy{{shard=\"{}\"}}", h.shard), h.healthy as u64));
+        named.push((format!("walrus_shard_images{{shard=\"{}\"}}", h.shard), h.images as u64));
+        named
+            .push((format!("walrus_shard_wal_bytes{{shard=\"{}\"}}", h.shard), h.wal_bytes));
+    }
+    let gauges: Vec<(&str, u64)> = named.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     Response::text(200, state.metrics.render_for_scrape(&gauges))
 }
 
@@ -144,7 +177,7 @@ fn image_meta(state: &AppState, path: &str) -> Response {
         return Response::error(400, "image id must be a non-negative integer");
     };
     match state.store.image_meta(id) {
-        Some(meta) => Response::json(
+        Ok(Some(meta)) => Response::json(
             200,
             format!(
                 "{{\"id\":{},\"name\":{},\"width\":{},\"height\":{},\"regions\":{}}}",
@@ -155,7 +188,8 @@ fn image_meta(state: &AppState, path: &str) -> Response {
                 meta.regions
             ),
         ),
-        None => Response::error(404, "unknown image id"),
+        Ok(None) => Response::error(404, "unknown image id"),
+        Err(e) => engine_error(&e),
     }
 }
 
@@ -172,14 +206,29 @@ fn trace_text(state: &AppState, path: &str) -> Response {
     }
 }
 
+/// `POST /admin/checkpoint`: a rolling per-shard checkpoint. The response
+/// reports, per shard, the LSN its snapshot now covers and how long the fold
+/// took; quarantined shards are absent (they were skipped, not stopped on).
 fn checkpoint(state: &AppState) -> Response {
     match state.store.checkpoint() {
-        Ok(()) => {
+        Ok(reports) => {
             state.metrics.checkpoints_total.fetch_add(1, Ordering::Relaxed);
+            let shards: Vec<String> = reports
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"shard\":{},\"last_lsn\":{},\"duration_us\":{}}}",
+                        r.shard,
+                        r.last_lsn,
+                        r.duration.as_micros()
+                    )
+                })
+                .collect();
             Response::json(
                 200,
                 format!(
-                    "{{\"checkpointed\":true,\"wal_records_since_checkpoint\":{}}}",
+                    "{{\"checkpointed\":true,\"shards\":[{}],\"wal_records_since_checkpoint\":{}}}",
+                    shards.join(","),
                     state.store.records_since_checkpoint()
                 ),
             )
@@ -319,10 +368,20 @@ fn query(state: &AppState, req: &Request) -> Response {
                 .metrics
                 .query_latency
                 .record(Duration::from_nanos(state.clock.now_nanos().saturating_sub(started)));
-            if outcome.status == ResultStatus::Partial {
-                state.metrics.partial_total.fetch_add(1, Ordering::Relaxed);
-            }
-            let status = if outcome.status == ResultStatus::Partial { 206 } else { 200 };
+            // Both degradation flavors answer 206: the ranking is honest but
+            // incomplete — deadline-truncated (partial) or missing the
+            // quarantined shards' images (degraded).
+            let status = match &outcome.status {
+                ResultStatus::Complete => 200,
+                ResultStatus::Partial => {
+                    state.metrics.partial_total.fetch_add(1, Ordering::Relaxed);
+                    206
+                }
+                ResultStatus::Degraded { .. } => {
+                    state.metrics.degraded_total.fetch_add(1, Ordering::Relaxed);
+                    206
+                }
+            };
             Response::json(status, outcome_json_with_id(&outcome, Some(request_id)))
         }
         Err(e) => engine_error(&e),
@@ -356,12 +415,22 @@ fn outcome_json_with_id(outcome: &QueryOutcome, request_id: Option<u64>) -> Stri
         Some(id) => format!(",\"request_id\":{id}"),
         None => String::new(),
     };
+    let (status_field, degraded_field) = match &outcome.status {
+        ResultStatus::Complete => ("\"complete\"", String::new()),
+        ResultStatus::Partial => ("\"partial\"", String::new()),
+        ResultStatus::Degraded { shards_unavailable } => {
+            let shards: Vec<String> =
+                shards_unavailable.iter().map(|s| s.to_string()).collect();
+            (
+                "\"degraded\"",
+                format!(",\"shards_unavailable\":[{}]", shards.join(",")),
+            )
+        }
+    };
     format!(
-        "{{\"status\":{},\"count\":{},\"matches\":[{}],\"stats\":{{\"query_regions\":{},\"total_matching_regions\":{},\"avg_regions_per_query_region\":{},\"distinct_images\":{}}}{}}}",
-        match outcome.status {
-            ResultStatus::Complete => "\"complete\"",
-            ResultStatus::Partial => "\"partial\"",
-        },
+        "{{\"status\":{}{},\"count\":{},\"matches\":[{}],\"stats\":{{\"query_regions\":{},\"total_matching_regions\":{},\"avg_regions_per_query_region\":{},\"distinct_images\":{}}}{}}}",
+        status_field,
+        degraded_field,
         outcome.matches.len(),
         matches.join(","),
         outcome.stats.query_regions,
@@ -413,6 +482,18 @@ fn parse_param<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option
 /// `206` partial), deadline on *ingest* is `504` (the batch was rolled back),
 /// cancellation is `503` (shutdown), budget breaches are `413`.
 fn engine_error(err: &WalrusError) -> Response {
+    // A quarantined shard sheds the request with a typed body naming the
+    // shard, so clients (and the load balancer) can distinguish "this store
+    // is degraded" from a generic overload 503.
+    if let WalrusError::ShardUnavailable { shard } = err {
+        return Response::json(
+            503,
+            format!(
+                "{{\"error\":{},\"shard_unavailable\":{shard}}}",
+                json_string(&err.to_string())
+            ),
+        );
+    }
     let status = match err {
         WalrusError::Image(_) | WalrusError::BadParams(_) => 400,
         WalrusError::UnknownImage(_) => 404,
@@ -427,7 +508,7 @@ fn engine_error(err: &WalrusError) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use walrus_core::{DurableDatabase, SlidingParams, WalrusParams};
+    use walrus_core::{DurableDatabase, SharedDurableDatabase, SlidingParams, WalrusParams};
     use walrus_imagery::ppm::write_ppm;
     use walrus_imagery::ColorSpace;
 
@@ -441,7 +522,7 @@ mod tests {
     fn test_state(dir: &std::path::Path) -> AppState {
         let (store, _) = DurableDatabase::open(dir, test_params()).unwrap();
         AppState {
-            store: SharedDurableDatabase::new(store),
+            store: Arc::new(SharedDurableDatabase::new(store)),
             metrics: Metrics::default(),
             clock: walrus_core::monotonic(),
             traces: TraceStore::default(),

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use walrus_core::{monotonic, CancelToken, Result, SharedClock, SharedDurableDatabase, WalrusError};
+use walrus_core::{monotonic, CancelToken, Result, SharedClock, Store, WalrusError};
 use walrus_parallel::{resolve_threads, WorkerPool};
 
 use crate::http::{Conn, HttpLimits, ParseError, ReadOpts, Response};
@@ -90,8 +90,16 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 pub struct Server;
 
 impl Server {
-    /// Binds the listener, spins up the pool, and starts accepting.
-    pub fn start(config: ServerConfig, store: SharedDurableDatabase) -> Result<ServerHandle> {
+    /// Binds the listener, spins up the pool, and starts accepting. Takes
+    /// any [`Store`] — the monolithic
+    /// [`SharedDurableDatabase`](walrus_core::SharedDurableDatabase) or a
+    /// [`ShardedStore`](walrus_core::ShardedStore).
+    pub fn start(config: ServerConfig, store: impl Store + 'static) -> Result<ServerHandle> {
+        Server::start_arc(config, Arc::new(store))
+    }
+
+    /// [`Server::start`] over an already-shared store.
+    pub fn start_arc(config: ServerConfig, store: Arc<dyn Store>) -> Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr).map_err(|e| WalrusError::Io {
             context: format!("bind {}", config.addr),
             source: e,
@@ -306,6 +314,8 @@ impl ServerHandle {
                 pool.shutdown();
             }
         }
+        // Rolling per-shard checkpoint; on a degraded store the healthy
+        // shards still land their snapshots.
         self.state.store.checkpoint()?;
         self.state.metrics.checkpoints_total.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -373,7 +383,7 @@ pub mod signals {
 mod tests {
     use super::*;
     use crate::client::Client;
-    use walrus_core::{DurableDatabase, SlidingParams, WalrusParams};
+    use walrus_core::{DurableDatabase, SharedDurableDatabase, SlidingParams, WalrusParams};
 
     fn test_config() -> ServerConfig {
         ServerConfig {
@@ -410,7 +420,7 @@ mod tests {
     fn drain_time_error_responses_are_counted_in_flight() {
         let (store, dir) = test_store("inflight");
         let state = Arc::new(AppState {
-            store,
+            store: Arc::new(store),
             metrics: Metrics::default(),
             clock: monotonic(),
             traces: TraceStore::default(),

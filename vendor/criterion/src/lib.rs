@@ -1,0 +1,153 @@
+//! Minimal vendored stand-in for `criterion`, covering the API surface the
+//! workspace's benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a fixed-iteration wall-clock average printed to stdout —
+//! enough to run `cargo bench` for a smoke signal and to keep bench targets
+//! compiling, without the statistical machinery of the real crate.
+//!
+//! Vendored so the workspace builds hermetically with no registry access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up once, then time a small fixed batch.
+        black_box(body());
+        const ITERS: u64 = 10;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = ITERS;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iterations == 0 {
+            println!("{label}: no measurement");
+            return;
+        }
+        let per_iter = self.elapsed / self.iterations as u32;
+        println!("{label}: {per_iter:?}/iter over {} iterations", self.iterations);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut body: F) {
+        let mut b = Bencher::default();
+        body(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) {
+        let mut b = Bencher::default();
+        body(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut body: F) {
+        let mut b = Bencher::default();
+        body(&mut b);
+        b.report(&id.to_string());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sample");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}
