@@ -21,13 +21,7 @@ fn random_regions(n: usize, rng: &mut StdRng) -> Vec<Region> {
                     rng.gen_range(8..32),
                 );
             }
-            Region {
-                centroid: vec![0.0; 12],
-                bbox_min: vec![0.0; 12],
-                bbox_max: vec![0.0; 12],
-                bitmap,
-                window_count: 1,
-            }
+            Region::new(vec![0.0; 12], vec![0.0; 12], vec![0.0; 12], bitmap, 1)
         })
         .collect()
 }

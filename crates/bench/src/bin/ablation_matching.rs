@@ -73,13 +73,7 @@ fn random_region(rng: &mut StdRng) -> Region {
         let h = rng.gen_range(8..32);
         bitmap.mark_window(x, y, w, h);
     }
-    Region {
-        centroid: vec![0.0; 4],
-        bbox_min: vec![0.0; 4],
-        bbox_max: vec![0.0; 4],
-        bitmap,
-        window_count: windows,
-    }
+    Region::new(vec![0.0; 4], vec![0.0; 4], vec![0.0; 4], bitmap, windows)
 }
 
 fn greedy_gap() {

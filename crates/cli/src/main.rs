@@ -607,6 +607,23 @@ fn cmd_explain(opts: &Options, rest: &[String]) -> Result<(), String> {
         None => println!("  deadline:          none"),
     }
 
+    // Summed across every probe span (a sharded store records one per
+    // shard), so the numbers add up for any store shape.
+    let sum = |counter: &str| -> u64 {
+        report
+            .spans
+            .iter()
+            .flat_map(|s| s.counters.iter())
+            .filter(|(name, _)| *name == counter)
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let rejected = sum("signatures_rejected");
+    let exact = sum("candidates_exact");
+    println!("signature prefilter:");
+    println!("  candidates rejected: {rejected}");
+    println!("  exact tests run:     {exact}");
+
     note_if_partial(&outcome.status);
     print_ranking(outcome.matches.iter().take(opts.k));
     Ok(())

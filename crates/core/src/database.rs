@@ -24,6 +24,14 @@ use walrus_guard::{Budgets, Guard, Interrupt};
 use walrus_imagery::Image;
 use walrus_parallel::{parallel_map_partial, resolve_threads, try_parallel_map_guarded};
 use walrus_rstar::{bulk_load, RStarParams, RStarTree, SearchStats};
+use walrus_wavelet::{BinarySignature, QueryCode};
+
+/// Extra widening applied to the prefilter's probe interval beyond the
+/// query epsilon: absorbs f32 rounding in the exact distance test plus the
+/// tiny centroid-outside-bbox slop BIRCH's incremental means can accrue, so
+/// the popcount test can only reject candidates the exact test would also
+/// reject.
+const PREFILTER_SLACK: f32 = 1e-4;
 
 /// A region's address in the database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,7 +161,7 @@ pub struct ImageMeta {
 pub struct ImageDatabase {
     params: WalrusParams,
     images: Vec<Option<IndexedImage>>,
-    index: RStarTree<RegionKey>,
+    index: RStarTree<(RegionKey, BinarySignature)>,
     region_count: usize,
 }
 
@@ -176,6 +184,15 @@ impl ImageDatabase {
     /// workers compute them.
     pub fn set_threads(&mut self, threads: usize) {
         self.params.threads = threads;
+    }
+
+    /// Overrides the signature-prefilter knob ([`WalrusParams::prefilter`])
+    /// on an existing database. Like [`ImageDatabase::set_threads`] this is
+    /// a runtime knob, not persisted, and — because the prefilter is
+    /// admissible — it never changes results, only how many exact geometry
+    /// tests the probe runs.
+    pub fn set_prefilter(&mut self, prefilter: Option<bool>) {
+        self.params.prefilter = prefilter;
     }
 
     /// Number of indexed images.
@@ -315,7 +332,7 @@ impl ImageDatabase {
                 for (ri, region) in regions.iter().enumerate() {
                     entries.push((
                         region.index_rect(self.params.signature_kind),
-                        RegionKey { image: id, region: ri },
+                        (RegionKey { image: id, region: ri }, region.signature),
                     ));
                 }
             }
@@ -326,7 +343,7 @@ impl ImageDatabase {
                 for (ri, region) in regions.iter().enumerate() {
                     self.index.insert(
                         region.index_rect(self.params.signature_kind),
-                        RegionKey { image: id, region: ri },
+                        (RegionKey { image: id, region: ri }, region.signature),
                     )?;
                 }
             }
@@ -363,8 +380,10 @@ impl ImageDatabase {
         }
         let id = self.images.len();
         for (ri, region) in regions.iter().enumerate() {
-            self.index
-                .insert(region.index_rect(self.params.signature_kind), RegionKey { image: id, region: ri })?;
+            self.index.insert(
+                region.index_rect(self.params.signature_kind),
+                (RegionKey { image: id, region: ri }, region.signature),
+            )?;
         }
         self.region_count += regions.len();
         self.images.push(Some(IndexedImage {
@@ -383,7 +402,9 @@ impl ImageDatabase {
         let img = slot.take().ok_or(WalrusError::UnknownImage(id))?;
         for (ri, region) in img.regions.iter().enumerate() {
             let rect = region.index_rect(self.params.signature_kind);
-            let removed = self.index.remove(&rect, &RegionKey { image: id, region: ri })?;
+            let removed = self
+                .index
+                .remove(&rect, &(RegionKey { image: id, region: ri }, region.signature))?;
             debug_assert!(removed, "index out of sync with image store");
         }
         self.region_count -= img.regions.len();
@@ -591,6 +612,8 @@ impl ImageDatabase {
         // the orchestrating thread and its counters are order-independent
         // sums over completed probes, so traces are thread-count-invariant.
         let probe_span = guard.span("rstar_probe");
+        let prefilter_on = params.prefilter_enabled();
+        let slack = params.query_epsilon + PREFILTER_SLACK;
         let probe_out = parallel_map_partial(
             threads,
             guard,
@@ -598,16 +621,34 @@ impl ImageDatabase {
             |_, qr| -> Result<(Vec<RegionKey>, SearchStats)> {
                 let (hits, stats) = match params.signature_kind {
                     SignatureKind::Centroid => {
-                        self.index.search_within_stats(&qr.centroid, params.query_epsilon)?
+                        if prefilter_on {
+                            let code = QueryCode::around(&qr.centroid, slack);
+                            self.index.search_within_filtered_stats(
+                                &qr.centroid,
+                                params.query_epsilon,
+                                |(_, sig)| !code.certainly_disjoint(sig),
+                            )?
+                        } else {
+                            self.index.search_within_stats(&qr.centroid, params.query_epsilon)?
+                        }
                     }
                     SignatureKind::BoundingBox => {
                         let probe = qr
                             .index_rect(SignatureKind::BoundingBox)
                             .extended(params.query_epsilon);
-                        self.index.search_intersecting_stats(&probe)?
+                        if prefilter_on {
+                            let lo: Vec<f32> = qr.bbox_min.iter().map(|v| v - slack).collect();
+                            let hi: Vec<f32> = qr.bbox_max.iter().map(|v| v + slack).collect();
+                            let code = QueryCode::from_interval(&lo, &hi);
+                            self.index.search_intersecting_filtered_stats(&probe, |(_, sig)| {
+                                !code.certainly_disjoint(sig)
+                            })?
+                        } else {
+                            self.index.search_intersecting_stats(&probe)?
+                        }
                     }
                 };
-                Ok((hits.into_iter().map(|(_, key)| *key).collect(), stats))
+                Ok((hits.into_iter().map(|(_, (key, _))| *key).collect(), stats))
             },
         );
         match probe_out.interrupted {
@@ -621,6 +662,8 @@ impl ImageDatabase {
             let (keys, stats) = res?;
             probe_stats.nodes_visited += stats.nodes_visited;
             probe_stats.pruned += stats.pruned;
+            probe_stats.prefilter_rejected += stats.prefilter_rejected;
+            probe_stats.exact_tested += stats.exact_tested;
             probes.push((qi, keys));
         }
         probes.sort_unstable_by_key(|(qi, _)| *qi);
@@ -639,6 +682,8 @@ impl ImageDatabase {
             s.add("probes", probes.len() as u64);
             s.add("nodes_visited", probe_stats.nodes_visited as u64);
             s.add("pruned", probe_stats.pruned as u64);
+            s.add("signatures_rejected", probe_stats.prefilter_rejected as u64);
+            s.add("candidates_exact", probe_stats.exact_tested as u64);
             s.add("hits", total_hits as u64);
         }
         drop(probe_span);
@@ -1236,13 +1281,13 @@ mod tests {
     #[test]
     fn insert_regions_dimension_check() {
         let mut db = ImageDatabase::new(params()).unwrap();
-        let bad = Region {
-            centroid: vec![0.0; 5],
-            bbox_min: vec![0.0; 5],
-            bbox_max: vec![0.0; 5],
-            bitmap: crate::bitmap::RegionBitmap::new(64, 64, 16),
-            window_count: 1,
-        };
+        let bad = Region::new(
+            vec![0.0; 5],
+            vec![0.0; 5],
+            vec![0.0; 5],
+            crate::bitmap::RegionBitmap::new(64, 64, 16),
+            1,
+        );
         assert!(db.insert_regions("bad", 64, 64, vec![bad]).is_err());
     }
 

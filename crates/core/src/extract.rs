@@ -114,13 +114,13 @@ pub fn extract_regions_guarded(
             let w = &signatures[m];
             bitmap.mark_window(w.x, w.y, w.omega, w.omega);
         }
-        regions.push(Region {
-            centroid: cluster.centroid(),
-            bbox_min: cluster.bbox_min.clone(),
-            bbox_max: cluster.bbox_max.clone(),
+        regions.push(Region::new(
+            cluster.centroid(),
+            cluster.bbox_min.clone(),
+            cluster.bbox_max.clone(),
             bitmap,
-            window_count: cluster.members.len(),
-        });
+            cluster.members.len(),
+        ));
     }
     Ok(regions)
 }

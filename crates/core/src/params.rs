@@ -89,6 +89,12 @@ pub struct WalrusParams {
     /// knob: snapshots do not persist it, and loaded databases come back
     /// with the defaults.
     pub budgets: Budgets,
+    /// Binary-signature prefilter during index probes: `None` = auto (the
+    /// `WALRUS_PREFILTER` environment variable, default on), `Some(x)` =
+    /// forced. The prefilter is admissible — rankings are bit-identical
+    /// either way — so this only trades popcount tests against exact
+    /// geometry tests. Runtime knob: not persisted by snapshots.
+    pub prefilter: Option<bool>,
 }
 
 impl WalrusParams {
@@ -108,6 +114,7 @@ impl WalrusParams {
             exact_pair_limit: 16,
             threads: 0,
             budgets: Budgets::default(),
+            prefilter: None,
         }
     }
 
@@ -165,6 +172,26 @@ impl WalrusParams {
     pub fn signature_dims(&self) -> usize {
         self.sliding.signature_dims(self.color_space.channel_count())
     }
+
+    /// The effective prefilter setting: an explicit [`Self::prefilter`]
+    /// wins; otherwise the `WALRUS_PREFILTER` environment variable (read
+    /// once per process; `0`/`off`/`false`/`no` disable), defaulting to
+    /// enabled.
+    pub fn prefilter_enabled(&self) -> bool {
+        self.prefilter.unwrap_or_else(env_prefilter_default)
+    }
+}
+
+fn env_prefilter_default() -> bool {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("WALRUS_PREFILTER") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "0" | "off" | "false" | "no")
+        }
+        Err(_) => true,
+    })
 }
 
 #[cfg(test)]
@@ -230,6 +257,17 @@ mod tests {
         let mut p = WalrusParams::paper_defaults();
         p.sliding.s = 128; // > omega_min
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn explicit_prefilter_overrides_environment() {
+        let mut p = WalrusParams::paper_defaults();
+        p.prefilter = Some(false);
+        assert!(!p.prefilter_enabled());
+        p.prefilter = Some(true);
+        assert!(p.prefilter_enabled());
+        p.prefilter = None;
+        p.validate().unwrap();
     }
 
     #[test]

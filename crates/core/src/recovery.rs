@@ -70,6 +70,11 @@ pub struct DurableDatabase {
     next_lsn: u64,
     /// Valid byte length of the WAL (0 = not yet created).
     wal_len: u64,
+    /// Format version of the open WAL file. Appends must keep encoding
+    /// records in the file's own version (a v1 log keeps receiving v1
+    /// records); fresh files and checkpoint resets start at the current
+    /// version.
+    wal_version: u32,
     /// Records appended since the last checkpoint.
     records_since_checkpoint: usize,
     /// Checkpoint automatically once this many records accumulate.
@@ -126,6 +131,7 @@ impl DurableDatabase {
             db,
             next_lsn: snapshot_lsn + 1,
             wal_len: 0,
+            wal_version: wal::WAL_VERSION,
             records_since_checkpoint: 0,
             auto_checkpoint: None,
             poisoned: false,
@@ -149,6 +155,9 @@ impl DurableDatabase {
                 report.records_replayed += 1;
             }
             store.wal_len = scan.valid_len;
+            if scan.valid_len > 0 {
+                store.wal_version = scan.version;
+            }
             if scan.torn_tail {
                 report.torn_tail_truncated = true;
                 report.truncated_bytes = bytes.len() as u64 - scan.valid_len;
@@ -231,7 +240,11 @@ impl DurableDatabase {
             return Err(self.poisoned_error());
         }
         let wal_path = self.dir.join(WAL_FILE);
-        let record = wal::encode_record(self.next_lsn, &op);
+        if self.wal_len == 0 {
+            // About to create the file: it starts at the current version.
+            self.wal_version = wal::WAL_VERSION;
+        }
+        let record = wal::encode_record_versioned(self.next_lsn, &op, self.wal_version);
         let max_record = self.db.params().budgets.max_wal_record_bytes;
         if record.len() > max_record {
             return Err(WalrusError::BudgetExceeded {
@@ -447,6 +460,7 @@ impl DurableDatabase {
             return Err(e.into());
         }
         self.wal_len = header.len() as u64;
+        self.wal_version = wal::WAL_VERSION;
         self.records_since_checkpoint = 0;
         Ok(())
     }

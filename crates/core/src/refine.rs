@@ -25,6 +25,7 @@ use crate::region::Region;
 use crate::{Result, WalrusError};
 use walrus_imagery::Image;
 use walrus_wavelet::sliding::l2_distance;
+use walrus_wavelet::QueryCode;
 
 /// Parameters of the refinement pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,8 +62,33 @@ pub fn match_region_sets(
 ) -> matching::MatchScore {
     let eps = params.query_epsilon;
     let mut pairs = Vec::new();
+    // Binary prefilter over the pairwise sweep: the same admissible
+    // popcount test the index probe uses, here guarding the O(|Q|·|T|)
+    // exact comparisons. The widened interval covers both the exact test's
+    // reach and the centroid-vs-bbox slop, so a rejected pair provably
+    // cannot match.
+    let prefilter_on = params.prefilter_enabled();
+    let slack = eps + 1e-4;
+    let codes: Vec<QueryCode> = if prefilter_on {
+        q_regions
+            .iter()
+            .map(|q| match params.signature_kind {
+                SignatureKind::Centroid => QueryCode::around(&q.centroid, slack),
+                SignatureKind::BoundingBox => {
+                    let lo: Vec<f32> = q.bbox_min.iter().map(|v| v - slack).collect();
+                    let hi: Vec<f32> = q.bbox_max.iter().map(|v| v + slack).collect();
+                    QueryCode::from_interval(&lo, &hi)
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     for (qi, q) in q_regions.iter().enumerate() {
         for (ti, t) in t_regions.iter().enumerate() {
+            if prefilter_on && codes[qi].certainly_disjoint(&t.signature) {
+                continue;
+            }
             let matched = match params.signature_kind {
                 SignatureKind::Centroid => l2_distance(&q.centroid, &t.centroid) <= eps,
                 SignatureKind::BoundingBox => {

@@ -8,6 +8,7 @@
 use crate::bitmap::RegionBitmap;
 use crate::params::SignatureKind;
 use walrus_rstar::Rect;
+use walrus_wavelet::BinarySignature;
 
 /// One extracted region of an image.
 #[derive(Debug, Clone)]
@@ -22,9 +23,28 @@ pub struct Region {
     pub bitmap: RegionBitmap,
     /// Number of sliding windows in the cluster.
     pub window_count: usize,
+    /// 128-bit thermometer code of `[bbox_min, bbox_max]`, used by the
+    /// query prefilter. Always equal to
+    /// `BinarySignature::from_bbox(&bbox_min, &bbox_max)` — derived by
+    /// [`Region::new`] and rebuilt (and verified) on snapshot/WAL load.
+    pub signature: BinarySignature,
 }
 
 impl Region {
+    /// Builds a region, deriving its binary prefilter signature from the
+    /// signature bounding box. The only way regions are constructed in the
+    /// engine, so `signature` can never drift from the bbox it encodes.
+    pub fn new(
+        centroid: Vec<f32>,
+        bbox_min: Vec<f32>,
+        bbox_max: Vec<f32>,
+        bitmap: RegionBitmap,
+        window_count: usize,
+    ) -> Region {
+        let signature = BinarySignature::from_bbox(&bbox_min, &bbox_max);
+        Region { centroid, bbox_min, bbox_max, bitmap, window_count, signature }
+    }
+
     /// Signature dimensionality.
     pub fn dims(&self) -> usize {
         self.centroid.len()
@@ -62,13 +82,13 @@ mod tests {
     fn demo_region() -> Region {
         let mut bitmap = RegionBitmap::new(64, 64, 16);
         bitmap.mark_window(0, 0, 32, 32);
-        Region {
-            centroid: vec![0.5, 0.1, 0.2, 0.0],
-            bbox_min: vec![0.4, 0.05, 0.15, -0.1],
-            bbox_max: vec![0.6, 0.15, 0.25, 0.1],
+        Region::new(
+            vec![0.5, 0.1, 0.2, 0.0],
+            vec![0.4, 0.05, 0.15, -0.1],
+            vec![0.6, 0.15, 0.25, 0.1],
             bitmap,
-            window_count: 9,
-        }
+            9,
+        )
     }
 
     #[test]
@@ -93,6 +113,13 @@ mod tests {
         assert_eq!(rect.min(), r.bbox_min.as_slice());
         assert_eq!(rect.max(), r.bbox_max.as_slice());
         assert!(rect.area() > 0.0);
+    }
+
+    #[test]
+    fn constructor_derives_binary_signature() {
+        let r = demo_region();
+        assert_eq!(r.signature, BinarySignature::from_bbox(&r.bbox_min, &r.bbox_max));
+        assert_ne!(r.signature, BinarySignature::default(), "demo bbox must set some bits");
     }
 
     #[test]

@@ -54,7 +54,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use walrus_guard::{Guard, RetryPolicy};
+use walrus_guard::{Guard, RetryPolicy, SpanRecord, TraceContext};
 use walrus_imagery::Image;
 
 /// Manifest file name at the store root.
@@ -169,7 +169,10 @@ pub struct ShardRepair {
 #[derive(Debug)]
 enum ShardSlot {
     Healthy(Box<DurableDatabase>),
-    Quarantined { error: String },
+    /// A failed shard, retaining the last counts observed while it was
+    /// healthy so health reporting doesn't pretend the shard is empty.
+    /// Both are 0 when the shard never opened (its contents are unknown).
+    Quarantined { error: String, images: usize, wal_bytes: u64 },
 }
 
 /// N-shard durable store. See the module docs for the design.
@@ -282,6 +285,8 @@ impl ShardedStore {
                     let error = e.to_string();
                     slots.push(parking_lot::RwLock::new(ShardSlot::Quarantined {
                         error: error.clone(),
+                        images: 0,
+                        wal_bytes: 0,
                     }));
                     quarantined.push(AtomicBool::new(true));
                     recoveries.push(ShardRecovery { shard, report: None, error: Some(error) });
@@ -352,7 +357,13 @@ impl ShardedStore {
 
     fn mark_quarantined(&self, shard: usize, slot: &mut ShardSlot, error: String) {
         self.quarantined[shard].store(true, Ordering::Release);
-        *slot = ShardSlot::Quarantined { error };
+        // Keep the last counts the shard reported while healthy: health
+        // gauges should say what the quarantined shard held, not zero.
+        let (images, wal_bytes) = match &*slot {
+            ShardSlot::Healthy(db) => (db.len(), db.wal_len()),
+            ShardSlot::Quarantined { images, wal_bytes, .. } => (*images, *wal_bytes),
+        };
+        *slot = ShardSlot::Quarantined { error, images, wal_bytes };
     }
 
     /// Inserts pre-extracted regions at the next global id. Caller holds
@@ -496,9 +507,10 @@ impl ShardedStore {
     }
 
     /// Scatter-gather query under per-request [`QueryOptions`]. Healthy
-    /// shards are probed sequentially on this thread (each under a
-    /// `shard_probe` span, so the trace tree is identical for every thread
-    /// count); quarantined shards are skipped and reported in
+    /// shards are probed in parallel on the `walrus-parallel` pool (each
+    /// worker records its `shard_probe` span into a private trace that is
+    /// grafted back in shard order, so the trace tree is identical for
+    /// every thread count); quarantined shards are skipped and reported in
     /// [`ResultStatus::Degraded`].
     pub fn query_with_options_guarded(
         &self,
@@ -532,6 +544,45 @@ impl ShardedStore {
         self.query_guarded(query, &Guard::none())
     }
 
+    /// Probes one shard under `guard` (a worker guard carrying a private
+    /// trace when the request is traced). `Ok(None)` = shard quarantined.
+    fn probe_shard(
+        &self,
+        i: usize,
+        params: &WalrusParams,
+        q_regions: &[Region],
+        query_area: usize,
+        min_similarity: f64,
+        guard: &Guard,
+    ) -> Result<Option<QueryOutcome>> {
+        let probe_span = guard.span("shard_probe");
+        if let Some(s) = &probe_span {
+            s.add("shard", i as u64);
+        }
+        let slot = self.shards[i].read();
+        let db = match &*slot {
+            ShardSlot::Healthy(db) => db,
+            ShardSlot::Quarantined { .. } => return Ok(None),
+        };
+        // Each shard probes under the *full* candidate budget; the
+        // aggregate is enforced after the gather. Splitting the budget
+        // across shards instead would reject queries the monolithic
+        // store accepts (one hot shard vs. an even spread), breaking
+        // the error/no-error equivalence the bit-identity tests pin.
+        let shard_outcome = db.db().query_regions_with_params_guarded(
+            params,
+            q_regions,
+            query_area,
+            min_similarity,
+            guard,
+        )?;
+        if let Some(s) = &probe_span {
+            s.add("images", shard_outcome.stats.distinct_images as u64);
+            s.add("hits", shard_outcome.stats.total_matching_regions as u64);
+        }
+        Ok(Some(shard_outcome))
+    }
+
     fn scatter_gather(
         &self,
         params: &WalrusParams,
@@ -540,40 +591,52 @@ impl ShardedStore {
         min_similarity: f64,
         guard: &Guard,
     ) -> Result<QueryOutcome> {
+        // Shards are probed in parallel: each worker runs one shard under a
+        // clone of the guard whose trace is swapped for a *private* one (on
+        // the request clock), and the orchestrator grafts the recorded
+        // spans back in shard order once the fan-out completes — so the
+        // span tree and every result byte are identical at any thread
+        // count. With one worker the fan-out runs inline on this thread,
+        // which is exactly the old sequential loop.
+        let shard_workers =
+            walrus_parallel::resolve_threads(params.threads).min(self.shards.len());
+        // When shards fan out across workers, each shard's own probe runs
+        // single-threaded — one level of parallelism, not two multiplied.
+        let mut shard_params = *params;
+        if shard_workers > 1 {
+            shard_params.threads = 1;
+        }
+        let trace = guard.trace().cloned();
+        let worker_base = guard.without_trace();
+        let indices: Vec<usize> = (0..self.shards.len()).collect();
+        let probed: Vec<(Option<QueryOutcome>, Option<Vec<SpanRecord>>)> =
+            walrus_parallel::try_parallel_map(shard_workers, &indices, |_, &i| {
+                let worker_trace = trace.as_ref().map(|t| TraceContext::new(t.clock()));
+                let wg = match &worker_trace {
+                    Some(t) => worker_base.clone().tracing(t.clone()),
+                    None => worker_base.clone(),
+                };
+                let outcome = self.probe_shard(i, &shard_params, q_regions, query_area,
+                    min_similarity, &wg)?;
+                Ok::<_, WalrusError>((outcome, worker_trace.map(|t| t.report().spans)))
+            })?;
+        if let Some(t) = &trace {
+            for (_, spans) in probed.iter() {
+                if let Some(spans) = spans {
+                    t.graft(spans);
+                }
+            }
+        }
         let mut shards_unavailable = Vec::new();
         let mut partial = false;
         let mut matches = Vec::new();
         let mut total_hits = 0usize;
         let mut distinct_images = 0usize;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let probe_span = guard.span("shard_probe");
-            if let Some(s) = &probe_span {
-                s.add("shard", i as u64);
-            }
-            let slot = shard.read();
-            let db = match &*slot {
-                ShardSlot::Healthy(db) => db,
-                ShardSlot::Quarantined { .. } => {
-                    shards_unavailable.push(i);
-                    continue;
-                }
+        for (i, (outcome, _)) in probed.into_iter().enumerate() {
+            let Some(shard_outcome) = outcome else {
+                shards_unavailable.push(i);
+                continue;
             };
-            // Each shard probes under the *full* candidate budget; the
-            // aggregate is enforced after the gather. Splitting the budget
-            // across shards instead would reject queries the monolithic
-            // store accepts (one hot shard vs. an even spread), breaking
-            // the error/no-error equivalence the bit-identity tests pin.
-            let shard_outcome = db.db().query_regions_with_params_guarded(
-                params,
-                q_regions,
-                query_area,
-                min_similarity,
-                guard,
-            )?;
-            if let Some(s) = &probe_span {
-                s.add("images", shard_outcome.stats.distinct_images as u64);
-                s.add("hits", shard_outcome.stats.total_matching_regions as u64);
-            }
             partial |= shard_outcome.status == ResultStatus::Partial;
             total_hits += shard_outcome.stats.total_matching_regions;
             distinct_images += shard_outcome.stats.distinct_images;
@@ -693,12 +756,12 @@ impl ShardedStore {
                     images: db.len(),
                     wal_bytes: db.wal_len(),
                 },
-                ShardSlot::Quarantined { error } => ShardHealth {
+                ShardSlot::Quarantined { error, images, wal_bytes } => ShardHealth {
                     shard,
                     healthy: false,
                     error: Some(error.clone()),
-                    images: 0,
-                    wal_bytes: 0,
+                    images: *images,
+                    wal_bytes: *wal_bytes,
                 },
             })
             .collect()

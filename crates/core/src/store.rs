@@ -44,9 +44,13 @@ pub struct ShardHealth {
     pub healthy: bool,
     /// Why the shard was quarantined (`None` while healthy).
     pub error: Option<String>,
-    /// Live images on this shard (0 while quarantined).
+    /// Live images on this shard. While quarantined this is the last
+    /// count observed before the failure (0 when the shard never opened,
+    /// i.e. its contents are unknown), so monitoring doesn't see a failed
+    /// shard as suddenly empty.
     pub images: usize,
-    /// Valid WAL bytes on this shard (0 while quarantined).
+    /// Valid WAL bytes on this shard; last-known while quarantined, like
+    /// `images`.
     pub wal_bytes: u64,
 }
 

@@ -109,13 +109,7 @@ mod tests {
     fn region_covering(x: usize, y: usize, w: usize, h: usize) -> Region {
         let mut bitmap = RegionBitmap::new(64, 64, 16);
         bitmap.mark_window(x, y, w, h);
-        Region {
-            centroid: vec![0.0; 4],
-            bbox_min: vec![0.0; 4],
-            bbox_max: vec![0.0; 4],
-            bitmap,
-            window_count: 1,
-        }
+        Region::new(vec![0.0; 4], vec![0.0; 4], vec![0.0; 4], bitmap, 1)
     }
 
     fn base_image() -> Image {

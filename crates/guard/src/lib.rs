@@ -25,7 +25,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use walrus_trace::{
-    monotonic, Clock, MonotonicClock, SharedClock, Span, TestClock, TraceContext, TraceReport,
+    monotonic, Clock, MonotonicClock, SharedClock, Span, SpanRecord, TestClock, TraceContext,
+    TraceReport,
 };
 
 /// Why a guarded computation stopped early.

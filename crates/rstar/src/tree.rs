@@ -239,12 +239,28 @@ impl<V> RStarTree<V> {
         &self,
         query: &Rect,
     ) -> Result<(Vec<(&Rect, &V)>, SearchStats)> {
+        self.search_intersecting_filtered_stats(query, |_| true)
+    }
+
+    /// [`search_intersecting_stats`](RStarTree::search_intersecting_stats)
+    /// with a per-entry prefilter applied to each scanned leaf value
+    /// *before* the exact rectangle test. Entries the prefilter rejects are
+    /// counted in [`SearchStats::prefilter_rejected`] and never reach the
+    /// geometry test; survivors are counted in
+    /// [`SearchStats::exact_tested`]. For the result set to be correct the
+    /// prefilter must be admissible: it may only reject entries the exact
+    /// test would also reject.
+    pub fn search_intersecting_filtered_stats(
+        &self,
+        query: &Rect,
+        mut prefilter: impl FnMut(&V) -> bool,
+    ) -> Result<(Vec<(&Rect, &V)>, SearchStats)> {
         if query.dims() != self.dims {
             return Err(RStarError::DimensionMismatch { expected: self.dims, got: query.dims() });
         }
         let mut out = Vec::new();
         let mut stats = SearchStats::default();
-        search_rec(&self.root, query, &mut out, &mut stats.nodes_visited);
+        search_rec(&self.root, query, &mut out, &mut stats, &mut prefilter);
         Ok((out, stats))
     }
 
@@ -264,6 +280,21 @@ impl<V> RStarTree<V> {
         point: &[f32],
         eps: f32,
     ) -> Result<(Vec<(&Rect, &V)>, SearchStats)> {
+        self.search_within_filtered_stats(point, eps, |_| true)
+    }
+
+    /// [`search_within_stats`](RStarTree::search_within_stats) with a
+    /// per-entry prefilter applied to each scanned leaf value *before* the
+    /// rectangle and ε-ball tests. Rejections are counted in
+    /// [`SearchStats::prefilter_rejected`], survivors in
+    /// [`SearchStats::exact_tested`]. The prefilter must be admissible: it
+    /// may only reject entries the exact distance test would also reject.
+    pub fn search_within_filtered_stats(
+        &self,
+        point: &[f32],
+        eps: f32,
+        mut prefilter: impl FnMut(&V) -> bool,
+    ) -> Result<(Vec<(&Rect, &V)>, SearchStats)> {
         if point.len() != self.dims {
             return Err(RStarError::DimensionMismatch { expected: self.dims, got: point.len() });
         }
@@ -271,7 +302,7 @@ impl<V> RStarTree<V> {
         let eps_sq = (eps as f64) * (eps as f64);
         let mut out = Vec::new();
         let mut stats = SearchStats::default();
-        search_rec(&self.root, &probe, &mut out, &mut stats.nodes_visited);
+        search_rec(&self.root, &probe, &mut out, &mut stats, &mut prefilter);
         let coarse = out.len();
         out.retain(|(r, _)| r.min_dist_sq(point) <= eps_sq);
         stats.pruned = coarse - out.len();
@@ -443,18 +474,30 @@ pub struct SearchStats {
     pub nodes_visited: usize,
     /// Coarse rectangle hits discarded by the exact ε-ball distance test.
     pub pruned: usize,
+    /// Scanned leaf entries rejected by the value prefilter before any
+    /// exact geometry test (0 when no prefilter is in use).
+    pub prefilter_rejected: usize,
+    /// Scanned leaf entries that reached the exact geometry test (all
+    /// scanned entries when no prefilter is in use).
+    pub exact_tested: usize,
 }
 
 fn search_rec<'a, V>(
     node: &'a Node<V>,
     query: &Rect,
     out: &mut Vec<(&'a Rect, &'a V)>,
-    visited: &mut usize,
+    stats: &mut SearchStats,
+    prefilter: &mut impl FnMut(&V) -> bool,
 ) {
-    *visited += 1;
+    stats.nodes_visited += 1;
     match node {
         Node::Leaf(entries) => {
             for e in entries {
+                if !prefilter(&e.value) {
+                    stats.prefilter_rejected += 1;
+                    continue;
+                }
+                stats.exact_tested += 1;
                 if e.rect.intersects(query) {
                     out.push((&e.rect, &e.value));
                 }
@@ -463,7 +506,7 @@ fn search_rec<'a, V>(
         Node::Internal(children) => {
             for c in children {
                 if c.rect.intersects(query) {
-                    search_rec(&c.node, query, out, visited);
+                    search_rec(&c.node, query, out, stats, prefilter);
                 }
             }
         }
@@ -905,6 +948,43 @@ mod tests {
             .validate()
             .is_err());
         assert!(RStarParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn filtered_search_counts_and_matches_unfiltered() {
+        let points = grid_points(7);
+        let t = build(&points);
+        let center = [3.0, 3.0];
+        let eps = 1.5;
+        let (plain, plain_stats) = t.search_within_stats(&center, eps).unwrap();
+        // Unfiltered: every scanned entry reaches the exact test.
+        assert_eq!(plain_stats.prefilter_rejected, 0);
+        assert!(plain_stats.exact_tested >= plain.len());
+        // An admissible prefilter (accept-all) yields identical results.
+        let (same, same_stats) =
+            t.search_within_filtered_stats(&center, eps, |_| true).unwrap();
+        let ids = |v: &[(&Rect, &usize)]| {
+            let mut out: Vec<usize> = v.iter().map(|(_, &id)| id).collect();
+            out.sort_unstable();
+            out
+        };
+        assert_eq!(ids(&plain), ids(&same));
+        assert_eq!(plain_stats, same_stats);
+        // A value-keyed prefilter skips rejected entries before the
+        // geometry test and counts them.
+        let keep = |v: &usize| *v % 2 == 0;
+        let (filtered, fstats) = t.search_within_filtered_stats(&center, eps, keep).unwrap();
+        assert!(fstats.prefilter_rejected > 0);
+        assert_eq!(fstats.prefilter_rejected + fstats.exact_tested, plain_stats.exact_tested);
+        let expected: Vec<usize> = ids(&plain).into_iter().filter(|v| v % 2 == 0).collect();
+        assert_eq!(ids(&filtered), expected);
+        // Same contract for the intersecting variant.
+        let query = Rect::new(vec![2.0, 2.0], vec![4.0, 4.0]).unwrap();
+        let (inter, _) = t.search_intersecting_stats(&query).unwrap();
+        let (inter_f, istats) = t.search_intersecting_filtered_stats(&query, keep).unwrap();
+        assert!(istats.prefilter_rejected > 0);
+        let expected: Vec<usize> = ids(&inter).into_iter().filter(|v| v % 2 == 0).collect();
+        assert_eq!(ids(&inter_f), expected);
     }
 
     #[test]

@@ -215,6 +215,12 @@ pub struct Metrics {
     pub query_requests_total: AtomicU64,
     /// Checkpoints taken via `POST /admin/checkpoint` or shutdown.
     pub checkpoints_total: AtomicU64,
+    /// Index candidates rejected by the binary-signature prefilter before
+    /// any exact geometry test, summed over traced requests.
+    pub signatures_rejected_total: AtomicU64,
+    /// Index candidates that reached the exact geometry test, summed over
+    /// traced requests (the prefilter's denominator).
+    pub candidates_exact_total: AtomicU64,
     /// Query / ingest handler latency windows.
     pub query_latency: LatencyRing,
     pub ingest_latency: LatencyRing,
@@ -249,6 +255,8 @@ impl Metrics {
             ingest_images_total: AtomicU64::new(0),
             query_requests_total: AtomicU64::new(0),
             checkpoints_total: AtomicU64::new(0),
+            signatures_rejected_total: AtomicU64::new(0),
+            candidates_exact_total: AtomicU64::new(0),
             query_latency: LatencyRing::default(),
             ingest_latency: LatencyRing::default(),
             stages: StageMetrics::default(),
@@ -331,6 +339,14 @@ impl Metrics {
             load(&self.query_requests_total)
         ));
         out.push_str(&format!("walrus_checkpoints_total {}\n", load(&self.checkpoints_total)));
+        out.push_str(&format!(
+            "walrus_signatures_rejected_total {}\n",
+            load(&self.signatures_rejected_total)
+        ));
+        out.push_str(&format!(
+            "walrus_candidates_exact_total {}\n",
+            load(&self.candidates_exact_total)
+        ));
         for (ring, what) in [(&self.query_latency, "query"), (&self.ingest_latency, "ingest")] {
             if let Some([p50, p95, p99]) = ring.percentiles() {
                 out.push_str(&format!("walrus_{what}_latency_p50_us {p50}\n"));

@@ -83,6 +83,21 @@ impl AppState {
     fn finish_trace(&self, request_id: u64, trace: &TraceContext) {
         let report = trace.report();
         self.metrics.stages.record_report(&report);
+        // Prefilter effectiveness counters, summed over every probe span in
+        // the tree (a sharded store records one per shard).
+        let sum = |counter: &str| -> u64 {
+            report
+                .spans
+                .iter()
+                .flat_map(|s| s.counters.iter())
+                .filter(|(name, _)| *name == counter)
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        self.metrics
+            .signatures_rejected_total
+            .fetch_add(sum("signatures_rejected"), Ordering::Relaxed);
+        self.metrics.candidates_exact_total.fetch_add(sum("candidates_exact"), Ordering::Relaxed);
         self.traces.insert(request_id, report.render());
     }
 }
@@ -124,9 +139,14 @@ fn healthz(state: &AppState) -> Response {
                 "{{\"shard\":{},\"healthy\":true,\"images\":{},\"wal_bytes\":{}}}",
                 h.shard, h.images, h.wal_bytes
             ),
+            // Quarantined counts are the last observed before the failure
+            // (0 when the shard never opened), flagged so dashboards can
+            // tell "last known" from "live".
             Some(error) => format!(
-                "{{\"shard\":{},\"healthy\":false,\"error\":{}}}",
+                "{{\"shard\":{},\"healthy\":false,\"images\":{},\"wal_bytes\":{},\"counts_stale\":true,\"error\":{}}}",
                 h.shard,
+                h.images,
+                h.wal_bytes,
                 json_string(error)
             ),
         })

@@ -35,6 +35,7 @@ pub mod haar2d;
 pub mod quantize;
 pub mod sliding;
 
+pub use quantize::{BinarySignature, QueryCode};
 pub use sliding::{SlidingParams, WindowSignature};
 pub use walrus_guard::{Guard, Interrupt};
 

@@ -30,6 +30,9 @@ const SHARDS: usize = 4;
 fn params() -> WalrusParams {
     WalrusParams {
         sliding: SlidingParams { s: 2, omega_min: 8, omega_max: 8, stride: 4 },
+        // Pinned so the rendered prefilter counters don't depend on the
+        // WALRUS_PREFILTER environment the CI matrix varies.
+        prefilter: Some(true),
         ..WalrusParams::paper_defaults()
     }
 }

@@ -25,13 +25,7 @@ fn region_strategy() -> impl Strategy<Value = Region> {
             for (x, y, w, h) in &windows {
                 bitmap.mark_window(*x, *y, *w, *h);
             }
-            Region {
-                centroid: vec![0.0; 4],
-                bbox_min: vec![0.0; 4],
-                bbox_max: vec![0.0; 4],
-                bitmap,
-                window_count: windows.len(),
-            }
+            Region::new(vec![0.0; 4], vec![0.0; 4], vec![0.0; 4], bitmap, windows.len())
         })
 }
 

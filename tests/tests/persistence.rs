@@ -89,8 +89,11 @@ fn format_header_is_pinned() {
     let (db, _) = populated();
     let bytes = persist::save(&db);
     assert_eq!(&bytes[..8], b"WALRUSDB");
-    assert_eq!(&bytes[8..12], &2u32.to_le_bytes());
-    // The legacy v1 writer keeps producing v1 images for compat tests.
+    assert_eq!(&bytes[8..12], &3u32.to_le_bytes());
+    // The legacy writers keep producing old-format images for compat tests.
+    let v2 = persist::save_v2(&db);
+    assert_eq!(&v2[..8], b"WALRUSDB");
+    assert_eq!(&v2[8..12], &2u32.to_le_bytes());
     let v1 = persist::save_v1(&db);
     assert_eq!(&v1[..8], b"WALRUSDB");
     assert_eq!(&v1[8..12], &1u32.to_le_bytes());

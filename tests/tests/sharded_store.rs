@@ -456,6 +456,43 @@ fn torn_wal_in_one_shard_quarantines_only_that_shard() {
     assert_eq!(outcome.status, ResultStatus::Complete);
 }
 
+#[test]
+fn quarantined_shard_health_keeps_last_known_counts() {
+    const SHARDS: usize = 2;
+    let params = sweep_params();
+    let io = Arc::new(FaultIo::new());
+    let (store, _) = ShardedStore::open_with(io.clone(), "db", params, SHARDS).unwrap();
+    for i in 0..8 {
+        store.insert_image(&format!("img{i}"), &scene(0.1 + 0.09 * i as f32)).unwrap();
+    }
+    let before = store.shard_health();
+    assert!(
+        before.iter().all(|h| h.healthy && h.images > 0 && h.wal_bytes > 0),
+        "both shards must hold data before the fault: {before:?}"
+    );
+
+    // Fail the next I/O on the shard the next insert routes to; the failed
+    // append quarantines it.
+    let victim = shard_of(store.next_id(), SHARDS);
+    io.arm_fault_at_path(shard_prefix("db", victim), Fault { at_op: 0, kind: FaultKind::Error });
+    store.insert_image("boom", &scene(0.9)).unwrap_err();
+    assert_eq!(store.quarantined_shards(), vec![victim]);
+
+    // Health keeps the last counts observed while healthy — gauges must not
+    // pretend a failed shard lost its images.
+    let after = store.shard_health();
+    for (b, a) in before.iter().zip(&after) {
+        if a.shard == victim {
+            assert!(!a.healthy);
+            assert!(a.error.is_some());
+            assert_eq!(a.images, b.images, "last-known image count lost on quarantine");
+            assert_eq!(a.wal_bytes, b.wal_bytes, "last-known WAL size lost on quarantine");
+        } else {
+            assert_eq!(a, b, "healthy shard's health changed");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // 4. Rolling checkpoint: ingest commits while another shard checkpoints.
 // ---------------------------------------------------------------------------
