@@ -12,6 +12,8 @@
 //! walrus open   <dir>                 create/open a crash-safe store directory
 //! walrus recover <dir>                recover a store and report what was repaired
 //! walrus compact <dir>                fold the write-ahead log into a snapshot
+//! walrus rebalance <dir> --shards <M> migrate a sharded store to M shards
+//! walrus scrub  <dir>                 verify snapshot/WAL integrity, read-only
 //! walrus serve  <dir>                 serve a store over HTTP (see --addr)
 //! walrus bench-http                   HTTP round-trip benchmark -> BENCH_server.json
 //! ```
@@ -49,7 +51,8 @@ use walrus_core::recovery::{DurableDatabase, RecoveryReport};
 use walrus_core::scene_query::SceneRect;
 use walrus_core::sharded::{is_sharded_store, ShardRecovery};
 use walrus_core::{
-    Guard, ImageDatabase, QueryOptions, QueryOutcome, ResultStatus, ShardedStore, WalrusParams,
+    scrub_store, Guard, ImageDatabase, QueryOptions, QueryOutcome, ResultStatus, ShardedStore,
+    WalrusParams,
 };
 use walrus_imagery::{ppm, ColorSpace, Image};
 use walrus_wavelet::SlidingParams;
@@ -134,6 +137,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "open" => cmd_open(&opts, rest),
         "recover" => cmd_recover(&opts, rest),
         "compact" => cmd_compact(&opts, rest),
+        "rebalance" => cmd_rebalance(&opts, rest),
+        "scrub" => cmd_scrub(&opts, rest),
         "serve" => cmd_serve(&opts, rest),
         "bench-http" => cmd_bench_http(&opts, rest),
         "help" | "--help" | "-h" => {
@@ -688,6 +693,20 @@ fn cmd_info(opts: &Options, rest: &[String]) -> Result<(), String> {
             store.records_since_checkpoint()
         );
         println!("  shards:  {}", store.shard_count());
+        let status = store.rebalance_status();
+        println!(
+            "  layout:  epoch {} ({} committed rebalance(s)){}",
+            status.epoch,
+            status.epoch,
+            if status.rebalancing {
+                format!(
+                    ", MIGRATING to {} shard(s) ({} built)",
+                    status.target_shards, status.shards_migrated
+                )
+            } else {
+                String::new()
+            }
+        );
         for h in store.shard_health() {
             match h.error {
                 None => println!(
@@ -806,6 +825,110 @@ fn dir_and_shard(rest: &[String], opts: &Options, usage: &str) -> Result<(String
     }
 }
 
+/// Usage-level guard for `--shard <i>`: refused with the valid range spelled
+/// out, before the store is asked to do anything with the index.
+fn check_shard_in_range(shard: usize, count: usize, usage: &str) -> Result<(), String> {
+    if shard >= count {
+        return Err(format!(
+            "--shard {shard} is out of range: the store has {count} shard(s), \
+             so valid indices are 0..={}\n{usage}",
+            count - 1
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_rebalance(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let usage = "usage: walrus rebalance <dir> --shards <M>";
+    // Accept `--shards` before or after the directory.
+    let (dir, target) = match rest {
+        [dir] => (dir.clone(), opts.shards),
+        [dir, flag, value] if flag == "--shards" => {
+            let m = value.parse().map_err(|_| format!("--shards: cannot parse {value:?}"))?;
+            (dir.clone(), Some(m))
+        }
+        _ => return Err(usage.into()),
+    };
+    let Some(target) = target else {
+        return Err(format!("rebalance needs a target shard count\n{usage}"));
+    };
+    let dir = dir.as_str();
+    if !is_sharded_store(std::path::Path::new(dir)) {
+        return Err(format!(
+            "{dir} is not a sharded store (only stores created with `walrus --shards n open` \
+             can change shard count)"
+        ));
+    }
+    // Open with shards=0: adopt whatever layout the manifest records (an
+    // interrupted migration resumes here, before the explicit rebalance).
+    let (store, recoveries) = open_sharded(dir, opts, 0)?;
+    warn_if_degraded(dir, &recoveries);
+    let report =
+        store.rebalance(target).map_err(|e| format!("rebalance of {dir} failed: {e}"))?;
+    println!(
+        "rebalanced {dir}: {} -> {} shard(s) at epoch {}, {} image slot(s) migrated",
+        report.from_shards, report.to_shards, report.epoch, report.images
+    );
+    Ok(())
+}
+
+fn cmd_scrub(opts: &Options, rest: &[String]) -> Result<(), String> {
+    let usage = "usage: walrus scrub <dir> [--shard <i>]";
+    let (dir, shard) = dir_and_shard(rest, opts, usage)?;
+    let dir = dir.as_str();
+    if !is_store_dir(dir) {
+        return Err(format!("{dir} is not a store directory"));
+    }
+    let io = walrus_core::DiskIo;
+    let print_verdict = |label: &str, scrub: &walrus_core::DirScrub| {
+        let verdict = if scrub.clean() { "clean" } else { "CORRUPT" };
+        print!(
+            "{label}: {verdict} (snapshot {}, {} image(s); wal {}, {} record(s))",
+            if scrub.snapshot_ok { "ok" } else { "damaged" },
+            scrub.snapshot_images,
+            if scrub.wal_ok { "ok" } else { "damaged" },
+            scrub.wal_records,
+        );
+        match &scrub.error {
+            Some(error) => println!(" — {error}"),
+            None => println!(),
+        }
+    };
+    if is_sharded_store(std::path::Path::new(dir)) {
+        let verdicts = scrub_store(&io, std::path::Path::new(dir), shard)
+            .map_err(|e| format!("cannot scrub {dir}: {e}"))?;
+        for v in &verdicts {
+            print_verdict(&format!("shard {:03}", v.shard), &v.scrub);
+        }
+        let dirty: Vec<String> = verdicts
+            .iter()
+            .filter(|v| !v.scrub.clean())
+            .map(|v| v.shard.to_string())
+            .collect();
+        if !dirty.is_empty() {
+            return Err(format!(
+                "store {dir} failed scrub: shard(s) {} are damaged \
+                 (run `walrus recover {dir} --shard <i>` to repair)",
+                dirty.join(", ")
+            ));
+        }
+        println!("store {dir} passed scrub: {} shard(s) verified", verdicts.len());
+        return Ok(());
+    }
+    if shard.is_some() {
+        return Err(format!("{dir} is not a sharded store; --shard does not apply"));
+    }
+    let scrub = walrus_core::scrub_dir(&io, std::path::Path::new(dir));
+    print_verdict(dir, &scrub);
+    if !scrub.clean() {
+        return Err(format!(
+            "store {dir} failed scrub (run `walrus recover {dir}` to repair)"
+        ));
+    }
+    println!("store {dir} passed scrub");
+    Ok(())
+}
+
 fn cmd_recover(opts: &Options, rest: &[String]) -> Result<(), String> {
     let usage = "usage: walrus recover <dir> [--shard <i>]";
     let (dir, shard) = dir_and_shard(rest, opts, usage)?;
@@ -814,9 +937,13 @@ fn cmd_recover(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err(format!("{dir} is not a store directory"));
     }
     if is_sharded_store(std::path::Path::new(dir)) {
-        let (store, recoveries) = open_sharded(dir, opts, resolved_shards(opts)?)?;
+        // Repair adopts whatever layout the manifest records (shards = 0):
+        // a store mid-repair must open even when `--shards`/`WALRUS_SHARDS`
+        // describe the layout it had before a rebalance.
+        let (store, recoveries) = open_sharded(dir, opts, 0)?;
         print_shard_recoveries(&recoveries);
         if let Some(shard) = shard {
+            check_shard_in_range(shard, store.shard_count(), usage)?;
             // Explicit repair: truncate the shard's WAL to its longest clean
             // prefix (accepting the loss of whatever followed the damage)
             // and swap the shard back in.
@@ -867,13 +994,17 @@ fn cmd_compact(opts: &Options, rest: &[String]) -> Result<(), String> {
         return Err(format!("{dir} is not a store directory"));
     }
     if is_sharded_store(std::path::Path::new(dir)) {
-        let (store, recoveries) = open_sharded(dir, opts, resolved_shards(opts)?)?;
+        // Like `recover`: compaction adopts the manifest's layout.
+        let (store, recoveries) = open_sharded(dir, opts, 0)?;
         warn_if_degraded(dir, &recoveries);
         let before = store.wal_len();
         let reports = match shard {
-            Some(shard) => vec![store
-                .checkpoint_shard(shard)
-                .map_err(|e| format!("checkpoint of shard {shard} failed: {e}"))?],
+            Some(shard) => {
+                check_shard_in_range(shard, store.shard_count(), usage)?;
+                vec![store
+                    .checkpoint_shard(shard)
+                    .map_err(|e| format!("checkpoint of shard {shard} failed: {e}"))?]
+            }
             None => store.checkpoint().map_err(|e| format!("checkpoint failed: {e}"))?,
         };
         for r in &reports {
@@ -932,7 +1063,10 @@ fn cmd_serve(opts: &Options, rest: &[String]) -> Result<(), String> {
     }
     .map_err(|e| format!("cannot start server: {e}"))?;
     println!("serving {dir} on http://{}", handle.addr());
-    println!("endpoints: /healthz /metrics /ingest /query /image/{{id}} /admin/checkpoint");
+    println!(
+        "endpoints: /healthz /metrics /ingest /query /image/{{id}} /admin/checkpoint \
+         /admin/rebalance"
+    );
     println!("press ctrl-c (or send SIGTERM) for graceful shutdown");
     while !walrus_server::signals::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));
@@ -1096,6 +1230,10 @@ fn print_usage() {
            recover <dir> [--shard <i>]       recover a store, report repairs;\n\
                                              --shard repairs one quarantined shard\n\
            compact <dir> [--shard <i>]       fold write-ahead log(s) into snapshot(s)\n\
+           rebalance <dir> --shards <M>      migrate a sharded store to M shards\n\
+                                             (crash-safe; resumes on reopen if interrupted)\n\
+           scrub  <dir> [--shard <i>]        verify snapshot + WAL integrity read-only;\n\
+                                             exits nonzero if any shard is damaged\n\
            serve  <dir>                      serve a store over HTTP until SIGTERM/ctrl-c\n\
            bench-http                        HTTP round-trip benchmark -> BENCH_server.json\n\
          \n\
@@ -1113,7 +1251,7 @@ fn print_usage() {
            --addr <host:port>     bind address for serve (default 127.0.0.1:8167)\n\
            --shards <n>           shard count when creating a store (or WALRUS_SHARDS;\n\
                                   fixed at creation; omit for the single-directory layout)\n\
-           --shard <i>            target one shard in recover/compact"
+           --shard <i>            target one shard in recover/compact/scrub"
     );
 }
 
@@ -1343,8 +1481,11 @@ mod tests {
         run(&s(&["recover", &store_str])).unwrap();
         // A mismatched --shards on an existing store is refused.
         assert!(run(&s(&["--shards", "2", "open", &store_str])).is_err());
-        // --shard out of range is a clean error.
-        assert!(run(&s(&["recover", &store_str, "--shard", "9"])).is_err());
+        // --shard out of range is a usage error that names the valid range.
+        let err = run(&s(&["recover", &store_str, "--shard", "9"])).unwrap_err();
+        assert!(err.contains("0..=2"), "unexpected error: {err}");
+        let err = run(&s(&["compact", &store_str, "--shard", "9"])).unwrap_err();
+        assert!(err.contains("0..=2"), "unexpected error: {err}");
 
         run(&s(&["remove", &store_str, "0"])).unwrap();
         run(&s(&["recover", &store_str])).unwrap();
@@ -1356,6 +1497,64 @@ mod tests {
     fn recover_and_compact_reject_plain_files() {
         assert!(run(&s(&["recover", "/nonexistent/not-a-dir"])).is_err());
         assert!(run(&s(&["compact", "/nonexistent/not-a-dir"])).is_err());
+        assert!(run(&s(&["scrub", "/nonexistent/not-a-dir"])).is_err());
+        assert!(run(&s(&["rebalance", "/nonexistent/not-a-dir", "--shards", "2"])).is_err());
+    }
+
+    #[test]
+    fn rebalance_and_scrub_end_to_end() {
+        let base = std::env::temp_dir().join("walrus_cli_rebalance_test");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let store = base.join("store");
+        let store_str = store.to_str().unwrap().to_string();
+
+        run(&s(&["--shards", "4", "open", &store_str])).unwrap();
+        let img = walrus_imagery::synth::dataset::timing_image(96, 64, 5).unwrap();
+        let ppm_path = base.join("i.ppm");
+        ppm::save_ppm(&img, &ppm_path).unwrap();
+        run(&s(&["index", &store_str, ppm_path.to_str().unwrap()])).unwrap();
+
+        // A clean store passes scrub, whole and per shard; out-of-range
+        // shard indices name the valid range.
+        run(&s(&["scrub", &store_str])).unwrap();
+        run(&s(&["scrub", &store_str, "--shard", "0"])).unwrap();
+        let err = run(&s(&["scrub", &store_str, "--shard", "9"])).unwrap_err();
+        assert!(err.contains("0..=3"), "unexpected error: {err}");
+
+        // Migrate 4 -> 2: the epoch-1 layout serves the same data and the
+        // old directories are collected.
+        run(&s(&["rebalance", &store_str, "--shards", "2"])).unwrap();
+        assert!(store.join("e1-shard-000").join("snapshot.walrus").exists());
+        assert!(!store.join("shard-000").join("snapshot.walrus").exists());
+        run(&s(&["query", &store_str, ppm_path.to_str().unwrap()])).unwrap();
+        run(&s(&["info", &store_str])).unwrap();
+        run(&s(&["scrub", &store_str])).unwrap();
+
+        // Argument errors: a target is required, monolithic stores cannot
+        // rebalance, and --shard does not apply to them.
+        assert!(run(&s(&["rebalance", &store_str])).is_err());
+        let mono = base.join("mono");
+        let mono_str = mono.to_str().unwrap().to_string();
+        run(&s(&["open", &mono_str])).unwrap();
+        assert!(run(&s(&["rebalance", &mono_str, "--shards", "2"])).is_err());
+        assert!(run(&s(&["scrub", &mono_str, "--shard", "0"])).is_err());
+        run(&s(&["scrub", &mono_str])).unwrap();
+
+        // Scrub flags a flipped snapshot byte and exits nonzero; restoring
+        // the byte restores the clean verdict.
+        let snap = store.join("e1-shard-001").join("snapshot.walrus");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = run(&s(&["scrub", &store_str])).unwrap_err();
+        assert!(err.contains("shard(s) 1"), "unexpected error: {err}");
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        run(&s(&["scrub", &store_str])).unwrap();
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -85,11 +85,14 @@ pub use database::{
 };
 pub use extract::{extract_regions, extract_regions_guarded, extract_regions_with_threads};
 pub use params::{MatchingKind, SignatureKind, SimilarityKind, WalrusParams};
-pub use recovery::{DurableDatabase, RecoveryReport, SharedDurableDatabase};
+pub use recovery::{scrub_dir, DirScrub, DurableDatabase, RecoveryReport, SharedDurableDatabase};
 pub use region::Region;
-pub use sharded::{ShardRecovery, ShardRepair, ShardedStore};
+pub use sharded::{
+    scrub_store, Manifest, Migration, MigrationState, RebalanceReport, ShardRecovery, ShardRepair,
+    ShardScrub, ShardedStore,
+};
 pub use storage::{DiskIo, StorageIo};
-pub use store::{ShardCheckpoint, ShardHealth, Store};
+pub use store::{RebalanceStatus, ShardCheckpoint, ShardHealth, Store};
 pub use walrus_guard::{
     monotonic, Budgets, CancelToken, Clock, Deadline, Guard, Interrupt, MonotonicClock,
     RetryPolicy, SharedClock, Span, TestClock, TraceContext, TraceReport,
@@ -152,6 +155,10 @@ pub enum WalrusError {
         /// Index of the quarantined shard.
         shard: usize,
     },
+    /// The store is migrating to a new shard layout (`walrus rebalance`).
+    /// Queries keep answering from the source layout; mutations and
+    /// checkpoints are shed with this error until the migration commits.
+    Rebalancing,
 }
 
 impl std::fmt::Display for WalrusError {
@@ -175,6 +182,9 @@ impl std::fmt::Display for WalrusError {
             }
             WalrusError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} is quarantined; repair and reopen to restore writes")
+            }
+            WalrusError::Rebalancing => {
+                write!(f, "store is rebalancing to a new shard layout; retry once it commits")
             }
         }
     }

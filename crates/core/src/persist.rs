@@ -166,11 +166,18 @@ pub fn save_to_file_with(
     path: &Path,
     last_lsn: u64,
 ) -> Result<()> {
-    let bytes = save_with_lsn(db, last_lsn);
+    atomic_write_bytes(io, path, &save_with_lsn(db, last_lsn))
+}
+
+/// Atomically replaces `path` with `bytes`: temp file → fsync → rename →
+/// directory fsync. A crash at any step leaves either the old file or the
+/// new one, never a mix — the discipline snapshots and the store manifest
+/// share.
+pub fn atomic_write_bytes(io: &dyn StorageIo, path: &Path, bytes: &[u8]) -> Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = Path::new(&tmp);
-    io.write(tmp, &bytes)?;
+    io.write(tmp, bytes)?;
     io.fsync(tmp)?;
     io.rename(tmp, path)?;
     let parent = match path.parent() {

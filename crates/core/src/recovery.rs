@@ -449,17 +449,12 @@ impl DurableDatabase {
         // crash before (or during) this reset is harmless — recovery skips
         // records at or below the snapshot's last_lsn.
         let wal_path = self.dir.join(WAL_FILE);
-        let header = wal::wal_header();
-        let reset = self
-            .io
-            .write(&wal_path, &header)
-            .and_then(|()| self.io.fsync(&wal_path));
-        if let Err(e) = reset {
+        if let Err(e) = wal::reset(self.io.as_ref(), &wal_path) {
             // The WAL is in an unknown state; stop writes until reopen.
             self.poisoned = true;
             return Err(e.into());
         }
-        self.wal_len = header.len() as u64;
+        self.wal_len = wal::WAL_HEADER_LEN;
         self.wal_version = wal::WAL_VERSION;
         self.records_since_checkpoint = 0;
         Ok(())
@@ -714,6 +709,76 @@ impl SharedDurableDatabase {
     }
 }
 
+/// Read-only integrity verdict for one durable directory (`walrus scrub`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirScrub {
+    /// True when the snapshot decoded with every CRC intact (a missing
+    /// snapshot is a failure — every committed store has one).
+    pub snapshot_ok: bool,
+    /// Live images counted in the snapshot.
+    pub snapshot_images: usize,
+    /// True when the WAL is a clean prefix of intact frames (a missing WAL
+    /// passes: a store checkpointed and never written again may lack one).
+    pub wal_ok: bool,
+    /// Intact WAL records found.
+    pub wal_records: usize,
+    /// First problem found, when any.
+    pub error: Option<String>,
+}
+
+impl DirScrub {
+    /// True when both halves of the directory verified clean.
+    pub fn clean(&self) -> bool {
+        self.snapshot_ok && self.wal_ok
+    }
+}
+
+/// Verifies one store directory without mutating it: decodes the snapshot
+/// (whole-file, params and images CRCs) and scans the WAL for a clean
+/// prefix of intact frames ([`wal::scan_valid_prefix`]). Any undecodable
+/// byte — including a torn tail an open would silently repair — fails the
+/// scrub, because scrub's contract is "this directory needs no repair".
+pub fn scrub_dir(io: &dyn StorageIo, dir: &Path) -> DirScrub {
+    let mut scrub = DirScrub {
+        snapshot_ok: false,
+        snapshot_images: 0,
+        wal_ok: true,
+        wal_records: 0,
+        error: None,
+    };
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    match io.read(&snapshot_path).map_err(|e| e.to_string()).and_then(|bytes| {
+        persist::load_with_lsn(&bytes).map_err(|e| e.to_string())
+    }) {
+        Ok((db, _)) => {
+            scrub.snapshot_ok = true;
+            scrub.snapshot_images = db.len();
+        }
+        Err(e) => scrub.error = Some(format!("snapshot: {e}")),
+    }
+    let wal_path = dir.join(WAL_FILE);
+    if io.exists(&wal_path) {
+        match io.read(&wal_path) {
+            Ok(bytes) => {
+                let scan = wal::scan_valid_prefix(&bytes);
+                scrub.wal_records = scan.records.len();
+                if scan.valid_len < bytes.len() as u64 {
+                    scrub.wal_ok = false;
+                    let bad = bytes.len() as u64 - scan.valid_len;
+                    scrub.error.get_or_insert(format!(
+                        "wal: {bad} byte(s) past the valid prefix fail validation"
+                    ));
+                }
+            }
+            Err(e) => {
+                scrub.wal_ok = false;
+                scrub.error.get_or_insert(format!("wal: {e}"));
+            }
+        }
+    }
+    scrub
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,6 +817,31 @@ mod tests {
         let (store, report) = DurableDatabase::open_with(io, "db", params()).unwrap();
         assert!(report.snapshot_loaded, "initial snapshot was persisted");
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn scrub_verifies_snapshot_and_wal() {
+        let io = Arc::new(FaultIo::new());
+        let (mut store, _) = DurableDatabase::open_with(io.clone(), "db", params()).unwrap();
+        store.insert_image("a", &scene(0.2)).unwrap();
+        drop(store);
+        let scrub = scrub_dir(io.as_ref(), Path::new("db"));
+        assert!(scrub.clean(), "{scrub:?}");
+        assert_eq!(scrub.wal_records, 1);
+
+        // A torn WAL tail fails scrub even though an open would repair it:
+        // scrub's verdict is "needs no repair".
+        io.append(Path::new("db/wal.log"), &[0xAB; 7]).unwrap();
+        io.fsync(Path::new("db/wal.log")).unwrap();
+        let scrub = scrub_dir(io.as_ref(), Path::new("db"));
+        assert!(!scrub.clean());
+        assert!(scrub.error.as_deref().unwrap().starts_with("wal:"), "{scrub:?}");
+
+        // Bit rot inside the snapshot envelope fails its CRC.
+        assert!(io.corrupt_byte(Path::new("db/snapshot.walrus"), 20, 0xFF));
+        let scrub = scrub_dir(io.as_ref(), Path::new("db"));
+        assert!(!scrub.snapshot_ok);
+        assert!(scrub.error.as_deref().unwrap().starts_with("snapshot:"), "{scrub:?}");
     }
 
     #[test]

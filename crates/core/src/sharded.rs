@@ -1,11 +1,12 @@
-//! Sharded durable store: fault isolation, rolling checkpoints, and
-//! degraded-mode queries.
+//! Sharded durable store: fault isolation, rolling checkpoints,
+//! degraded-mode queries, and crash-safe online rebalancing.
 //!
 //! [`ShardedStore`] splits one logical image database across `N`
 //! independent [`DurableDatabase`] shards. Each shard owns its own
-//! R\*-tree, write-ahead log, and snapshot under `shard-<i>/`; an image id
-//! is hashed to its shard with [`shard_of`], so every region of an image
-//! lives on exactly one shard. `N` is fixed at creation and recorded in a
+//! R\*-tree, write-ahead log, and snapshot under an epoch-scoped
+//! directory; an image id is hashed to its shard with [`shard_of`], so
+//! every region of an image lives on exactly one shard. The layout —
+//! epoch, shard count, and any in-flight migration — is recorded in a
 //! checksummed `MANIFEST` at the store root.
 //!
 //! ## Why the answers are bit-identical to one shard
@@ -16,7 +17,9 @@
 //! exactly the per-image similarities the monolithic store produces, and
 //! the gather merges them with the same deterministic order (similarity
 //! descending, id ascending). The parallel-consistency suite asserts this
-//! bit-for-bit.
+//! bit-for-bit — and because the property holds for *any* N, it also holds
+//! across a rebalance: the same images grouped differently yield the same
+//! ranked answer.
 //!
 //! ## Fault isolation
 //!
@@ -39,19 +42,48 @@
 //! queries on every other shard proceed concurrently — the store never
 //! stops the world. Writability is tracked in lock-free flags, so ingest
 //! admission never blocks on a checkpointing shard's lock.
+//!
+//! ## Online rebalancing (manifest v2)
+//!
+//! [`ShardedStore::rebalance`] migrates a live store from `N` to `M`
+//! shards without a rewrite-in-place:
+//!
+//! 1. every mutation in flight is drained (they all hold the ingest lock),
+//!    and new mutations/checkpoints are shed with
+//!    [`WalrusError::Rebalancing`] while queries keep answering from the
+//!    source layout;
+//! 2. each **target** shard is built in turn by streaming every global id
+//!    through [`shard_of`] under the target count, copying region
+//!    signatures byte-identically and padding the sparse id space with
+//!    tombstones; the finished shard is written as a fresh snapshot (LSN
+//!    0) plus an empty WAL into the next epoch's directory
+//!    (`e<epoch>-shard-<i>/`, so no directory is ever renamed);
+//! 3. the manifest records the migration as it advances — each target
+//!    steps `Stable → Draining → Migrated` with an atomic manifest write
+//!    around each build — and one final atomic manifest write commits the
+//!    new layout and schedules the old directories for garbage collection.
+//!
+//! A crash at any step leaves the manifest describing exactly what was
+//! durably finished: [`ShardedStore::open`] resumes the migration from the
+//! last `Migrated` boundary (rebuilding at most one partially written
+//! target), or — when resuming is impossible, e.g. a source shard is
+//! damaged — rolls the store back to the untouched source layout. The
+//! rebalance fault sweeps drive a crash into every I/O operation of both
+//! phases and assert the reopened store is bit-identical to a
+//! never-migrated oracle.
 
-use crate::database::{ImageMeta, QueryOptions, ResultStatus};
+use crate::database::{ImageDatabase, ImageMeta, QueryOptions, ResultStatus};
 use crate::extract::{extract_regions, extract_regions_guarded};
 use crate::params::WalrusParams;
-use crate::persist::{put_u32, put_u64};
-use crate::recovery::{DurableDatabase, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
+use crate::persist::{self, put_u32, put_u64};
+use crate::recovery::{scrub_dir, DirScrub, DurableDatabase, RecoveryReport, SNAPSHOT_FILE, WAL_FILE};
 use crate::region::Region;
 use crate::storage::{DiskIo, RetryIo, StorageIo};
-use crate::store::{ShardCheckpoint, ShardHealth, Store};
+use crate::store::{RebalanceStatus, ShardCheckpoint, ShardHealth, Store};
 use crate::wal;
 use crate::{crc32::crc32, QueryOutcome, QueryStats, Result, WalrusError};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use walrus_guard::{Guard, RetryPolicy, SpanRecord, TraceContext};
@@ -59,23 +91,85 @@ use walrus_imagery::Image;
 
 /// Manifest file name at the store root.
 pub const MANIFEST_FILE: &str = "MANIFEST";
-/// Most shards a store may be created with (bounds query fan-out).
+/// Most shards a store may have (bounds query fan-out).
 pub const MAX_SHARDS: usize = 64;
 
 const MANIFEST_MAGIC: &[u8; 8] = b"WALRUSMF";
-const MANIFEST_VERSION: u32 = 1;
-/// magic (8) + version (4) + shard count (8) + crc32 (4).
-const MANIFEST_LEN: usize = 24;
+const MANIFEST_VERSION: u32 = 2;
+/// v1: magic (8) + version (4) + shard count (8) + crc32 (4).
+const MANIFEST_V1_LEN: usize = 24;
+/// v2 fixed prefix: magic (8) + version (4) + epoch (8) + shard count (8)
+/// + gc_prev (8) + migrating flag (1).
+const MANIFEST_V2_PREFIX: usize = 37;
 
-/// Directory name of shard `i` under the store root.
+/// Per-target-shard migration progress, as recorded in a migrating
+/// manifest. The state machine only moves forward: `Stable → Draining →
+/// Migrated`, one manifest write per transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationState {
+    /// Not started; the target directory may not exist.
+    Stable,
+    /// Build in progress; the target directory holds partial bytes and
+    /// must be rebuilt on resume.
+    Draining,
+    /// Durably built: snapshot + empty WAL written and fsynced. Resume
+    /// trusts this directory byte-for-byte.
+    Migrated,
+}
+
+/// An in-flight migration, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// Shard count being migrated to.
+    pub target_count: usize,
+    /// Per-target-shard progress, indexed by target shard.
+    pub states: Vec<MigrationState>,
+}
+
+/// The store's layout record (`MANIFEST` v2). v1 manifests (epoch-less,
+/// never migrated) decode as epoch 0 with no migration, so pre-rebalance
+/// stores open unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Layout epoch: how many committed rebalances this store has seen.
+    /// Epoch 0 shards live in `shard-<i>/`, epoch `E ≥ 1` shards in
+    /// `e<E>-shard-<i>/` — migration never renames a directory.
+    pub epoch: u64,
+    /// Current shard count.
+    pub shard_count: usize,
+    /// When non-zero: the previous epoch's layout had this many shards
+    /// and its files still await garbage collection (cleared, by one more
+    /// manifest write, once they are gone).
+    pub gc_prev: usize,
+    /// The in-flight migration, if any.
+    pub migration: Option<Migration>,
+}
+
+impl Manifest {
+    /// A stable (non-migrating, nothing to collect) layout record.
+    pub fn stable(epoch: u64, shard_count: usize) -> Self {
+        Manifest { epoch, shard_count, gc_prev: 0, migration: None }
+    }
+}
+
+/// Directory name of shard `shard` in layout epoch `epoch`.
+pub fn shard_dir_name_at(epoch: u64, shard: usize) -> String {
+    if epoch == 0 {
+        format!("shard-{shard:03}")
+    } else {
+        format!("e{epoch}-shard-{shard:03}")
+    }
+}
+
+/// Directory name of shard `i` in the original (epoch 0) layout.
 pub fn shard_dir_name(shard: usize) -> String {
-    format!("shard-{shard:03}")
+    shard_dir_name_at(0, shard)
 }
 
 /// Maps a global image id to its shard. The hash is the splitmix64
 /// finalizer — uniform over sequential ids, platform-independent, and
-/// **stable**: it is part of manifest version 1, so changing it requires a
-/// new manifest version.
+/// **stable**: it is part of the manifest format, so changing it requires
+/// a new manifest version.
 pub fn shard_of(id: usize, shard_count: usize) -> usize {
     let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -83,54 +177,143 @@ pub fn shard_of(id: usize, shard_count: usize) -> usize {
     ((z ^ (z >> 31)) % shard_count as u64) as usize
 }
 
-fn encode_manifest(shard_count: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(MANIFEST_LEN);
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MANIFEST_V2_PREFIX + 16);
     out.extend_from_slice(MANIFEST_MAGIC);
     put_u32(&mut out, MANIFEST_VERSION);
-    put_u64(&mut out, shard_count as u64);
+    put_u64(&mut out, m.epoch);
+    put_u64(&mut out, m.shard_count as u64);
+    put_u64(&mut out, m.gc_prev as u64);
+    match &m.migration {
+        None => out.push(0),
+        Some(mig) => {
+            out.push(1);
+            put_u64(&mut out, mig.target_count as u64);
+            for state in &mig.states {
+                out.push(match state {
+                    MigrationState::Stable => 0,
+                    MigrationState::Draining => 1,
+                    MigrationState::Migrated => 2,
+                });
+            }
+        }
+    }
     let crc = crc32(&out);
     put_u32(&mut out, crc);
     out
 }
 
-fn decode_manifest(bytes: &[u8]) -> Result<usize> {
-    let corrupt = |what: &str| WalrusError::Corrupt(format!("store manifest: {what}"));
-    if bytes.len() != MANIFEST_LEN {
-        return Err(corrupt(&format!("wrong length {} (want {MANIFEST_LEN})", bytes.len())));
+fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("length checked"))
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<Manifest> {
+    let corrupt = |what: String| WalrusError::Corrupt(format!("store manifest: {what}"));
+    if bytes.len() < 16 {
+        return Err(corrupt(format!("wrong length {}", bytes.len())));
     }
     if &bytes[..8] != MANIFEST_MAGIC {
-        return Err(corrupt("bad magic"));
+        return Err(corrupt("bad magic".to_string()));
     }
-    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("length checked"));
-    if crc32(&bytes[..20]) != stored_crc {
-        return Err(corrupt("checksum mismatch"));
+    // Checksum first: any damage — to either version, any field — is
+    // "corrupt", not a misdecoded value.
+    let stored_crc =
+        u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("length checked"));
+    if crc32(&bytes[..bytes.len() - 4]) != stored_crc {
+        return Err(corrupt("checksum mismatch".to_string()));
     }
+    let shard_range = |count: usize, what: &str| {
+        if (1..=MAX_SHARDS).contains(&count) {
+            Ok(count)
+        } else {
+            Err(corrupt(format!("implausible {what} {count}")))
+        }
+    };
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("length checked"));
-    if version != MANIFEST_VERSION {
-        return Err(corrupt(&format!("unsupported version {version}")));
+    match version {
+        1 => {
+            // Pre-rebalance stores: a bare shard count, read as epoch 0.
+            if bytes.len() != MANIFEST_V1_LEN {
+                return Err(corrupt(format!(
+                    "wrong v1 length {} (want {MANIFEST_V1_LEN})",
+                    bytes.len()
+                )));
+            }
+            let count = shard_range(read_u64_at(bytes, 12) as usize, "shard count")?;
+            Ok(Manifest::stable(0, count))
+        }
+        2 => {
+            if bytes.len() < MANIFEST_V2_PREFIX + 4 {
+                return Err(corrupt(format!("wrong length {}", bytes.len())));
+            }
+            let epoch = read_u64_at(bytes, 12);
+            let shard_count = shard_range(read_u64_at(bytes, 20) as usize, "shard count")?;
+            let gc_prev = read_u64_at(bytes, 28) as usize;
+            if gc_prev > MAX_SHARDS {
+                return Err(corrupt(format!("implausible gc_prev {gc_prev}")));
+            }
+            if gc_prev != 0 && epoch == 0 {
+                return Err(corrupt("gc_prev without a prior epoch".to_string()));
+            }
+            let migration = match bytes[36] {
+                0 => {
+                    if bytes.len() != MANIFEST_V2_PREFIX + 4 {
+                        return Err(corrupt(format!("wrong length {}", bytes.len())));
+                    }
+                    None
+                }
+                1 => {
+                    if bytes.len() < MANIFEST_V2_PREFIX + 8 + 4 {
+                        return Err(corrupt(format!("wrong length {}", bytes.len())));
+                    }
+                    let target_count =
+                        shard_range(read_u64_at(bytes, 37) as usize, "target shard count")?;
+                    let want = MANIFEST_V2_PREFIX + 8 + target_count + 4;
+                    if bytes.len() != want {
+                        return Err(corrupt(format!(
+                            "wrong length {} (want {want})",
+                            bytes.len()
+                        )));
+                    }
+                    let mut states = Vec::with_capacity(target_count);
+                    for (i, &b) in bytes[45..45 + target_count].iter().enumerate() {
+                        states.push(match b {
+                            0 => MigrationState::Stable,
+                            1 => MigrationState::Draining,
+                            2 => MigrationState::Migrated,
+                            other => {
+                                return Err(corrupt(format!(
+                                    "bad migration state {other} for target shard {i}"
+                                )))
+                            }
+                        });
+                    }
+                    Some(Migration { target_count, states })
+                }
+                other => return Err(corrupt(format!("bad migrating flag {other}"))),
+            };
+            Ok(Manifest { epoch, shard_count, gc_prev, migration })
+        }
+        v => Err(corrupt(format!("unsupported version {v}"))),
     }
-    let count = u64::from_le_bytes(bytes[12..20].try_into().expect("length checked")) as usize;
-    if !(1..=MAX_SHARDS).contains(&count) {
-        return Err(corrupt(&format!("implausible shard count {count}")));
-    }
-    Ok(count)
 }
 
 /// Writes the manifest atomically (temp file → fsync → rename → directory
-/// fsync), same discipline as snapshots.
-fn write_manifest(io: &dyn StorageIo, root: &Path, shard_count: usize) -> Result<()> {
+/// fsync), same discipline as snapshots. This single write is the commit
+/// point for every layout transition.
+fn write_manifest(io: &dyn StorageIo, root: &Path, manifest: &Manifest) -> Result<()> {
     let path = root.join(MANIFEST_FILE);
-    let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
-    let write = io
-        .write(&tmp, &encode_manifest(shard_count))
-        .and_then(|()| io.fsync(&tmp))
-        .and_then(|()| io.rename(&tmp, &path))
-        .and_then(|()| io.fsync(root));
-    write.map_err(WalrusError::io_context("write manifest", &path))
+    persist::atomic_write_bytes(io, &path, &encode_manifest(manifest)).map_err(|e| match e {
+        WalrusError::Io { context, source } if context.is_empty() => WalrusError::Io {
+            context: format!("write manifest {}", path.display()),
+            source,
+        },
+        other => other,
+    })
 }
 
-/// Reads and validates the manifest; returns the shard count.
-pub fn read_manifest(io: &dyn StorageIo, root: &Path) -> Result<usize> {
+/// Reads and validates the manifest.
+pub fn read_manifest(io: &dyn StorageIo, root: &Path) -> Result<Manifest> {
     let path = root.join(MANIFEST_FILE);
     let bytes = io.read(&path).map_err(WalrusError::io_context("read manifest", &path))?;
     decode_manifest(&bytes)
@@ -166,6 +349,60 @@ pub struct ShardRepair {
     pub report: RecoveryReport,
 }
 
+/// What a committed [`ShardedStore::rebalance`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Shard count before the migration.
+    pub from_shards: usize,
+    /// Shard count after the migration.
+    pub to_shards: usize,
+    /// The committed layout epoch.
+    pub epoch: u64,
+    /// Live images carried across (every one of them).
+    pub images: usize,
+}
+
+/// One shard's verdict from [`scrub_store`].
+#[derive(Debug)]
+pub struct ShardScrub {
+    /// Shard index.
+    pub shard: usize,
+    /// What the walk of its snapshot and WAL found.
+    pub scrub: DirScrub,
+}
+
+/// Read-only integrity walk of a sharded store: every shard's snapshot is
+/// re-read and CRC-validated and its WAL checked to be one clean prefix,
+/// without opening (or mutating) the store. `only` restricts the walk to
+/// one shard. A mid-migration store is refused — open it once first so the
+/// migration resumes or rolls back and the layout is unambiguous.
+pub fn scrub_store(io: &dyn StorageIo, root: &Path, only: Option<usize>) -> Result<Vec<ShardScrub>> {
+    let manifest = read_manifest(io, root)?;
+    if manifest.migration.is_some() {
+        return Err(WalrusError::BadParams(
+            "store is mid-migration; open it once to resume or roll back, then scrub".to_string(),
+        ));
+    }
+    if let Some(shard) = only {
+        if shard >= manifest.shard_count {
+            return Err(WalrusError::BadParams(format!(
+                "shard {shard} out of range (store has {} shards; valid shards are 0..={})",
+                manifest.shard_count,
+                manifest.shard_count - 1
+            )));
+        }
+    }
+    let mut verdicts = Vec::new();
+    for shard in 0..manifest.shard_count {
+        if only.is_some_and(|o| o != shard) {
+            continue;
+        }
+        let dir = root.join(shard_dir_name_at(manifest.epoch, shard));
+        verdicts.push(ShardScrub { shard, scrub: scrub_dir(io, &dir) });
+    }
+    Ok(verdicts)
+}
+
 #[derive(Debug)]
 enum ShardSlot {
     Healthy(Box<DurableDatabase>),
@@ -175,21 +412,258 @@ enum ShardSlot {
     Quarantined { error: String, images: usize, wal_bytes: u64 },
 }
 
+/// One complete layout: the epoch plus every shard of that epoch. The
+/// store holds the current set behind an `Arc` swap, so a committed
+/// rebalance replaces the whole layout in one pointer store while
+/// in-flight queries keep the set they started on.
+#[derive(Debug)]
+struct ShardSet {
+    epoch: u64,
+    shards: Vec<parking_lot::RwLock<ShardSlot>>,
+    /// Lock-free mirror of each slot's quarantine bit, so write admission
+    /// never blocks on a shard lock held by a rolling checkpoint.
+    quarantined: Vec<AtomicBool>,
+}
+
+/// Opens every shard of one layout epoch, quarantining the ones that
+/// fail. Returns the set, what happened per shard, and the resolved
+/// parameters (persisted shard parameters win over the caller's, the same
+/// precedence the monolithic open has).
+fn open_shard_set(
+    io: &Arc<dyn StorageIo>,
+    root: &Path,
+    params: WalrusParams,
+    epoch: u64,
+    count: usize,
+) -> (ShardSet, Vec<ShardRecovery>, WalrusParams) {
+    let mut slots = Vec::with_capacity(count);
+    let mut quarantined = Vec::with_capacity(count);
+    let mut recoveries = Vec::with_capacity(count);
+    let mut resolved_params: Option<WalrusParams> = None;
+    for shard in 0..count {
+        let dir = root.join(shard_dir_name_at(epoch, shard));
+        match DurableDatabase::open_with(io.clone(), &dir, params) {
+            Ok((db, report)) => {
+                if resolved_params.is_none() {
+                    resolved_params = Some(*db.db().params());
+                }
+                slots.push(parking_lot::RwLock::new(ShardSlot::Healthy(Box::new(db))));
+                quarantined.push(AtomicBool::new(false));
+                recoveries.push(ShardRecovery { shard, report: Some(report), error: None });
+            }
+            Err(e) => {
+                let error = e.to_string();
+                slots.push(parking_lot::RwLock::new(ShardSlot::Quarantined {
+                    error: error.clone(),
+                    images: 0,
+                    wal_bytes: 0,
+                }));
+                quarantined.push(AtomicBool::new(true));
+                recoveries.push(ShardRecovery { shard, report: None, error: Some(error) });
+            }
+        }
+    }
+    (
+        ShardSet { epoch, shards: slots, quarantined },
+        recoveries,
+        resolved_params.unwrap_or(params),
+    )
+}
+
+/// Builds target shard `target` of the next epoch from the source
+/// databases: every global id below `next_id` that hashes to `target`
+/// under the target count is copied (regions, and therefore signatures,
+/// byte-identically), and every other slot below `next_id` becomes a
+/// tombstone. The full-span padding is what preserves the global id
+/// high-water mark even when the highest ids are removed images — id
+/// assignment after reopen scans slot lengths, and handing out an old id
+/// again would corrupt the store.
+///
+/// The shard is durably finished in three steps: snapshot at LSN 0
+/// (atomic write), fresh empty WAL, directory fsync.
+fn build_target_shard(
+    io: &dyn StorageIo,
+    root: &Path,
+    epoch: u64,
+    sources: &[&ImageDatabase],
+    next_id: usize,
+    target: usize,
+    target_count: usize,
+) -> Result<()> {
+    let dir = root.join(shard_dir_name_at(epoch + 1, target));
+    io.create_dir_all(&dir)
+        .map_err(WalrusError::io_context("create target shard dir", &dir))?;
+    let mut db = ImageDatabase::new(*sources[0].params())?;
+    for id in 0..next_id {
+        if shard_of(id, target_count) != target {
+            db.insert_tombstone();
+            continue;
+        }
+        match sources[shard_of(id, sources.len())].image(id) {
+            Some(img) => {
+                let got = db.insert_regions(&img.name, img.width, img.height, img.regions.clone())?;
+                debug_assert_eq!(got, id, "dense copy keeps global ids");
+            }
+            None => db.insert_tombstone(),
+        }
+    }
+    let snapshot = dir.join(SNAPSHOT_FILE);
+    persist::save_to_file_with(io, &db, &snapshot, 0)?;
+    let wal_path = dir.join(WAL_FILE);
+    wal::reset(io, &wal_path).map_err(WalrusError::io_context("reset wal", &wal_path))?;
+    io.fsync(&dir).map_err(WalrusError::io_context("fsync target shard dir", &dir))?;
+    Ok(())
+}
+
+/// Drives a migrating manifest to its committed end: builds every target
+/// shard not already durably `Migrated`, stepping the manifest
+/// `Draining → Migrated` around each build, then writes the committed
+/// stable manifest (next epoch, target count, previous layout scheduled
+/// for GC). `manifest` always tracks the *last durably written* state —
+/// it is assigned only after the corresponding write succeeds — so a
+/// failure leaves the caller knowing exactly what is on disk.
+fn complete_migration(
+    io: &dyn StorageIo,
+    root: &Path,
+    sources: &[&ImageDatabase],
+    manifest: &mut Manifest,
+    progress: Option<&AtomicUsize>,
+) -> Result<()> {
+    let migration = manifest.migration.clone().expect("caller passes a migrating manifest");
+    let epoch = manifest.epoch;
+    let target_count = migration.target_count;
+    let next_id = sources.iter().map(|s| s.image_slots().len()).max().unwrap_or(0);
+    if let Some(p) = progress {
+        let done = migration.states.iter().filter(|s| **s == MigrationState::Migrated).count();
+        p.store(done, Ordering::Release);
+    }
+    for target in 0..target_count {
+        let state = manifest.migration.as_ref().expect("still migrating").states[target];
+        if state == MigrationState::Migrated {
+            continue; // durably built by a previous attempt
+        }
+        let mut draining = manifest.clone();
+        draining.migration.as_mut().expect("still migrating").states[target] =
+            MigrationState::Draining;
+        write_manifest(io, root, &draining)?;
+        *manifest = draining;
+        build_target_shard(io, root, epoch, sources, next_id, target, target_count)?;
+        let mut migrated = manifest.clone();
+        migrated.migration.as_mut().expect("still migrating").states[target] =
+            MigrationState::Migrated;
+        write_manifest(io, root, &migrated)?;
+        *manifest = migrated;
+        if let Some(p) = progress {
+            p.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+    let committed = Manifest {
+        epoch: epoch + 1,
+        shard_count: target_count,
+        gc_prev: sources.len(),
+        migration: None,
+    };
+    write_manifest(io, root, &committed)?;
+    *manifest = committed;
+    Ok(())
+}
+
+/// Resumes a migration found in the manifest at open: reopens every
+/// source shard and drives [`complete_migration`] to the commit. Returns
+/// the committed manifest. Fails (without touching the manifest) when a
+/// source shard cannot open — the caller then rolls back.
+fn resume_migration(
+    io: &Arc<dyn StorageIo>,
+    root: &Path,
+    params: WalrusParams,
+    manifest: &Manifest,
+) -> Result<Manifest> {
+    let mut manifest = manifest.clone();
+    let epoch = manifest.epoch;
+    let mut sources = Vec::with_capacity(manifest.shard_count);
+    for shard in 0..manifest.shard_count {
+        let dir = root.join(shard_dir_name_at(epoch, shard));
+        let (db, _report) = DurableDatabase::open_with(io.clone(), &dir, params)?;
+        sources.push(db);
+    }
+    let source_dbs: Vec<&ImageDatabase> = sources.iter().map(|d| d.db()).collect();
+    complete_migration(io.as_ref(), root, &source_dbs, &mut manifest, None)?;
+    Ok(manifest)
+}
+
+/// Abandons a migration: durably restores the stable source manifest —
+/// the single write that makes the staged targets unreachable — then
+/// drops their staging files. Returns the restored manifest.
+fn rollback_migration(io: &dyn StorageIo, root: &Path, manifest: &Manifest) -> Result<Manifest> {
+    let migration = manifest.migration.as_ref().expect("rollback needs a migrating manifest");
+    let stable = Manifest::stable(manifest.epoch, manifest.shard_count);
+    write_manifest(io, root, &stable)?;
+    gc_layout_files(io, root, manifest.epoch + 1, migration.target_count);
+    Ok(stable)
+}
+
+/// Removes the store files (snapshot, WAL, and their temp siblings) of
+/// `count` shards in layout `epoch`. Returns false when something that
+/// exists could not be removed — the caller then leaves `gc_prev` set so
+/// a later open retries.
+fn gc_layout_files(io: &dyn StorageIo, root: &Path, epoch: u64, count: usize) -> bool {
+    let mut clean = true;
+    for shard in 0..count {
+        let dir = root.join(shard_dir_name_at(epoch, shard));
+        for file in [SNAPSHOT_FILE, WAL_FILE] {
+            let path = dir.join(file);
+            let mut tmp = path.as_os_str().to_owned();
+            tmp.push(".tmp");
+            for victim in [path, PathBuf::from(tmp)] {
+                if io.exists(&victim) && io.remove(&victim).is_err() {
+                    clean = false;
+                }
+            }
+        }
+    }
+    clean
+}
+
+/// Collects the previous layout a committed manifest scheduled for GC
+/// (`gc_prev`), then clears the marker with one more manifest write.
+/// Entirely best-effort: any failure leaves `gc_prev` in place and the
+/// next open retries.
+fn gc_previous_layout(io: &dyn StorageIo, root: &Path, manifest: &mut Manifest) {
+    if manifest.gc_prev == 0 {
+        return;
+    }
+    debug_assert!(manifest.epoch >= 1, "decode_manifest enforces gc_prev ⇒ epoch ≥ 1");
+    if !gc_layout_files(io, root, manifest.epoch - 1, manifest.gc_prev) {
+        return;
+    }
+    let cleared = Manifest { gc_prev: 0, ..manifest.clone() };
+    if write_manifest(io, root, &cleared).is_ok() {
+        *manifest = cleared;
+    }
+}
+
 /// N-shard durable store. See the module docs for the design.
 #[derive(Debug)]
 pub struct ShardedStore {
     io: Arc<dyn StorageIo>,
     root: PathBuf,
     params: WalrusParams,
-    shards: Vec<parking_lot::RwLock<ShardSlot>>,
-    /// Lock-free mirror of each slot's quarantine bit, so write admission
-    /// ([`ShardedStore::ensure_writable`]) never blocks on a shard lock
-    /// held by a rolling checkpoint.
-    quarantined: Vec<AtomicBool>,
+    /// The current layout. Queries clone the `Arc` once and run entirely
+    /// on that consistent set; a committed rebalance swaps the pointer.
+    layout: parking_lot::RwLock<Arc<ShardSet>>,
     /// Global id assignment: the next id to hand out. Held across the
     /// target shard's WAL append so ids arrive at each shard in strictly
-    /// increasing order (a WAL invariant).
+    /// increasing order (a WAL invariant). Also the rebalance drain
+    /// point: acquiring it once guarantees no mutation is in flight.
     ingest: parking_lot::Mutex<usize>,
+    /// Set for the whole duration of a rebalance; mutations and
+    /// checkpoints shed with [`WalrusError::Rebalancing`] while it holds.
+    rebalancing: AtomicBool,
+    /// Target shard count of the in-flight rebalance (0 otherwise).
+    rebalance_target: AtomicUsize,
+    /// Target shards durably `Migrated` so far (monotone during one
+    /// rebalance; retains the final count afterwards).
+    shards_migrated: AtomicUsize,
 }
 
 fn quarantine_worthy(e: &WalrusError) -> bool {
@@ -199,11 +673,15 @@ fn quarantine_worthy(e: &WalrusError) -> bool {
 impl ShardedStore {
     /// Opens (or creates) a sharded store on the real filesystem.
     ///
-    /// `shards` is the shard count for a **new** store; pass `0` to require
-    /// an existing store. An existing manifest always wins — a non-zero
-    /// `shards` that disagrees with it is an error, because shard count is
-    /// fixed at creation (ids are hashed to shards; re-hashing would strand
-    /// every image).
+    /// `shards` is the shard count for a **new** store; pass `0` to accept
+    /// an existing store's manifest. A non-zero `shards` that disagrees
+    /// with an existing manifest is an error — the layout is changed with
+    /// [`ShardedStore::rebalance`], never by re-opening.
+    ///
+    /// An interrupted migration is finished (or rolled back) here, before
+    /// the store opens: the manifest says exactly which target shards are
+    /// durably built, so the open resumes from that boundary and the
+    /// caller always sees a stable layout.
     ///
     /// A shard that fails to open is quarantined, not fatal: the returned
     /// [`ShardRecovery`] list says what happened to each shard. Only a
@@ -232,17 +710,11 @@ impl ShardedStore {
         let root = root.as_ref().to_path_buf();
         io.create_dir_all(&root)?;
         let manifest_path = root.join(MANIFEST_FILE);
-        let count = if io.exists(&manifest_path) {
+        let mut manifest = if io.exists(&manifest_path) {
             let bytes = io
                 .read(&manifest_path)
                 .map_err(WalrusError::io_context("read manifest", &manifest_path))?;
-            let count = decode_manifest(&bytes)?;
-            if shards != 0 && shards != count {
-                return Err(WalrusError::BadParams(format!(
-                    "store has {count} shards (fixed at creation); requested {shards}"
-                )));
-            }
-            count
+            decode_manifest(&bytes)?
         } else {
             if io.exists(&root.join(SNAPSHOT_FILE)) {
                 return Err(WalrusError::BadParams(
@@ -260,41 +732,39 @@ impl ShardedStore {
                     "shard count {shards} out of range 1..={MAX_SHARDS}"
                 )));
             }
-            write_manifest(io.as_ref(), &root, shards)?;
-            shards
+            let m = Manifest::stable(0, shards);
+            write_manifest(io.as_ref(), &root, &m)?;
+            m
         };
 
-        let mut slots = Vec::with_capacity(count);
-        let mut quarantined = Vec::with_capacity(count);
-        let mut recoveries = Vec::with_capacity(count);
-        let mut resolved_params: Option<WalrusParams> = None;
-        for shard in 0..count {
-            let dir = root.join(shard_dir_name(shard));
-            match DurableDatabase::open_with(io.clone(), &dir, params) {
-                Ok((db, report)) => {
-                    // Persisted shard parameters win over the caller's, the
-                    // same precedence the monolithic open has.
-                    if resolved_params.is_none() {
-                        resolved_params = Some(*db.db().params());
-                    }
-                    slots.push(parking_lot::RwLock::new(ShardSlot::Healthy(Box::new(db))));
-                    quarantined.push(AtomicBool::new(false));
-                    recoveries.push(ShardRecovery { shard, report: Some(report), error: None });
-                }
-                Err(e) => {
-                    let error = e.to_string();
-                    slots.push(parking_lot::RwLock::new(ShardSlot::Quarantined {
-                        error: error.clone(),
-                        images: 0,
-                        wal_bytes: 0,
-                    }));
-                    quarantined.push(AtomicBool::new(true));
-                    recoveries.push(ShardRecovery { shard, report: None, error: Some(error) });
-                }
-            }
+        if manifest.migration.is_some() {
+            // A rebalance was interrupted. Resume it from the last durable
+            // boundary; if the sources can't carry it (e.g. one is
+            // damaged), roll back to the untouched source layout so the
+            // store still opens.
+            manifest = match resume_migration(&io, &root, params, &manifest) {
+                Ok(committed) => committed,
+                Err(resume_err) => match rollback_migration(io.as_ref(), &root, &manifest) {
+                    Ok(stable) => stable,
+                    Err(_) => return Err(resume_err),
+                },
+            };
+        }
+        if manifest.gc_prev != 0 {
+            gc_previous_layout(io.as_ref(), &root, &mut manifest);
+        }
+        if shards != 0 && shards != manifest.shard_count {
+            return Err(WalrusError::BadParams(format!(
+                "store has {} shards; requested {shards} (change the layout with `walrus \
+                 rebalance --shards {shards}`)",
+                manifest.shard_count
+            )));
         }
 
-        let next_id = slots
+        let (set, recoveries, resolved_params) =
+            open_shard_set(&io, &root, params, manifest.epoch, manifest.shard_count);
+        let next_id = set
+            .shards
             .iter()
             .map(|slot| match &*slot.read() {
                 ShardSlot::Healthy(db) => db.db().image_slots().len(),
@@ -306,12 +776,19 @@ impl ShardedStore {
         let store = ShardedStore {
             io,
             root,
-            params: resolved_params.unwrap_or(params),
-            shards: slots,
-            quarantined,
+            params: resolved_params,
+            layout: parking_lot::RwLock::new(Arc::new(set)),
             ingest: parking_lot::Mutex::new(next_id),
+            rebalancing: AtomicBool::new(false),
+            rebalance_target: AtomicUsize::new(0),
+            shards_migrated: AtomicUsize::new(0),
         };
         Ok((store, recoveries))
+    }
+
+    /// The current layout, as one consistent set.
+    fn layout(&self) -> Arc<ShardSet> {
+        self.layout.read().clone()
     }
 
     /// Store root directory.
@@ -319,9 +796,14 @@ impl ShardedStore {
         &self.root
     }
 
-    /// Number of shards (fixed at creation).
+    /// Number of shards in the current layout.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.layout().shards.len()
+    }
+
+    /// Current layout epoch (how many committed rebalances).
+    pub fn epoch(&self) -> u64 {
+        self.layout().epoch
     }
 
     /// A copy of the engine configuration.
@@ -337,7 +819,8 @@ impl ShardedStore {
 
     /// Indices of the currently quarantined shards.
     pub fn quarantined_shards(&self) -> Vec<usize> {
-        self.quarantined
+        let set = self.layout();
+        set.quarantined
             .iter()
             .enumerate()
             .filter(|(_, q)| q.load(Ordering::Acquire))
@@ -345,18 +828,24 @@ impl ShardedStore {
             .collect()
     }
 
-    /// Refuses mutations while any shard is quarantined (ids are global;
-    /// see the module docs). Lock-free, so admission never waits behind a
-    /// shard checkpoint.
-    fn ensure_writable(&self) -> Result<()> {
-        match self.quarantined.iter().position(|q| q.load(Ordering::Acquire)) {
+    /// Admission check for mutations: shed while rebalancing (checked
+    /// first, then the layout is fetched, so a cleared flag implies the
+    /// committed layout is visible), and refuse while any shard is
+    /// quarantined (ids are global; see the module docs). Lock-free, so
+    /// admission never waits behind a shard checkpoint.
+    fn writable_layout(&self) -> Result<Arc<ShardSet>> {
+        if self.rebalancing.load(Ordering::Acquire) {
+            return Err(WalrusError::Rebalancing);
+        }
+        let set = self.layout();
+        match set.quarantined.iter().position(|q| q.load(Ordering::Acquire)) {
             Some(shard) => Err(WalrusError::ShardUnavailable { shard }),
-            None => Ok(()),
+            None => Ok(set),
         }
     }
 
-    fn mark_quarantined(&self, shard: usize, slot: &mut ShardSlot, error: String) {
-        self.quarantined[shard].store(true, Ordering::Release);
+    fn mark_quarantined(&self, set: &ShardSet, shard: usize, slot: &mut ShardSlot, error: String) {
+        set.quarantined[shard].store(true, Ordering::Release);
         // Keep the last counts the shard reported while healthy: health
         // gauges should say what the quarantined shard held, not zero.
         let (images, wal_bytes) = match &*slot {
@@ -370,6 +859,7 @@ impl ShardedStore {
     /// the ingest lock (`next`).
     fn insert_extracted_locked(
         &self,
+        set: &ShardSet,
         next: &mut usize,
         name: &str,
         width: usize,
@@ -377,8 +867,8 @@ impl ShardedStore {
         regions: Vec<Region>,
     ) -> Result<usize> {
         let id = *next;
-        let shard = shard_of(id, self.shards.len());
-        let mut slot = self.shards[shard].write();
+        let shard = shard_of(id, set.shards.len());
+        let mut slot = set.shards[shard].write();
         let (result, poisoned) = match &mut *slot {
             ShardSlot::Healthy(db) => {
                 let r = db.insert_regions_at(id, name, width, height, regions);
@@ -396,7 +886,7 @@ impl ShardedStore {
             }
             Err(e) => {
                 if poisoned || quarantine_worthy(&e) {
-                    self.mark_quarantined(shard, &mut slot, e.to_string());
+                    self.mark_quarantined(set, shard, &mut slot, e.to_string());
                 }
                 Err(e)
             }
@@ -408,8 +898,8 @@ impl ShardedStore {
     pub fn insert_image(&self, name: &str, image: &Image) -> Result<usize> {
         let regions = extract_regions(image, &self.params)?;
         let mut next = self.ingest.lock();
-        self.ensure_writable()?;
-        self.insert_extracted_locked(&mut next, name, image.width(), image.height(), regions)
+        let set = self.writable_layout()?;
+        self.insert_extracted_locked(&set, &mut next, name, image.width(), image.height(), regions)
     }
 
     /// Durably inserts pre-extracted regions at the next global id — the
@@ -423,8 +913,8 @@ impl ShardedStore {
         regions: Vec<Region>,
     ) -> Result<usize> {
         let mut next = self.ingest.lock();
-        self.ensure_writable()?;
-        self.insert_extracted_locked(&mut next, name, width, height, regions)
+        let set = self.writable_layout()?;
+        self.insert_extracted_locked(&set, &mut next, name, width, height, regions)
     }
 
     /// Durable batch ingest: parallel lock-free extraction, then the
@@ -463,11 +953,12 @@ impl ShardedStore {
         guard.poll().map_err(WalrusError::from)?;
         let wal_span = guard.span("wal_append");
         let mut next = self.ingest.lock();
-        self.ensure_writable()?;
+        let set = self.writable_layout()?;
         let wal_before = self.wal_len();
         let mut ids = Vec::with_capacity(items.len());
         for ((name, image), regions) in items.iter().zip(extracted) {
             ids.push(self.insert_extracted_locked(
+                &set,
                 &mut next,
                 name,
                 image.width(),
@@ -485,9 +976,9 @@ impl ShardedStore {
     /// Durably removes an image from its shard.
     pub fn remove_image(&self, id: usize) -> Result<()> {
         let _next = self.ingest.lock();
-        self.ensure_writable()?;
-        let shard = shard_of(id, self.shards.len());
-        let mut slot = self.shards[shard].write();
+        let set = self.writable_layout()?;
+        let shard = shard_of(id, set.shards.len());
+        let mut slot = set.shards[shard].write();
         let (result, poisoned) = match &mut *slot {
             ShardSlot::Healthy(db) => {
                 let r = db.remove_image(id);
@@ -500,7 +991,7 @@ impl ShardedStore {
         };
         result.map_err(|e| {
             if poisoned || quarantine_worthy(&e) {
-                self.mark_quarantined(shard, &mut slot, e.to_string());
+                self.mark_quarantined(set.as_ref(), shard, &mut slot, e.to_string());
             }
             e
         })
@@ -511,7 +1002,9 @@ impl ShardedStore {
     /// worker records its `shard_probe` span into a private trace that is
     /// grafted back in shard order, so the trace tree is identical for
     /// every thread count); quarantined shards are skipped and reported in
-    /// [`ResultStatus::Degraded`].
+    /// [`ResultStatus::Degraded`]. The whole query runs on one layout
+    /// `Arc`: a rebalance committing mid-query does not change the set
+    /// this query reads.
     pub fn query_with_options_guarded(
         &self,
         query: &Image,
@@ -525,8 +1018,9 @@ impl ShardedStore {
             Err(WalrusError::DeadlineExceeded) => return Ok(QueryOutcome::empty_partial()),
             Err(e) => return Err(e),
         };
+        let set = self.layout();
         let mut outcome =
-            self.scatter_gather(&params, &regions, query.area(), min_similarity, guard)?;
+            self.scatter_gather(&set, &params, &regions, query.area(), min_similarity, guard)?;
         if let Some(k) = opts.k {
             outcome.matches.truncate(k);
         }
@@ -546,8 +1040,10 @@ impl ShardedStore {
 
     /// Probes one shard under `guard` (a worker guard carrying a private
     /// trace when the request is traced). `Ok(None)` = shard quarantined.
+    #[allow(clippy::too_many_arguments)]
     fn probe_shard(
         &self,
+        set: &ShardSet,
         i: usize,
         params: &WalrusParams,
         q_regions: &[Region],
@@ -559,7 +1055,7 @@ impl ShardedStore {
         if let Some(s) = &probe_span {
             s.add("shard", i as u64);
         }
-        let slot = self.shards[i].read();
+        let slot = set.shards[i].read();
         let db = match &*slot {
             ShardSlot::Healthy(db) => db,
             ShardSlot::Quarantined { .. } => return Ok(None),
@@ -585,6 +1081,7 @@ impl ShardedStore {
 
     fn scatter_gather(
         &self,
+        set: &ShardSet,
         params: &WalrusParams,
         q_regions: &[Region],
         query_area: usize,
@@ -598,8 +1095,7 @@ impl ShardedStore {
         // span tree and every result byte are identical at any thread
         // count. With one worker the fan-out runs inline on this thread,
         // which is exactly the old sequential loop.
-        let shard_workers =
-            walrus_parallel::resolve_threads(params.threads).min(self.shards.len());
+        let shard_workers = walrus_parallel::resolve_threads(params.threads).min(set.shards.len());
         // When shards fan out across workers, each shard's own probe runs
         // single-threaded — one level of parallelism, not two multiplied.
         let mut shard_params = *params;
@@ -608,7 +1104,7 @@ impl ShardedStore {
         }
         let trace = guard.trace().cloned();
         let worker_base = guard.without_trace();
-        let indices: Vec<usize> = (0..self.shards.len()).collect();
+        let indices: Vec<usize> = (0..set.shards.len()).collect();
         let probed: Vec<(Option<QueryOutcome>, Option<Vec<SpanRecord>>)> =
             walrus_parallel::try_parallel_map(shard_workers, &indices, |_, &i| {
                 let worker_trace = trace.as_ref().map(|t| TraceContext::new(t.clock()));
@@ -616,7 +1112,7 @@ impl ShardedStore {
                     Some(t) => worker_base.clone().tracing(t.clone()),
                     None => worker_base.clone(),
                 };
-                let outcome = self.probe_shard(i, &shard_params, q_regions, query_area,
+                let outcome = self.probe_shard(set, i, &shard_params, q_regions, query_area,
                     min_similarity, &wg)?;
                 Ok::<_, WalrusError>((outcome, worker_trace.map(|t| t.report().spans)))
             })?;
@@ -683,24 +1179,32 @@ impl ShardedStore {
     /// `Err(ShardUnavailable)` = its shard is quarantined, so its
     /// existence cannot be determined.
     pub fn image_meta(&self, id: usize) -> Result<Option<ImageMeta>> {
-        let shard = shard_of(id, self.shards.len());
-        match &*self.shards[shard].read() {
+        let set = self.layout();
+        let shard = shard_of(id, set.shards.len());
+        let meta = match &*set.shards[shard].read() {
             ShardSlot::Healthy(db) => Ok(db.image_meta(id)),
             ShardSlot::Quarantined { .. } => Err(WalrusError::ShardUnavailable { shard }),
-        }
+        };
+        meta
     }
 
     /// Checkpoints one shard (exclusive lock on that shard only). A
-    /// storage failure during the checkpoint quarantines the shard.
+    /// storage failure during the checkpoint quarantines the shard. Shed
+    /// while a rebalance holds the source layout read-locked.
     pub fn checkpoint_shard(&self, shard: usize) -> Result<ShardCheckpoint> {
-        if shard >= self.shards.len() {
+        if self.rebalancing.load(Ordering::Acquire) {
+            return Err(WalrusError::Rebalancing);
+        }
+        let set = self.layout();
+        if shard >= set.shards.len() {
             return Err(WalrusError::BadParams(format!(
-                "shard {shard} out of range (store has {})",
-                self.shards.len()
+                "shard {shard} out of range (store has {} shards; valid shards are 0..={})",
+                set.shards.len(),
+                set.shards.len() - 1
             )));
         }
         let started = Instant::now();
-        let mut slot = self.shards[shard].write();
+        let mut slot = set.shards[shard].write();
         let (result, poisoned) = match &mut *slot {
             ShardSlot::Healthy(db) => {
                 let r = db.checkpoint().map(|()| ShardCheckpoint {
@@ -717,7 +1221,7 @@ impl ShardedStore {
         };
         result.map_err(|e| {
             if poisoned || quarantine_worthy(&e) {
-                self.mark_quarantined(shard, &mut slot, e.to_string());
+                self.mark_quarantined(set.as_ref(), shard, &mut slot, e.to_string());
             }
             e
         })
@@ -727,9 +1231,13 @@ impl ShardedStore {
     /// store at once — skipping quarantined shards. The report lists what
     /// each healthy shard did.
     pub fn checkpoint(&self) -> Result<Vec<ShardCheckpoint>> {
-        let mut reports = Vec::with_capacity(self.shards.len());
-        for shard in 0..self.shards.len() {
-            if self.quarantined[shard].load(Ordering::Acquire) {
+        if self.rebalancing.load(Ordering::Acquire) {
+            return Err(WalrusError::Rebalancing);
+        }
+        let set = self.layout();
+        let mut reports = Vec::with_capacity(set.shards.len());
+        for shard in 0..set.shards.len() {
+            if set.quarantined[shard].load(Ordering::Acquire) {
                 continue;
             }
             match self.checkpoint_shard(shard) {
@@ -745,7 +1253,8 @@ impl ShardedStore {
 
     /// Per-shard health, in shard order.
     pub fn shard_health(&self) -> Vec<ShardHealth> {
-        self.shards
+        let set = self.layout();
+        set.shards
             .iter()
             .enumerate()
             .map(|(shard, slot)| match &*slot.read() {
@@ -779,17 +1288,22 @@ impl ShardedStore {
     /// returned and the shard stays quarantined. Also works on a healthy
     /// shard (a no-op repair followed by a clean reopen).
     pub fn recover_shard(&self, shard: usize) -> Result<ShardRepair> {
-        if shard >= self.shards.len() {
+        if self.rebalancing.load(Ordering::Acquire) {
+            return Err(WalrusError::Rebalancing);
+        }
+        let set = self.layout();
+        if shard >= set.shards.len() {
             return Err(WalrusError::BadParams(format!(
-                "shard {shard} out of range (store has {})",
-                self.shards.len()
+                "shard {shard} out of range (store has {} shards; valid shards are 0..={})",
+                set.shards.len(),
+                set.shards.len() - 1
             )));
         }
         // Hold the ingest lock across the swap so id assignment sees the
         // recovered shard's slots atomically.
         let mut next = self.ingest.lock();
-        let mut slot = self.shards[shard].write();
-        let dir = self.root.join(shard_dir_name(shard));
+        let mut slot = set.shards[shard].write();
+        let dir = self.root.join(shard_dir_name_at(set.epoch, shard));
         let wal_path = dir.join(WAL_FILE);
         let mut truncated_bytes = 0u64;
         let mut records_kept = 0usize;
@@ -811,8 +1325,139 @@ impl ShardedStore {
         let (db, report) = DurableDatabase::open_with(self.io.clone(), &dir, self.params)?;
         *next = (*next).max(db.db().image_slots().len());
         *slot = ShardSlot::Healthy(Box::new(db));
-        self.quarantined[shard].store(false, Ordering::Release);
+        set.quarantined[shard].store(false, Ordering::Release);
         Ok(ShardRepair { shard, truncated_bytes, records_kept, report })
+    }
+
+    /// Migrates the store to `target_shards` shards **online**: queries
+    /// keep answering (bit-identically) from the source layout for the
+    /// whole migration, mutations and checkpoints are shed with
+    /// [`WalrusError::Rebalancing`], and one atomic manifest write commits
+    /// the new layout. Crash-safe at every step — see the module docs for
+    /// the resume/rollback rules [`ShardedStore::open`] applies.
+    pub fn rebalance(&self, target_shards: usize) -> Result<RebalanceReport> {
+        if !(1..=MAX_SHARDS).contains(&target_shards) {
+            return Err(WalrusError::BadParams(format!(
+                "target shard count {target_shards} out of range 1..={MAX_SHARDS}"
+            )));
+        }
+        if self
+            .rebalancing
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(WalrusError::Rebalancing);
+        }
+        self.rebalance_target.store(target_shards, Ordering::Release);
+        self.shards_migrated.store(0, Ordering::Release);
+        let result = self.run_rebalance(target_shards);
+        self.rebalance_target.store(0, Ordering::Release);
+        result
+    }
+
+    /// The migration proper. On entry the `rebalancing` flag is set; every
+    /// exit path that leaves the store safe to write clears it (success,
+    /// refusals, and a rollback that durably restored the source
+    /// manifest). When the rollback itself fails the flag **stays set**:
+    /// the on-disk manifest still says "migrating", and letting ingest
+    /// resume would invalidate target shards already durably marked
+    /// `Migrated` — only a reopen (which resumes or rolls back) may
+    /// restore writes.
+    fn run_rebalance(&self, target: usize) -> Result<RebalanceReport> {
+        // Drain in-flight mutations: every mutation holds the ingest lock
+        // for its full duration, so acquiring it once means the source
+        // WALs are quiescent; new mutations shed on the flag.
+        drop(self.ingest.lock());
+        let set = self.layout();
+        let source_count = set.shards.len();
+        let epoch = set.epoch;
+        if target == source_count {
+            self.rebalancing.store(false, Ordering::Release);
+            return Err(WalrusError::BadParams(format!("store already has {target} shards")));
+        }
+        if let Some(shard) = set.quarantined.iter().position(|q| q.load(Ordering::Acquire)) {
+            // A quarantined shard's contents are unknown; migrating around
+            // it would silently drop its images.
+            self.rebalancing.store(false, Ordering::Release);
+            return Err(WalrusError::ShardUnavailable { shard });
+        }
+        // Hold read guards on every source shard for the whole build:
+        // queries share them freely; exclusive lockers (checkpoints,
+        // repairs) are already shed by the flag.
+        let guards: Vec<_> = set.shards.iter().map(|slot| slot.read()).collect();
+        let mut sources: Vec<&ImageDatabase> = Vec::with_capacity(source_count);
+        for (shard, guard) in guards.iter().enumerate() {
+            match &**guard {
+                ShardSlot::Healthy(db) => sources.push(db.db()),
+                // Raced with an in-flight checkpoint quarantining the
+                // shard after the lock-free scan above.
+                ShardSlot::Quarantined { .. } => {
+                    self.rebalancing.store(false, Ordering::Release);
+                    return Err(WalrusError::ShardUnavailable { shard });
+                }
+            }
+        }
+        let io = self.io.as_ref();
+        let mut manifest = Manifest {
+            epoch,
+            shard_count: source_count,
+            gc_prev: 0,
+            migration: Some(Migration {
+                target_count: target,
+                states: vec![MigrationState::Stable; target],
+            }),
+        };
+        let staged = write_manifest(io, &self.root, &manifest);
+        let migrated = staged.and_then(|()| {
+            complete_migration(io, &self.root, &sources, &mut manifest,
+                Some(&self.shards_migrated))
+        });
+        if let Err(e) = migrated {
+            // Roll back: restore the stable source manifest first (the
+            // staged targets are unreachable once it lands), then drop the
+            // staging files. If even the manifest write fails, the flag
+            // stays set — see the method docs.
+            if write_manifest(io, &self.root, &Manifest::stable(epoch, source_count)).is_ok() {
+                gc_layout_files(io, &self.root, epoch + 1, target);
+                self.rebalancing.store(false, Ordering::Release);
+            }
+            return Err(e);
+        }
+        drop(sources);
+        drop(guards);
+        // `manifest` is now the committed layout {epoch+1, target, gc}.
+        let (new_set, recoveries, _) =
+            open_shard_set(&self.io, &self.root, self.params, manifest.epoch, manifest.shard_count);
+        if let Some(bad) = recoveries.iter().find(|r| r.error.is_some()) {
+            // The commit is durable — a reopen lands on the new layout and
+            // can quarantine or repair. Keep shedding writes rather than
+            // swap in a degraded set the migration just wrote.
+            return Err(WalrusError::Corrupt(format!(
+                "rebalance committed but target shard {} failed to open: {}",
+                bad.shard,
+                bad.error.as_deref().unwrap_or("unknown error"),
+            )));
+        }
+        *self.layout.write() = Arc::new(new_set);
+        self.rebalancing.store(false, Ordering::Release);
+        let mut committed = manifest;
+        gc_previous_layout(io, &self.root, &mut committed);
+        Ok(RebalanceReport {
+            from_shards: source_count,
+            to_shards: committed.shard_count,
+            epoch: committed.epoch,
+            images: self.len(),
+        })
+    }
+
+    /// Current layout epoch and migration progress.
+    pub fn rebalance_status(&self) -> RebalanceStatus {
+        RebalanceStatus {
+            epoch: self.layout().epoch,
+            rebalancing: self.rebalancing.load(Ordering::Acquire),
+            target_shards: self.rebalance_target.load(Ordering::Acquire),
+            shards_migrated: self.shards_migrated.load(Ordering::Acquire),
+        }
     }
 
     /// Live images across healthy shards.
@@ -841,13 +1486,16 @@ impl ShardedStore {
     }
 
     fn fold_healthy<T: std::iter::Sum>(&self, f: impl Fn(&DurableDatabase) -> T) -> T {
-        self.shards
+        let set = self.layout();
+        let folded = set
+            .shards
             .iter()
             .filter_map(|slot| match &*slot.read() {
                 ShardSlot::Healthy(db) => Some(f(db)),
                 ShardSlot::Quarantined { .. } => None,
             })
-            .sum()
+            .sum();
+        folded
     }
 }
 
@@ -912,6 +1560,14 @@ impl Store for ShardedStore {
     fn shard_health(&self) -> Vec<ShardHealth> {
         ShardedStore::shard_health(self)
     }
+
+    fn rebalance(&self, target_shards: usize) -> Result<RebalanceReport> {
+        ShardedStore::rebalance(self, target_shards)
+    }
+
+    fn rebalance_status(&self) -> RebalanceStatus {
+        ShardedStore::rebalance_status(self)
+    }
 }
 
 #[cfg(test)]
@@ -942,11 +1598,16 @@ mod tests {
             .unwrap()
     }
 
+    /// A query outcome reduced to its bit-exact essentials.
+    fn sig(outcome: &QueryOutcome) -> Vec<(usize, u64)> {
+        outcome.matches.iter().map(|m| (m.image_id, m.similarity.to_bits())).collect()
+    }
+
     #[test]
     fn shard_of_is_stable_and_in_range() {
         // Pinned values: shard routing is an on-disk compatibility surface
-        // (manifest version 1). If this test fails, bump the manifest
-        // version instead of accepting the new routing.
+        // (part of the manifest format). If this test fails, bump the
+        // manifest version instead of accepting the new routing.
         let pinned: Vec<usize> = (0..8).map(|id| shard_of(id, 4)).collect();
         assert_eq!(pinned, vec![3, 1, 2, 1, 2, 2, 0, 3]);
         for id in 0..10_000 {
@@ -957,14 +1618,46 @@ mod tests {
 
     #[test]
     fn manifest_round_trips_and_rejects_damage() {
-        let bytes = encode_manifest(4);
-        assert_eq!(decode_manifest(&bytes).unwrap(), 4);
-        for i in 0..bytes.len() {
-            let mut bad = bytes.clone();
-            bad[i] ^= 0xFF;
-            assert!(decode_manifest(&bad).is_err(), "flip at byte {i} must be caught");
+        let stable = Manifest::stable(0, 4);
+        let committed = Manifest { epoch: 2, shard_count: 8, gc_prev: 4, migration: None };
+        let migrating = Manifest {
+            epoch: 1,
+            shard_count: 4,
+            gc_prev: 0,
+            migration: Some(Migration {
+                target_count: 3,
+                states: vec![
+                    MigrationState::Migrated,
+                    MigrationState::Draining,
+                    MigrationState::Stable,
+                ],
+            }),
+        };
+        for manifest in [stable, committed, migrating] {
+            let bytes = encode_manifest(&manifest);
+            assert_eq!(decode_manifest(&bytes).unwrap(), manifest);
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0xFF;
+                assert!(decode_manifest(&bad).is_err(), "flip at byte {i} must be caught");
+            }
+            assert!(decode_manifest(&bytes[..bytes.len() - 1]).is_err());
         }
-        assert!(decode_manifest(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn manifest_v1_is_read_as_epoch_zero() {
+        // A hand-built version-1 manifest (what every pre-rebalance store
+        // has on disk) decodes as "epoch 0, never migrated" so the old
+        // `shard-NNN/` directories keep resolving.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MANIFEST_MAGIC);
+        put_u32(&mut bytes, 1);
+        put_u64(&mut bytes, 4);
+        let crc = crc32(&bytes);
+        put_u32(&mut bytes, crc);
+        assert_eq!(bytes.len(), MANIFEST_V1_LEN);
+        assert_eq!(decode_manifest(&bytes).unwrap(), Manifest::stable(0, 4));
     }
 
     #[test]
@@ -1064,6 +1757,12 @@ mod tests {
         let err = store.remove_image(by_shard[0][0]).unwrap_err();
         assert!(matches!(err, WalrusError::ShardUnavailable { shard } if shard == victim));
 
+        // A rebalance is refused too: the quarantined shard's contents are
+        // unknown, so migrating would silently drop them.
+        let err = store.rebalance(2).unwrap_err();
+        assert!(matches!(err, WalrusError::ShardUnavailable { shard } if shard == victim));
+        assert!(!store.rebalance_status().rebalancing, "refusal clears the flag");
+
         // Checkpoint still covers the healthy shards.
         let reports = ShardedStore::checkpoint(&store).unwrap();
         assert_eq!(reports.len(), 3);
@@ -1103,5 +1802,146 @@ mod tests {
         let new_id = store.insert_image("after", &scene(0.77)).unwrap();
         assert!(new_id >= ids.len() - ids.iter().filter(|&&id| shard_of(id, 2) == victim).count());
         assert_eq!(store.image_meta(new_id).unwrap().unwrap().name, "after");
+    }
+
+    #[test]
+    fn rebalance_rehashes_and_collects_the_old_layout() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io.clone(), "db", params(), 4).unwrap();
+        for i in 0..6 {
+            store.insert_image(&format!("img{i}"), &scene(0.1 + 0.12 * i as f32)).unwrap();
+        }
+        // Remove the *highest* id: the migration must preserve the id
+        // high-water mark through tombstones alone.
+        store.remove_image(5).unwrap();
+        let probe = scene(0.22);
+        let before = sig(&store.query(&probe).unwrap());
+        assert!(!before.is_empty());
+
+        let report = store.rebalance(2).unwrap();
+        assert_eq!(
+            (report.from_shards, report.to_shards, report.epoch, report.images),
+            (4, 2, 1, 5)
+        );
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.epoch(), 1);
+        let status = store.rebalance_status();
+        assert_eq!((status.epoch, status.rebalancing, status.target_shards), (1, false, 0));
+        assert_eq!(status.shards_migrated, 2);
+
+        // Same answers, new layout, old layout collected.
+        assert_eq!(sig(&store.query(&probe).unwrap()), before);
+        assert!(io.exists(Path::new("db/e1-shard-000/snapshot.walrus")));
+        assert!(!io.exists(Path::new("db/shard-000/snapshot.walrus")), "old layout GC'd");
+        // The id high-water mark survived the removed tail.
+        assert_eq!(store.insert_image("g", &scene(0.9)).unwrap(), 6);
+
+        // The committed layout survives reopen (shards = 0: manifest wins).
+        drop(store);
+        let (store, recoveries) = ShardedStore::open_with(io, "db", params(), 0).unwrap();
+        assert_eq!(store.shard_count(), 2);
+        assert!(recoveries.iter().all(|r| r.error.is_none()));
+        assert_eq!(store.len(), 6);
+        assert!(store.image_meta(5).unwrap().is_none(), "removed image stays gone");
+        assert_eq!(store.image_meta(6).unwrap().unwrap().name, "g");
+        let after: Vec<(usize, u64)> = sig(&store.query(&probe).unwrap());
+        assert_eq!(
+            after.iter().filter(|(id, _)| *id != 6).copied().collect::<Vec<_>>(),
+            before.iter().copied().filter(|(id, _)| *id != 6).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rebalance_refuses_nonsense_targets() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io, "db", params(), 2).unwrap();
+        store.insert_image("a", &scene(0.3)).unwrap();
+        for bad in [0, MAX_SHARDS + 1, 2] {
+            let err = store.rebalance(bad).unwrap_err();
+            assert!(matches!(err, WalrusError::BadParams(_)), "target {bad}: {err}");
+        }
+        assert!(!store.rebalance_status().rebalancing);
+        // The store still writes after every refusal.
+        store.insert_image("b", &scene(0.6)).unwrap();
+    }
+
+    #[test]
+    fn interrupted_migration_resumes_at_open() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io.clone(), "db", params(), 1).unwrap();
+        for i in 0..3 {
+            store.insert_image(&format!("img{i}"), &scene(0.2 + 0.2 * i as f32)).unwrap();
+        }
+        let probe = scene(0.2);
+        let before = sig(&store.query(&probe).unwrap());
+        drop(store);
+
+        // Simulate a rebalance that crashed right after staging: the
+        // manifest says "migrating to 4, nothing built yet".
+        let staged = Manifest {
+            epoch: 0,
+            shard_count: 1,
+            gc_prev: 0,
+            migration: Some(Migration {
+                target_count: 4,
+                states: vec![MigrationState::Stable; 4],
+            }),
+        };
+        write_manifest(io.as_ref(), Path::new("db"), &staged).unwrap();
+
+        // Open resumes and commits the migration before serving.
+        let (store, recoveries) = ShardedStore::open_with(io.clone(), "db", params(), 0).unwrap();
+        assert!(recoveries.iter().all(|r| r.error.is_none()));
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.len(), 3);
+        assert_eq!(sig(&store.query(&probe).unwrap()), before);
+        assert!(!io.exists(Path::new("db/shard-000/snapshot.walrus")), "source GC'd");
+        let manifest = read_manifest(io.as_ref(), Path::new("db")).unwrap();
+        assert_eq!(manifest, Manifest::stable(1, 4));
+    }
+
+    #[test]
+    fn scrub_walks_every_shard_and_flags_damage() {
+        let io = Arc::new(FaultIo::new());
+        let (store, _) = ShardedStore::open_with(io.clone(), "db", params(), 3).unwrap();
+        for i in 0..5 {
+            store.insert_image(&format!("img{i}"), &scene(0.15 + 0.12 * i as f32)).unwrap();
+        }
+        drop(store);
+
+        let verdicts = scrub_store(io.as_ref(), Path::new("db"), None).unwrap();
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts.iter().all(|v| v.scrub.clean()));
+
+        let one = scrub_store(io.as_ref(), Path::new("db"), Some(1)).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].shard, 1);
+
+        let err = scrub_store(io.as_ref(), Path::new("db"), Some(9)).unwrap_err();
+        assert!(matches!(err, WalrusError::BadParams(_)), "{err}");
+        assert!(err.to_string().contains("0..=2"), "{err}");
+
+        // Damage one shard's snapshot: only that shard fails the scrub.
+        assert!(io.corrupt_byte(Path::new("db/shard-002/snapshot.walrus"), 20, 0xFF));
+        let verdicts = scrub_store(io.as_ref(), Path::new("db"), None).unwrap();
+        assert!(verdicts[0].scrub.clean() && verdicts[1].scrub.clean());
+        assert!(!verdicts[2].scrub.clean());
+        assert!(verdicts[2].scrub.error.as_deref().unwrap().starts_with("snapshot:"));
+
+        // A migrating manifest is refused: the layout is ambiguous until
+        // an open resumes or rolls back.
+        let migrating = Manifest {
+            epoch: 0,
+            shard_count: 3,
+            gc_prev: 0,
+            migration: Some(Migration {
+                target_count: 2,
+                states: vec![MigrationState::Stable; 2],
+            }),
+        };
+        write_manifest(io.as_ref(), Path::new("db"), &migrating).unwrap();
+        let err = scrub_store(io.as_ref(), Path::new("db"), None).unwrap_err();
+        assert!(err.to_string().contains("mid-migration"), "{err}");
     }
 }

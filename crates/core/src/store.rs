@@ -17,7 +17,8 @@
 
 use crate::database::{ImageMeta, QueryOptions};
 use crate::params::WalrusParams;
-use crate::{QueryOutcome, Result, SharedDurableDatabase};
+use crate::sharded::RebalanceReport;
+use crate::{QueryOutcome, Result, SharedDurableDatabase, WalrusError};
 use std::time::{Duration, Instant};
 use walrus_guard::Guard;
 use walrus_imagery::Image;
@@ -52,6 +53,22 @@ pub struct ShardHealth {
     /// Valid WAL bytes on this shard; last-known while quarantined, like
     /// `images`.
     pub wal_bytes: u64,
+}
+
+/// Live rebalance progress, as reported by [`Store::rebalance_status`].
+///
+/// For stores that cannot rebalance (the monolithic layout) this is the
+/// permanent "epoch 0, not migrating" value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebalanceStatus {
+    /// Layout epoch: how many committed rebalances this store has seen.
+    pub epoch: u64,
+    /// True while a migration is in flight (ingest is shed).
+    pub rebalancing: bool,
+    /// Shard count being migrated to (0 when not rebalancing).
+    pub target_shards: usize,
+    /// Target shards already built and durably marked `Migrated`.
+    pub shards_migrated: usize,
 }
 
 /// A thread-safe durable image store the serving layer can run on. See the
@@ -119,6 +136,22 @@ pub trait Store: Send + Sync {
 
     /// Per-shard health states, in shard order.
     fn shard_health(&self) -> Vec<ShardHealth>;
+
+    /// Migrates the store to `target_shards` shards online (queries keep
+    /// answering from the source layout; ingest is shed with
+    /// [`WalrusError::Rebalancing`]). The default refuses: only layouts
+    /// with a manifest can change shape.
+    fn rebalance(&self, target_shards: usize) -> Result<RebalanceReport> {
+        let _ = target_shards;
+        Err(WalrusError::BadParams(
+            "this store layout cannot rebalance (no shard manifest)".to_string(),
+        ))
+    }
+
+    /// Current layout epoch and migration progress.
+    fn rebalance_status(&self) -> RebalanceStatus {
+        RebalanceStatus::default()
+    }
 }
 
 impl Store for SharedDurableDatabase {

@@ -113,6 +113,14 @@ pub(crate) fn wal_header_versioned(version: u32) -> Vec<u8> {
     out
 }
 
+/// Resets `path` to a fresh, empty current-version log (header only) and
+/// fsyncs it. Used by checkpoints and by shard migration, which hands every
+/// freshly built target shard an empty log.
+pub fn reset(io: &dyn crate::storage::StorageIo, path: &std::path::Path) -> std::io::Result<()> {
+    io.write(path, &wal_header())?;
+    io.fsync(path)
+}
+
 /// Encodes one record (framing + payload) ready to append to a
 /// current-version log.
 pub fn encode_record(lsn: u64, op: &WalOp) -> Vec<u8> {

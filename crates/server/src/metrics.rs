@@ -215,6 +215,8 @@ pub struct Metrics {
     pub query_requests_total: AtomicU64,
     /// Checkpoints taken via `POST /admin/checkpoint` or shutdown.
     pub checkpoints_total: AtomicU64,
+    /// Shard-layout migrations committed via `POST /admin/rebalance`.
+    pub rebalances_total: AtomicU64,
     /// Index candidates rejected by the binary-signature prefilter before
     /// any exact geometry test, summed over traced requests.
     pub signatures_rejected_total: AtomicU64,
@@ -255,6 +257,7 @@ impl Metrics {
             ingest_images_total: AtomicU64::new(0),
             query_requests_total: AtomicU64::new(0),
             checkpoints_total: AtomicU64::new(0),
+            rebalances_total: AtomicU64::new(0),
             signatures_rejected_total: AtomicU64::new(0),
             candidates_exact_total: AtomicU64::new(0),
             query_latency: LatencyRing::default(),
@@ -339,6 +342,7 @@ impl Metrics {
             load(&self.query_requests_total)
         ));
         out.push_str(&format!("walrus_checkpoints_total {}\n", load(&self.checkpoints_total)));
+        out.push_str(&format!("walrus_rebalances_total {}\n", load(&self.rebalances_total)));
         out.push_str(&format!(
             "walrus_signatures_rejected_total {}\n",
             load(&self.signatures_rejected_total)

@@ -10,6 +10,7 @@
 //! | GET    | `/healthz`          | Liveness + store size                     |
 //! | GET    | `/metrics`          | Plain-text counters                       |
 //! | POST   | `/admin/checkpoint` | Force a snapshot + WAL truncation         |
+//! | POST   | `/admin/rebalance`  | Online shard-count migration (`?shards=M`)|
 //!
 //! Per-request knobs arrive as query parameters (`k`, `timeout_ms`, `eps`,
 //! `min_sim`, `max_pixels`, `max_candidates`) and are mapped onto a
@@ -116,10 +117,15 @@ fn route(state: &AppState, req: &Request) -> Response {
         ("POST", "/ingest") => ingest(state, req),
         ("POST", "/query") => query(state, req),
         ("POST", "/admin/checkpoint") => checkpoint(state),
+        ("POST", "/admin/rebalance") => rebalance(state, req),
         ("GET", path) if path.starts_with("/image/") => image_meta(state, path),
         ("GET", path) if path.starts_with("/trace/") => trace_text(state, path),
         // Known paths with the wrong method get 405, everything else 404.
-        (_, "/healthz" | "/metrics" | "/ingest" | "/query" | "/admin/checkpoint") => {
+        (
+            _,
+            "/healthz" | "/metrics" | "/ingest" | "/query" | "/admin/checkpoint"
+            | "/admin/rebalance",
+        ) => {
             Response::error(405, "method not allowed")
         }
         (_, path) if path.starts_with("/image/") || path.starts_with("/trace/") => {
@@ -131,6 +137,7 @@ fn route(state: &AppState, req: &Request) -> Response {
 
 fn healthz(state: &AppState) -> Response {
     let health = state.store.shard_health();
+    let rebalance = state.store.rebalance_status();
     let degraded = health.iter().any(|h| !h.healthy);
     let shards: Vec<String> = health
         .iter()
@@ -154,10 +161,12 @@ fn healthz(state: &AppState) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"status\":{},\"images\":{},\"stopping\":{},\"shards\":[{}]}}",
+            "{{\"status\":{},\"images\":{},\"stopping\":{},\"epoch\":{},\"rebalancing\":{},\"shards\":[{}]}}",
             if degraded { "\"degraded\"" } else { "\"ok\"" },
             state.store.len(),
             state.is_stopping(),
+            rebalance.epoch,
+            rebalance.rebalancing,
             shards.join(",")
         ),
     )
@@ -165,6 +174,7 @@ fn healthz(state: &AppState) -> Response {
 
 fn metrics_text(state: &AppState) -> Response {
     let health = state.store.shard_health();
+    let rebalance = state.store.rebalance_status();
     let mut named: Vec<(String, u64)> = vec![
         ("walrus_images".to_string(), state.store.len() as u64),
         ("walrus_regions".to_string(), state.store.num_regions() as u64),
@@ -180,6 +190,9 @@ fn metrics_text(state: &AppState) -> Response {
             "walrus_shards_quarantined".to_string(),
             health.iter().filter(|h| !h.healthy).count() as u64,
         ),
+        ("walrus_rebalance_epoch".to_string(), rebalance.epoch),
+        ("walrus_rebalancing".to_string(), rebalance.rebalancing as u64),
+        ("walrus_shards_migrated".to_string(), rebalance.shards_migrated as u64),
     ];
     for h in &health {
         named.push((format!("walrus_shard_healthy{{shard=\"{}\"}}", h.shard), h.healthy as u64));
@@ -250,6 +263,34 @@ fn checkpoint(state: &AppState) -> Response {
                     "{{\"checkpointed\":true,\"shards\":[{}],\"wal_records_since_checkpoint\":{}}}",
                     shards.join(","),
                     state.store.records_since_checkpoint()
+                ),
+            )
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// `POST /admin/rebalance?shards=M`: crash-safe online migration to `M`
+/// shards. Queries keep answering (bit-identically) from the source layout
+/// while it runs; mutations are shed with `503 {"rebalancing":true}` until
+/// the new layout commits. A monolithic store answers `400` — only stores
+/// with a shard manifest can change shape.
+fn rebalance(state: &AppState, req: &Request) -> Response {
+    let target = match parse_param::<usize>(req, "shards") {
+        Ok(Some(v)) => v,
+        Ok(None) => {
+            return Response::error(400, "missing query parameter \"shards\" (the target count)")
+        }
+        Err(resp) => return resp,
+    };
+    match state.store.rebalance(target) {
+        Ok(report) => {
+            state.metrics.rebalances_total.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"rebalanced\":true,\"from_shards\":{},\"to_shards\":{},\"epoch\":{},\"images\":{}}}",
+                    report.from_shards, report.to_shards, report.epoch, report.images
                 ),
             )
         }
@@ -514,6 +555,14 @@ fn engine_error(err: &WalrusError) -> Response {
             ),
         );
     }
+    // A mid-rebalance store sheds mutations with a typed body so clients
+    // can tell "retry shortly, the layout is changing" from overload.
+    if matches!(err, WalrusError::Rebalancing) {
+        return Response::json(
+            503,
+            format!("{{\"error\":{},\"rebalancing\":true}}", json_string(&err.to_string())),
+        );
+    }
     let status = match err {
         WalrusError::Image(_) | WalrusError::BadParams(_) => 400,
         WalrusError::UnknownImage(_) => 404,
@@ -723,6 +772,92 @@ mod tests {
                 "stage {stage} missing a sample in:\n{metrics}"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sharded_state(dir: &std::path::Path, shards: usize) -> AppState {
+        let (store, _) = walrus_core::ShardedStore::open(dir, test_params(), shards).unwrap();
+        AppState {
+            store: Arc::new(store),
+            metrics: Metrics::default(),
+            clock: walrus_core::monotonic(),
+            traces: TraceStore::default(),
+            request_ids: AtomicU64::new(0),
+            default_timeout: None,
+            cancel: CancelToken::new(),
+            stopping: Arc::new(AtomicBool::new(false)),
+            pool_threads: 2,
+            pool_queue_depth: 8,
+        }
+    }
+
+    /// A query response body with its request id stripped, for comparing
+    /// answers (which embed `similarity_bits`) across a rebalance.
+    fn answer_of(resp: Response) -> String {
+        let text = String::from_utf8(resp.body).unwrap();
+        text.split_once(",\"request_id\"").map(|(a, _)| a.to_string()).unwrap_or(text)
+    }
+
+    #[test]
+    fn rebalance_endpoint_migrates_and_keeps_answers_bit_identical() {
+        let dir = tmp_dir("rebalance");
+        let state = sharded_state(&dir, 4);
+        let mut body = ppm_bytes(0);
+        body.extend_from_slice(&ppm_bytes(7));
+        assert_eq!(handle(&state, &request("POST", "/ingest", body)).status, 200);
+        let before = answer_of(handle(&state, &request("POST", "/query", ppm_bytes(0))));
+
+        let resp = handle(&state, &request("POST", "/admin/rebalance?shards=2", Vec::new()));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"from_shards\":4"), "{text}");
+        assert!(text.contains("\"to_shards\":2"), "{text}");
+        assert!(text.contains("\"epoch\":1"), "{text}");
+
+        // Same ranked answer, bit for bit, from the new layout.
+        let after = answer_of(handle(&state, &request("POST", "/query", ppm_bytes(0))));
+        assert_eq!(before, after);
+        // The store still ingests after the commit.
+        assert_eq!(handle(&state, &request("POST", "/ingest", ppm_bytes(3))).status, 200);
+
+        // Health and metrics surface the committed epoch.
+        let health =
+            String::from_utf8(handle(&state, &request("GET", "/healthz", Vec::new())).body)
+                .unwrap();
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"epoch\":1"), "{health}");
+        assert!(health.contains("\"rebalancing\":false"), "{health}");
+        let metrics =
+            String::from_utf8(handle(&state, &request("GET", "/metrics", Vec::new())).body)
+                .unwrap();
+        assert!(metrics.contains("walrus_rebalance_epoch 1\n"), "{metrics}");
+        assert!(metrics.contains("walrus_shards_migrated 2\n"), "{metrics}");
+        assert!(metrics.contains("walrus_rebalances_total 1\n"), "{metrics}");
+        assert!(metrics.contains("walrus_shards 2\n"), "{metrics}");
+
+        // Parameter and method errors.
+        assert_eq!(
+            handle(&state, &request("POST", "/admin/rebalance", Vec::new())).status,
+            400,
+            "missing shards parameter"
+        );
+        assert_eq!(
+            handle(&state, &request("POST", "/admin/rebalance?shards=frog", Vec::new())).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &request("GET", "/admin/rebalance?shards=2", Vec::new())).status,
+            405
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monolithic_store_refuses_rebalance() {
+        let dir = tmp_dir("rebalance_mono");
+        let state = test_state(&dir);
+        let resp = handle(&state, &request("POST", "/admin/rebalance?shards=2", Vec::new()));
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
         std::fs::remove_dir_all(&dir).ok();
     }
 
