@@ -83,6 +83,12 @@ struct Options {
     shards: Option<usize>,
     /// `--shard <i>`: target one shard in `recover` / `compact`.
     shard: Option<usize>,
+    /// `--reactor`: serve with the event-driven epoll reactor instead of
+    /// thread-per-connection (also via `WALRUS_REACTOR=1`).
+    reactor: bool,
+    /// `--cache-capacity <n>`: query-result cache entries (0 disables;
+    /// `None` = server default).
+    cache_capacity: Option<usize>,
 }
 
 impl Default for Options {
@@ -99,6 +105,8 @@ impl Default for Options {
             addr: "127.0.0.1:8167".to_string(),
             shards: None,
             shard: None,
+            reactor: false,
+            cache_capacity: None,
         }
     }
 }
@@ -192,6 +200,14 @@ fn parse_options(args: &[String]) -> Result<(Options, &[String]), String> {
             }
             "--shard" => {
                 opts.shard = Some(parse_at(args, i + 1, "--shard")?);
+                i += 2;
+            }
+            "--reactor" => {
+                opts.reactor = true;
+                i += 1;
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = Some(parse_at(args, i + 1, "--cache-capacity")?);
                 i += 2;
             }
             "--window" => {
@@ -1041,13 +1057,23 @@ fn cmd_compact(opts: &Options, rest: &[String]) -> Result<(), String> {
 
 fn cmd_serve(opts: &Options, rest: &[String]) -> Result<(), String> {
     let [dir] = rest else {
-        return Err("usage: walrus [--addr host:port] [--threads n] [--timeout-ms n] serve <store-dir>".into());
+        return Err("usage: walrus [--addr host:port] [--threads n] [--timeout-ms n] \
+                    [--reactor] [--cache-capacity n] serve <store-dir>"
+            .into());
     };
+    let defaults = walrus_server::ServerConfig::default();
     let config = walrus_server::ServerConfig {
         addr: opts.addr.clone(),
         threads: opts.threads,
         default_timeout: opts.timeout_ms.map(Duration::from_millis),
-        ..walrus_server::ServerConfig::default()
+        reactor: opts.reactor || defaults.reactor,
+        cache_capacity: opts.cache_capacity.unwrap_or(defaults.cache_capacity),
+        ..defaults
+    };
+    let backend = if config.reactor {
+        "event-driven reactor (epoll; falls back to threads if unsupported)"
+    } else {
+        "thread-per-connection"
     };
     walrus_server::signals::install();
     let shards = resolved_shards(opts)?;
@@ -1062,7 +1088,7 @@ fn cmd_serve(opts: &Options, rest: &[String]) -> Result<(), String> {
         walrus_server::Server::start(config, walrus_core::SharedDurableDatabase::new(store))
     }
     .map_err(|e| format!("cannot start server: {e}"))?;
-    println!("serving {dir} on http://{}", handle.addr());
+    println!("serving {dir} on http://{} ({backend})", handle.addr());
     println!(
         "endpoints: /healthz /metrics /ingest /query /image/{{id}} /admin/checkpoint \
          /admin/rebalance"
@@ -1196,6 +1222,86 @@ fn cmd_bench_http(opts: &Options, rest: &[String]) -> Result<(), String> {
         .write("BENCH_server.json")
         .map_err(|e| format!("cannot write benchmark output: {e}"))?;
     println!("wrote {out_path}");
+
+    // --- Hot-query cache benchmark -> BENCH_cache.json -------------------
+    // The same request sequence runs against a cache-enabled and a
+    // cache-disabled server over identical stores; since both mint request
+    // ids from 0, every response must be byte-identical — the cache may
+    // only change latency, never bytes.
+    const HOT_ROUNDS: usize = 12;
+    // (label, per-round latencies in ms, per-round response bodies).
+    type CacheRun = (&'static str, Vec<f64>, Vec<Vec<u8>>);
+    let mut runs: Vec<CacheRun> = Vec::new();
+    for (label, capacity) in
+        [("cache_on", walrus_server::QueryCache::DEFAULT_CAPACITY), ("cache_off", 0)]
+    {
+        let dir =
+            std::env::temp_dir().join(format!("walrus_bench_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let (store, _) = open_durable(dir.to_str().ok_or("temp path is not UTF-8")?, opts)?;
+        let defaults = ServerConfig::default();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: if opts.threads > 0 { opts.threads } else { 2 },
+            reactor: opts.reactor || defaults.reactor,
+            cache_capacity: capacity,
+            ..defaults
+        };
+        let handle = Server::start(config, walrus_core::SharedDurableDatabase::new(store))
+            .map_err(|e| format!("cannot start {label} server: {e}"))?;
+        let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
+        for (i, body) in bodies.iter().enumerate() {
+            let resp = client
+                .request("POST", &format!("/ingest?name=bench-{i}"), body)
+                .map_err(|e| e.to_string())?;
+            if resp.status != 200 {
+                return Err(format!("{label} ingest {i} answered {}", resp.status));
+            }
+        }
+        let hot = &bodies[0];
+        let mut lat = Vec::with_capacity(HOT_ROUNDS);
+        let mut answers = Vec::with_capacity(HOT_ROUNDS);
+        for _ in 0..HOT_ROUNDS {
+            let started = std::time::Instant::now();
+            let resp = client.request("POST", "/query?k=5", hot).map_err(|e| e.to_string())?;
+            if resp.status != 200 {
+                return Err(format!("{label} hot query answered {}", resp.status));
+            }
+            lat.push(started.elapsed().as_secs_f64() * 1e3);
+            answers.push(resp.body);
+        }
+        handle.shutdown().map_err(|e| format!("{label} shutdown failed: {e}"))?;
+        let _ = std::fs::remove_dir_all(&dir);
+        runs.push((label, lat, answers));
+    }
+    let (_, on_ms, on_answers) = &runs[0];
+    let (_, off_ms, off_answers) = &runs[1];
+    for (round, (a, b)) in on_answers.iter().zip(off_answers).enumerate() {
+        if a != b {
+            return Err(format!(
+                "cache served different bytes than the uncached path on round {round}"
+            ));
+        }
+    }
+    let p50 = |ms: &[f64]| {
+        let mut v = ms.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        v[(v.len() - 1) / 2]
+    };
+    let (on_p50, off_p50) = (p50(on_ms), p50(off_ms));
+    println!(
+        "hot query ({HOT_ROUNDS} rounds): p50 {on_p50:.3} ms cached vs {off_p50:.3} ms uncached \
+         (responses byte-identical)"
+    );
+    let cache_path = BenchReport::new("query_cache")
+        .field("hot_rounds", HOT_ROUNDS.to_string())
+        .field("cache_on", format!("{{ \"p50_ms\": {on_p50:.4} }}"))
+        .field("cache_off", format!("{{ \"p50_ms\": {off_p50:.4} }}"))
+        .field("byte_identical", "true".to_string())
+        .write("BENCH_cache.json")
+        .map_err(|e| format!("cannot write benchmark output: {e}"))?;
+    println!("wrote {cache_path}");
     Ok(())
 }
 
@@ -1235,7 +1341,9 @@ fn print_usage() {
            scrub  <dir> [--shard <i>]        verify snapshot + WAL integrity read-only;\n\
                                              exits nonzero if any shard is damaged\n\
            serve  <dir>                      serve a store over HTTP until SIGTERM/ctrl-c\n\
+                                             (--reactor: event-driven epoll backend)\n\
            bench-http                        HTTP round-trip benchmark -> BENCH_server.json\n\
+                                             + hot-query cache bench -> BENCH_cache.json\n\
          \n\
          <db> is a snapshot file or a durable store directory (see `open`).\n\
          \n\
@@ -1251,7 +1359,9 @@ fn print_usage() {
            --addr <host:port>     bind address for serve (default 127.0.0.1:8167)\n\
            --shards <n>           shard count when creating a store (or WALRUS_SHARDS;\n\
                                   fixed at creation; omit for the single-directory layout)\n\
-           --shard <i>            target one shard in recover/compact/scrub"
+           --shard <i>            target one shard in recover/compact/scrub\n\
+           --reactor              serve via the epoll reactor (or WALRUS_REACTOR=1)\n\
+           --cache-capacity <n>   query-result cache entries (0 disables; default 256)"
     );
 }
 
@@ -1285,6 +1395,19 @@ mod tests {
         assert_eq!((opts.omega_min, opts.omega_max), (16, 64));
         assert_eq!(opts.space, ColorSpace::Rgb);
         assert_eq!(rest, &["query".to_string()][..]);
+    }
+
+    #[test]
+    fn options_parse_serve_flags() {
+        let args = s(&["--reactor", "--cache-capacity", "64", "serve", "db"]);
+        let (opts, rest) = parse_options(&args).unwrap();
+        assert!(opts.reactor);
+        assert_eq!(opts.cache_capacity, Some(64));
+        assert_eq!(rest.len(), 2);
+        // 0 disables the cache and must parse.
+        let (opts, _) = parse_options(&s(&["--cache-capacity", "0", "serve", "db"])).unwrap();
+        assert_eq!(opts.cache_capacity, Some(0));
+        assert!(!opts.reactor);
     }
 
     #[test]

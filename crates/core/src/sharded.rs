@@ -918,8 +918,14 @@ impl ShardedStore {
     }
 
     /// Durable batch ingest: parallel lock-free extraction, then the
-    /// ingest lock for id assignment and the per-shard WAL appends. A
-    /// mid-batch failure commits the prefix, like a serial insert loop.
+    /// ingest lock for id assignment and **shard-parallel** WAL
+    /// append/index — images are grouped by [`shard_of`] and each shard's
+    /// group runs as one work unit on the parallel pool (ids ascending
+    /// within the shard, so each shard's WAL bytes are identical to a
+    /// serial insert loop). A mid-batch failure commits a per-shard
+    /// prefix: every shard keeps the records it appended before the
+    /// failure, and the returned error is the one a serial left-to-right
+    /// loop would have hit first (lowest failing id).
     pub fn insert_images_batch(&self, items: &[(&str, &Image)]) -> Result<Vec<usize>> {
         self.insert_images_batch_guarded(items, &Guard::none())
     }
@@ -955,17 +961,91 @@ impl ShardedStore {
         let mut next = self.ingest.lock();
         let set = self.writable_layout()?;
         let wal_before = self.wal_len();
-        let mut ids = Vec::with_capacity(items.len());
-        for ((name, image), regions) in items.iter().zip(extracted) {
-            ids.push(self.insert_extracted_locked(
-                &set,
-                &mut next,
-                name,
-                image.width(),
-                image.height(),
-                regions,
-            )?);
+
+        // Pre-assign the whole id range under the ingest lock, then group
+        // by destination shard. Shards are independent append streams, so
+        // each group becomes one pool work unit holding its shard's write
+        // lock once; within a shard ids stay ascending, which keeps the
+        // per-shard WAL bytes identical to a serial insert loop.
+        // One shard's work: (global id, item index, extracted regions).
+        type ShardWork = Vec<(usize, usize, Vec<Region>)>;
+        let base = *next;
+        let shard_count = set.shards.len();
+        let mut groups: Vec<ShardWork> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (i, regions) in extracted.into_iter().enumerate() {
+            let id = base + i;
+            groups[shard_of(id, shard_count)].push((id, i, regions));
         }
+        let batches: Vec<(usize, parking_lot::Mutex<ShardWork>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(shard, g)| (shard, parking_lot::Mutex::new(g)))
+            .collect();
+
+        struct ShardIngest {
+            /// Ids durably committed on this shard (an in-order prefix of
+            /// the shard's assigned group).
+            committed: Vec<usize>,
+            /// First failure on this shard, tagged with its failing id.
+            error: Option<(usize, WalrusError)>,
+        }
+
+        let shard_workers = threads.min(batches.len().max(1));
+        let results: Vec<ShardIngest> =
+            walrus_parallel::parallel_map(shard_workers, &batches, |_, (shard, work)| {
+                let work = std::mem::take(&mut *work.lock());
+                let mut committed = Vec::with_capacity(work.len());
+                let mut error = None;
+                let mut slot = set.shards[*shard].write();
+                for (id, idx, regions) in work {
+                    let (name, image) = items[idx];
+                    let step = match &mut *slot {
+                        ShardSlot::Healthy(db) => {
+                            let r = db.insert_regions_at(
+                                id,
+                                name,
+                                image.width(),
+                                image.height(),
+                                regions,
+                            );
+                            let poisoned = db.is_poisoned();
+                            Some((r, poisoned))
+                        }
+                        ShardSlot::Quarantined { .. } => None,
+                    };
+                    match step {
+                        Some((Ok(got), _)) => committed.push(got),
+                        Some((Err(e), poisoned)) => {
+                            if poisoned || quarantine_worthy(&e) {
+                                self.mark_quarantined(&set, *shard, &mut slot, e.to_string());
+                            }
+                            error = Some((id, e));
+                            break;
+                        }
+                        None => {
+                            error = Some((id, WalrusError::ShardUnavailable { shard: *shard }));
+                            break;
+                        }
+                    }
+                }
+                ShardIngest { committed, error }
+            });
+
+        // Ids are never reused: advance past the highest committed id even
+        // when a lower id on another shard failed (the failed slot becomes
+        // a tombstone-padded hole in its shard, like any sparse global id).
+        let max_committed = results.iter().flat_map(|r| r.committed.iter().copied()).max();
+        if let Some(max_id) = max_committed {
+            *next = (*next).max(max_id + 1);
+        }
+        if let Some((_, e)) =
+            results.into_iter().filter_map(|r| r.error).min_by_key(|(id, _)| *id)
+        {
+            return Err(e);
+        }
+
+        let ids: Vec<usize> = (base..base + items.len()).collect();
         if let Some(s) = &wal_span {
             s.add("records", ids.len() as u64);
             s.add("bytes", self.wal_len().saturating_sub(wal_before));
@@ -1460,6 +1540,34 @@ impl ShardedStore {
         }
     }
 
+    /// Content fingerprint for result caching — see
+    /// [`Store::content_stamp`] for the contract. Folds the layout epoch,
+    /// the live rebalancing flag, the shard count, and each shard's
+    /// (healthy, last LSN) pair, so committed ingest, quarantine
+    /// transitions, and layout changes all produce a new stamp while
+    /// checkpoints (which leave LSNs untouched) do not.
+    pub fn content_stamp(&self) -> u64 {
+        use crate::store::{stamp_fold, STAMP_BASIS};
+        let set = self.layout();
+        let mut h = STAMP_BASIS;
+        h = stamp_fold(h, set.epoch);
+        h = stamp_fold(h, self.rebalancing.load(Ordering::Acquire) as u64);
+        h = stamp_fold(h, set.shards.len() as u64);
+        for slot in &set.shards {
+            match &*slot.read() {
+                ShardSlot::Healthy(db) => {
+                    h = stamp_fold(h, 1);
+                    h = stamp_fold(h, db.last_lsn());
+                }
+                ShardSlot::Quarantined { .. } => {
+                    h = stamp_fold(h, 0);
+                    h = stamp_fold(h, 0);
+                }
+            }
+        }
+        h
+    }
+
     /// Live images across healthy shards.
     pub fn len(&self) -> usize {
         self.fold_healthy(|db| db.len())
@@ -1567,6 +1675,10 @@ impl Store for ShardedStore {
 
     fn rebalance_status(&self) -> RebalanceStatus {
         ShardedStore::rebalance_status(self)
+    }
+
+    fn content_stamp(&self) -> u64 {
+        ShardedStore::content_stamp(self)
     }
 }
 

@@ -152,7 +152,29 @@ pub trait Store: Send + Sync {
     fn rebalance_status(&self) -> RebalanceStatus {
         RebalanceStatus::default()
     }
+
+    /// An opaque fingerprint of the store's queryable content, for result
+    /// caching: two calls return the same value **only if** every query
+    /// answers identically in between. It must change on every committed
+    /// ingest/remove (LSN advance), on shard quarantine or recovery, and on
+    /// every rebalance epoch/migration-state change. It must **not** change
+    /// on a checkpoint — folding the WAL into a snapshot rewrites bytes,
+    /// not answers, so caches survive checkpoints.
+    fn content_stamp(&self) -> u64;
 }
+
+/// FNV-1a 64 step used to fold fields into a [`Store::content_stamp`].
+pub(crate) fn stamp_fold(hash: u64, value: u64) -> u64 {
+    let mut hash = hash;
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a 64 offset basis; stamps start here so an empty store is nonzero.
+pub(crate) const STAMP_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
 impl Store for SharedDurableDatabase {
     fn params(&self) -> WalrusParams {
@@ -226,5 +248,11 @@ impl Store for SharedDurableDatabase {
             images: SharedDurableDatabase::len(self),
             wal_bytes: SharedDurableDatabase::wal_len(self),
         }]
+    }
+
+    fn content_stamp(&self) -> u64 {
+        // The WAL LSN advances on every committed mutation and is untouched
+        // by checkpoints, which is exactly the invalidation contract.
+        stamp_fold(STAMP_BASIS, self.last_lsn())
     }
 }

@@ -1,0 +1,142 @@
+//! # walrus-reactor
+//!
+//! A dependency-free readiness-based event loop for Linux, built on `epoll`
+//! through a thin FFI shim (the same style as the `signal(2)` binding in
+//! walrus-server — no libc crate, just the symbols every unix target links
+//! anyway).
+//!
+//! This crate is deliberately protocol-agnostic: it knows about file
+//! descriptors, readiness, tokens, and cross-thread wakeups, and nothing
+//! about HTTP or WALRUS. The HTTP per-connection state machine that drives
+//! it lives in `walrus-server::reactor`, which keeps the dependency arrow
+//! pointing one way (server → reactor).
+//!
+//! * [`Poller`] — one epoll instance; `register`/`modify`/`deregister` fds
+//!   under opaque `u64` tokens, `wait` for decoded [`Event`]s. Level-
+//!   triggered, so "still has buffered data" needs no bookkeeping.
+//! * [`Waker`] — the self-pipe trick: worker threads finishing CPU-bound
+//!   jobs call [`WakeHandle::wake`] to pop a blocked `epoll_wait`
+//!   immediately instead of waiting out the poll tick.
+//!
+//! On non-Linux unix targets the module compiles to a stub and
+//! [`supported`] returns `false`; callers fall back to thread-per-
+//! connection serving.
+
+#[cfg(target_os = "linux")]
+pub mod poller;
+#[cfg(target_os = "linux")]
+pub mod sys;
+#[cfg(target_os = "linux")]
+pub mod wake;
+
+#[cfg(target_os = "linux")]
+pub use poller::{Event, Interest, Poller};
+#[cfg(target_os = "linux")]
+pub use wake::{WakeHandle, Waker};
+
+/// True when the reactor backend can run on this target.
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn poller_reports_listener_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no pending connection yet");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        // Generous timeout; returns as soon as the connect lands.
+        poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn waker_pops_wait_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, 99).unwrap();
+        let handle = waker.handle();
+
+        // Multiple wakes before a wait: one event, then drained.
+        handle.wake();
+        handle.wake();
+        handle.wake();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.drain();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "drain must clear the pipe");
+    }
+
+    #[test]
+    fn wake_from_another_thread_while_blocked() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, 1).unwrap();
+        let handle = waker.handle();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            handle.wake();
+        });
+        let mut events = Vec::new();
+        let started = std::time::Instant::now();
+        poller.wait(&mut events, 10_000).unwrap();
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+        assert_eq!(events.len(), 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn interest_modify_switches_read_to_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.register(server_side.as_raw_fd(), 3, Interest::READ).unwrap();
+
+        // Idle socket with read interest: nothing.
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+
+        // Write interest on an idle socket: immediately writable.
+        poller.modify(server_side.as_raw_fd(), 3, Interest::WRITE).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable);
+        assert!(!events[0].readable);
+
+        // Back to read interest; incoming bytes fire it.
+        poller.modify(server_side.as_raw_fd(), 3, Interest::READ).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable);
+
+        poller.deregister(server_side.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "deregistered fd must not report");
+    }
+}

@@ -1,0 +1,112 @@
+//! The readiness poller: a safe wrapper over one epoll instance.
+//!
+//! Level-triggered by design — a connection with unread bytes or unwritten
+//! response keeps reporting ready, so the event loop never has to remember
+//! "there might still be data" itself. Tokens are opaque `u64`s chosen by
+//! the caller; the poller never interprets them.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+use crate::sys::{
+    sys_close, sys_epoll_create, sys_epoll_ctl, sys_epoll_wait, EpollEvent, EPOLLERR, EPOLLHUP,
+    EPOLLIN, EPOLLOUT, EPOLLRDHUP, EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD,
+};
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+
+    fn bits(self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness event, decoded from the kernel's bitmask.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token supplied at registration.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// `EPOLLERR` / `EPOLLHUP` / `EPOLLRDHUP`: the peer is gone or the
+    /// socket is in an error state. Data may still be buffered — callers
+    /// should attempt a read before discarding the connection.
+    pub closed: bool,
+}
+
+/// A safe epoll instance. Dropping it closes the epoll fd (registered fds
+/// are *not* closed — their owners do that).
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { epfd: sys_epoll_create()? })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys_epoll_ctl(
+            self.epfd,
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent { events: interest.bits(), data: token }),
+        )
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys_epoll_ctl(
+            self.epfd,
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent { events: interest.bits(), data: token }),
+        )
+    }
+
+    /// Removes `fd` from the interest set.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        sys_epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits up to `timeout_ms` (`-1` = forever) and appends decoded events
+    /// to `out`. Returns the number of events delivered this call.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+        let n = sys_epoll_wait(self.epfd, &mut raw, timeout_ms)?;
+        for ev in raw.iter().take(n) {
+            // Copy out of the (possibly packed) struct before using.
+            let events = ev.events;
+            let data = ev.data;
+            out.push(Event {
+                token: data,
+                readable: events & EPOLLIN != 0,
+                writable: events & EPOLLOUT != 0,
+                closed: events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys_close(self.epfd);
+    }
+}

@@ -1,0 +1,124 @@
+//! Thin FFI over the handful of kernel calls the reactor needs.
+//!
+//! Same philosophy as the `signal(2)` shim in walrus-server: the container
+//! has no libc crate, but every unix target links libc anyway, so the
+//! symbols are declared directly. Only the constants and calls actually
+//! used are bound, and every wrapper converts `-1` into
+//! [`std::io::Error::last_os_error`] so callers never touch `errno`.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// `epoll_event.events` bits (from `<sys/epoll.h>`).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half — lets keep-alive connections be reaped
+/// without waiting for a read to return 0.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// `pipe2` flags.
+pub const O_NONBLOCK: i32 = 0o4000;
+pub const O_CLOEXEC: i32 = 0o2000000;
+
+/// Mirror of the kernel's `struct epoll_event`. On x86-64 the kernel ABI
+/// packs it (no padding between `events` and `data`); other arches use
+/// natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// `epoll_ctl`; `event` may be `None` only for `EPOLL_CTL_DEL`.
+pub fn sys_epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+    let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// `epoll_wait`, retried on `EINTR` so signal delivery (SIGTERM during
+/// graceful drain) never surfaces as a spurious error.
+pub fn sys_epoll_wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let n = unsafe {
+            epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+        };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// `pipe2(O_NONBLOCK | O_CLOEXEC)` → `(read_end, write_end)`.
+pub fn sys_pipe() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0i32; 2];
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+    Ok((fds[0], fds[1]))
+}
+
+/// `close(2)`; errors ignored (nothing useful can be done at teardown).
+pub fn sys_close(fd: RawFd) {
+    unsafe {
+        close(fd);
+    }
+}
+
+/// Nonblocking `read(2)`; `Ok(0)` is EOF, `WouldBlock` means drained.
+pub fn sys_read(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Nonblocking `write(2)`.
+pub fn sys_write(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}

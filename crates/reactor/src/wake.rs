@@ -1,0 +1,89 @@
+//! Cross-thread wakeups via the classic self-pipe trick.
+//!
+//! Worker threads finish CPU-bound jobs off the event loop; they call
+//! [`WakeHandle::wake`] to make a blocked `epoll_wait` return immediately
+//! so the loop can collect completions. The pipe is nonblocking on both
+//! ends: a full pipe means a wakeup is already pending, so `EAGAIN` on
+//! write is success, and the loop drains the read end each time it fires.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+
+use crate::poller::{Interest, Poller};
+use crate::sys::{sys_close, sys_pipe, sys_read, sys_write};
+
+/// Owns the write end so it stays open as long as any [`WakeHandle`] is
+/// alive — workers may outlive the event loop briefly during shutdown, and
+/// a wake must never hit a closed (or recycled) fd.
+struct WriteEnd(RawFd);
+
+impl Drop for WriteEnd {
+    fn drop(&mut self) {
+        sys_close(self.0);
+    }
+}
+
+/// The read half lives in the event loop (registered with the poller);
+/// [`WakeHandle`]s are cloned into worker completion callbacks.
+pub struct Waker {
+    read_fd: RawFd,
+    write: Arc<WriteEnd>,
+}
+
+impl Waker {
+    /// Creates the pipe and registers its read end under `token`.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys_pipe()?;
+        poller.register(read_fd, token, Interest::READ)?;
+        Ok(Waker { read_fd, write: Arc::new(WriteEnd(write_fd)) })
+    }
+
+    /// Signals the event loop. Safe to call from any thread; coalesces —
+    /// many wakes before one drain still cause only one loop iteration.
+    pub fn wake(&self) {
+        // EAGAIN (pipe full) means a wakeup is already queued; any other
+        // error leaves the 100ms poll tick as the fallback.
+        let _ = sys_write(self.write.0, &[1u8]);
+    }
+
+    /// Drains pending wakeups; call whenever the waker token fires.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match sys_read(self.read_fd, &mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break, // EAGAIN: drained
+            }
+        }
+    }
+
+    /// A handle that can wake the loop from other threads; keeps the write
+    /// end open for as long as it lives.
+    pub fn handle(&self) -> WakeHandle {
+        WakeHandle { write: Arc::clone(&self.write) }
+    }
+}
+
+/// Cheap cloneable cross-thread wake handle.
+#[derive(Clone)]
+pub struct WakeHandle {
+    write: Arc<WriteEnd>,
+}
+
+impl WakeHandle {
+    pub fn wake(&self) {
+        let _ = sys_write(self.write.0, &[1u8]);
+    }
+}
+
+// The raw fds inside are plain integers; the pipe syscalls are thread-safe.
+unsafe impl Send for WakeHandle {}
+unsafe impl Sync for WakeHandle {}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys_close(self.read_fd);
+    }
+}

@@ -129,6 +129,154 @@ enum Fill {
     Tick,
 }
 
+/// Outcome of one [`parse_request_bytes`] attempt over a byte buffer.
+///
+/// This is the *pure* core of the parser: no IO, no clock, no state beyond
+/// the bytes themselves. The blocking [`Conn`] and the event-driven reactor
+/// backend both call it in a loop as bytes arrive, so a request is parsed
+/// identically — byte for byte, error message for error message — whichever
+/// serving core received it.
+#[derive(Debug)]
+pub enum ParseStep {
+    /// A complete request; `consumed` bytes of the buffer belong to it
+    /// (head + body). Bytes past `consumed` are pipelined data for the
+    /// next request.
+    Ready {
+        req: Request,
+        consumed: usize,
+    },
+    /// More bytes are needed. `in_body` distinguishes a half-received head
+    /// from a half-received body, so timeout/EOF paths can report
+    /// "request head" vs "request body" exactly as before.
+    Incomplete {
+        in_body: bool,
+    },
+    /// Protocol violation: answer with `status` and close.
+    Reject {
+        status: u16,
+        message: String,
+    },
+}
+
+fn reject(status: u16, message: impl Into<String>) -> ParseStep {
+    ParseStep::Reject { status, message: message.into() }
+}
+
+/// Attempts to parse one request from the front of `buf`, enforcing
+/// `limits`. Pure and restartable: callers re-invoke with a longer buffer
+/// until it stops returning [`ParseStep::Incomplete`].
+pub fn parse_request_bytes(buf: &[u8], limits: &HttpLimits) -> ParseStep {
+    // Phase 1: the head (request line + headers) must be complete.
+    let Some((head_len, body_start)) = find_head_end(buf) else {
+        if buf.len() > limits.max_head_bytes {
+            return reject(431, "request head exceeds limit");
+        }
+        return ParseStep::Incomplete { in_body: false };
+    };
+
+    let head = match String::from_utf8(buf[..head_len].to_vec()) {
+        Ok(head) => head,
+        Err(_) => return reject(400, "request head is not UTF-8"),
+    };
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > limits.max_request_line {
+        return reject(414, "request line exceeds limit");
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) =
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v), None) => (m, t, v),
+            _ => return reject(400, "malformed request line"),
+        };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return reject(400, "malformed method token");
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return reject(505, "unsupported HTTP version"),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= limits.max_headers {
+            return reject(431, "too many header fields");
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return reject(400, "malformed header field");
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return reject(400, "malformed header name");
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Framing. `Transfer-Encoding` of any kind is out of scope: answer
+    // 411 instead of guessing where the body ends.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return reject(411, "transfer-encoding not supported; use content-length");
+    }
+    let mut content_length = 0usize;
+    let mut saw_length = None::<&str>;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            match saw_length {
+                None => saw_length = Some(v),
+                Some(prev) if prev == v => {}
+                Some(_) => return reject(400, "conflicting content-length fields"),
+            }
+            content_length = match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return reject(400, "invalid content-length"),
+            };
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return reject(413, "declared body exceeds limit");
+    }
+
+    // Phase 2: the body must be complete. Bytes past it stay in the buffer
+    // for the next request on this connection.
+    if buf.len() - body_start < content_length {
+        return ParseStep::Incomplete { in_body: true };
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+
+    // `Connection: close` wins; otherwise 1.1 defaults open, 1.0
+    // defaults closed.
+    let conn_header = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match conn_header.as_deref() {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => http11,
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+
+    ParseStep::Ready {
+        req: Request {
+            method: method.to_string(),
+            path: percent_decode(path),
+            query,
+            headers,
+            body,
+            keep_alive,
+        },
+        consumed: body_start + content_length,
+    }
+}
+
 /// A buffered HTTP connection over any blocking byte stream. The stream
 /// should have a short read timeout configured (see [`Conn::read_request`]'s
 /// tick handling); `TcpStream::set_read_timeout` is the production path and
@@ -164,6 +312,10 @@ impl<S: Read + Write> Conn<S> {
 
     /// Reads and parses the next request, enforcing `limits` and the pacing
     /// in `opts`. On `Err(Bad { .. })` the caller should answer and close.
+    ///
+    /// This is a thin IO/pacing loop around [`parse_request_bytes`]; the
+    /// reactor backend wraps the same function with epoll-driven fills, so
+    /// both serving cores share one parser.
     pub fn read_request(
         &mut self,
         limits: &HttpLimits,
@@ -172,19 +324,24 @@ impl<S: Read + Write> Conn<S> {
         let started = opts.clock.now_nanos();
         let elapsed =
             || Duration::from_nanos(opts.clock.now_nanos().saturating_sub(started));
-        // Phase 1: accumulate the head (request line + headers).
-        let (head_len, body_start) = loop {
-            if let Some(found) = find_head_end(&self.buf) {
-                break found;
-            }
-            if self.buf.len() > limits.max_head_bytes {
-                return Err(bad(431, "request head exceeds limit"));
-            }
+        loop {
+            let in_body = match parse_request_bytes(&self.buf, limits) {
+                ParseStep::Ready { req, consumed } => {
+                    self.buf.drain(..consumed);
+                    return Ok(req);
+                }
+                ParseStep::Reject { status, message } => {
+                    return Err(ParseError::Bad { status, message });
+                }
+                ParseStep::Incomplete { in_body } => in_body,
+            };
             match self.fill()? {
                 Fill::Data => continue,
                 Fill::Eof => {
                     return if self.buf.is_empty() {
                         Err(ParseError::Closed)
+                    } else if in_body {
+                        Err(bad(400, "connection closed mid-body"))
                     } else {
                         Err(bad(400, "connection closed mid-request"))
                     };
@@ -202,135 +359,21 @@ impl<S: Read + Write> Conn<S> {
                             return Err(ParseError::Closed);
                         }
                     } else if elapsed() >= opts.read_timeout {
-                        return Err(bad(408, "timed out receiving request head"));
-                    }
-                }
-            }
-        };
-
-        // Owned copy: the body phase below needs `self.buf` mutable while
-        // pieces of the head are still alive.
-        let head = String::from_utf8(self.buf[..head_len].to_vec())
-            .map_err(|_| bad(400, "request head is not UTF-8"))?;
-        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
-        let request_line = lines.next().unwrap_or("");
-        if request_line.len() > limits.max_request_line {
-            return Err(bad(414, "request line exceeds limit"));
-        }
-        let mut parts = request_line.split_whitespace();
-        let (method, target, version) =
-            match (parts.next(), parts.next(), parts.next(), parts.next()) {
-                (Some(m), Some(t), Some(v), None) => (m, t, v),
-                _ => return Err(bad(400, "malformed request line")),
-            };
-        if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
-            return Err(bad(400, "malformed method token"));
-        }
-        let http11 = match version {
-            "HTTP/1.1" => true,
-            "HTTP/1.0" => false,
-            _ => return Err(bad(505, "unsupported HTTP version")),
-        };
-
-        let mut headers = Vec::new();
-        for line in lines {
-            if line.is_empty() {
-                continue;
-            }
-            if headers.len() >= limits.max_headers {
-                return Err(bad(431, "too many header fields"));
-            }
-            let Some((name, value)) = line.split_once(':') else {
-                return Err(bad(400, "malformed header field"));
-            };
-            let name = name.trim();
-            if name.is_empty() || name.contains(char::is_whitespace) {
-                return Err(bad(400, "malformed header name"));
-            }
-            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-        }
-
-        // Framing. `Transfer-Encoding` of any kind is out of scope: answer
-        // 411 instead of guessing where the body ends.
-        if headers.iter().any(|(k, _)| k == "transfer-encoding") {
-            return Err(bad(411, "transfer-encoding not supported; use content-length"));
-        }
-        let mut content_length = 0usize;
-        let mut saw_length = None::<&str>;
-        for (k, v) in &headers {
-            if k == "content-length" {
-                match saw_length {
-                    None => saw_length = Some(v),
-                    Some(prev) if prev == v => {}
-                    Some(_) => return Err(bad(400, "conflicting content-length fields")),
-                }
-                content_length =
-                    v.parse::<usize>().map_err(|_| bad(400, "invalid content-length"))?;
-            }
-        }
-        if content_length > limits.max_body_bytes {
-            return Err(bad(413, "declared body exceeds limit"));
-        }
-
-        // Phase 2: the body. Bytes past it stay buffered for the next
-        // request on this connection.
-        self.buf.drain(..body_start);
-        while self.buf.len() < content_length {
-            match self.fill()? {
-                Fill::Data => continue,
-                Fill::Eof => return Err(bad(400, "connection closed mid-body")),
-                Fill::Tick => {
-                    if (opts.stopping)() {
-                        return Err(bad(503, "server shutting down"));
-                    }
-                    if elapsed() >= opts.read_timeout {
-                        return Err(bad(408, "timed out receiving request body"));
+                        return Err(if in_body {
+                            bad(408, "timed out receiving request body")
+                        } else {
+                            bad(408, "timed out receiving request head")
+                        });
                     }
                 }
             }
         }
-        let body: Vec<u8> = self.buf.drain(..content_length).collect();
-
-        // `Connection: close` wins; otherwise 1.1 defaults open, 1.0
-        // defaults closed.
-        let conn_header = headers
-            .iter()
-            .find(|(k, _)| k == "connection")
-            .map(|(_, v)| v.to_ascii_lowercase());
-        let keep_alive = match conn_header.as_deref() {
-            Some(v) if v.contains("close") => false,
-            Some(v) if v.contains("keep-alive") => true,
-            _ => http11,
-        };
-
-        let (path, query) = match target.split_once('?') {
-            Some((p, q)) => (p, parse_query(q)),
-            None => (target, Vec::new()),
-        };
-
-        Ok(Request {
-            method: method.to_string(),
-            path: percent_decode(path),
-            query,
-            headers,
-            body,
-            keep_alive,
-        })
     }
 
     /// Serializes `resp` to the peer.
     pub fn write_response(&mut self, resp: &Response) -> std::io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            resp.status,
-            reason(resp.status),
-            resp.content_type,
-            resp.body.len(),
-            if resp.close { "close" } else { "keep-alive" },
-        )
-        .into_bytes();
-        head.extend_from_slice(&resp.body);
-        self.stream.write_all(&head)?;
+        let bytes = encode_response(resp);
+        self.stream.write_all(&bytes)?;
         self.stream.flush()
     }
 
@@ -398,6 +441,23 @@ fn percent_decode(s: &str) -> String {
         }
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Serializes a response to wire bytes (status line, framing headers,
+/// body). Shared by the blocking [`Conn`] writer and the reactor's
+/// buffered write path so the bytes on the wire are identical.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if resp.close { "close" } else { "keep-alive" },
+    )
+    .into_bytes();
+    out.extend_from_slice(&resp.body);
+    out
 }
 
 /// One response. `close` is set by the connection loop, not the router.
@@ -714,6 +774,63 @@ mod tests {
         let err = Conn::new(stream).read_request(&HttpLimits::default(), &opts);
         assert!(matches!(err, Err(ParseError::Closed)), "{err:?}");
         assert_eq!(clock.elapsed(), Duration::from_secs(10));
+    }
+
+    /// The pure parser must be restartable: feeding any prefix of a valid
+    /// request reports `Incomplete` (never a spurious reject), with the
+    /// head/body phase flag flipping exactly at the head terminator — the
+    /// contract the reactor's byte-at-a-time arrivals rely on.
+    #[test]
+    fn incremental_parse_is_restartable() {
+        let full: &[u8] = b"POST /ingest?name=x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let limits = HttpLimits::default();
+        let head_end = find_head_end(full).unwrap().1;
+        for cut in 0..full.len() {
+            match parse_request_bytes(&full[..cut], &limits) {
+                ParseStep::Incomplete { in_body } => {
+                    assert_eq!(in_body, cut >= head_end, "cut={cut}");
+                }
+                ParseStep::Reject { status, .. } => panic!("prefix {cut} rejected {status}"),
+                ParseStep::Ready { .. } => panic!("prefix {cut} cannot be complete"),
+            }
+        }
+        match parse_request_bytes(full, &limits) {
+            ParseStep::Ready { req, consumed } => {
+                assert_eq!(consumed, full.len());
+                assert_eq!(req.body, b"hello");
+                assert_eq!(req.query_param("name"), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// `consumed` must stop exactly at the request boundary so pipelined
+    /// bytes stay available for the next parse.
+    #[test]
+    fn pure_parser_reports_pipelined_boundary() {
+        let full: &[u8] =
+            b"POST /ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\n\r\n";
+        let limits = HttpLimits::default();
+        let ParseStep::Ready { req, consumed } = parse_request_bytes(full, &limits) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(req.body, b"hello");
+        let ParseStep::Ready { req, consumed: rest } =
+            parse_request_bytes(&full[consumed..], &limits)
+        else {
+            panic!("second request must parse");
+        };
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(consumed + rest, full.len());
+    }
+
+    #[test]
+    fn encode_response_matches_write_response() {
+        let mut resp = Response::json(206, "{\"x\":1}".to_string());
+        resp.close = false;
+        let mut conn = Conn::new(MemStream::new(b""));
+        conn.write_response(&resp).unwrap();
+        assert_eq!(conn.stream_mut().output, encode_response(&resp));
     }
 
     #[test]

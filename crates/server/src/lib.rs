@@ -15,10 +15,18 @@
 //!   library answers (deadline-partial `206`s included);
 //! * [`metrics`] — lock-light counters and latency percentile rings behind
 //!   `GET /metrics`;
+//! * [`cache`] — an LSN-invalidated query-result cache: repeat queries are
+//!   answered byte-identically from memory until the store's
+//!   [`content_stamp`](walrus_core::Store::content_stamp) moves;
 //! * [`server`] — the accept loop feeding a bounded
 //!   [`WorkerPool`](walrus_parallel::WorkerPool), explicit `503`
 //!   load-shedding, and graceful drain-then-cancel shutdown ending in a
 //!   final checkpoint;
+//! * [`reactor`] — the opt-in (`--reactor` / `WALRUS_REACTOR=1`)
+//!   epoll-driven connection backend: one event-loop thread multiplexes
+//!   every socket through nonblocking state machines, so 10k idle
+//!   keep-alive connections cost file descriptors instead of threads,
+//!   while CPU-bound requests still dispatch to the same pool;
 //! * [`client`] — a tiny blocking client used by the e2e tests and
 //!   `walrus bench-http`.
 //!
@@ -39,12 +47,15 @@
 //! # Ok::<(), walrus_core::WalrusError>(())
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod reactor;
 pub mod router;
 pub mod server;
 
+pub use cache::QueryCache;
 pub use client::{Client, ClientResponse};
 pub use http::{HttpLimits, Request, Response};
 pub use metrics::{InFlight, Metrics, StageMetrics, TraceStore, STAGE_NAMES};

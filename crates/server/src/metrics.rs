@@ -81,9 +81,11 @@ impl LatencyRing {
 /// rendered in `/metrics` whether or not it has samples yet, so scrape-side
 /// dashboards and the CI invariant checker can rely on the complete set.
 /// Order matches the pipeline: query stages first, then the ingest-only WAL
-/// stage.
-pub const STAGE_NAMES: [&str; 6] =
-    ["decode", "wavelet", "birch", "rstar_probe", "match", "wal_append"];
+/// stage, then the serving-layer cache stage (a cache-hit query spends its
+/// whole life there — it is *not* folded into `rstar_probe` or any other
+/// engine stage it never ran).
+pub const STAGE_NAMES: [&str; 7] =
+    ["decode", "wavelet", "birch", "rstar_probe", "match", "wal_append", "cache"];
 
 /// One lock-free duration histogram per declared pipeline stage.
 #[derive(Debug, Default)]
@@ -223,6 +225,13 @@ pub struct Metrics {
     /// Index candidates that reached the exact geometry test, summed over
     /// traced requests (the prefilter's denominator).
     pub candidates_exact_total: AtomicU64,
+    /// Query-result cache outcomes: hits served from memory, misses that
+    /// ran the engine, entries evicted by LRU pressure, and entries
+    /// invalidated because the store's content stamp moved on.
+    pub cache_hits_total: AtomicU64,
+    pub cache_misses_total: AtomicU64,
+    pub cache_evictions_total: AtomicU64,
+    pub cache_invalidations_total: AtomicU64,
     /// Query / ingest handler latency windows.
     pub query_latency: LatencyRing,
     pub ingest_latency: LatencyRing,
@@ -260,6 +269,10 @@ impl Metrics {
             rebalances_total: AtomicU64::new(0),
             signatures_rejected_total: AtomicU64::new(0),
             candidates_exact_total: AtomicU64::new(0),
+            cache_hits_total: AtomicU64::new(0),
+            cache_misses_total: AtomicU64::new(0),
+            cache_evictions_total: AtomicU64::new(0),
+            cache_invalidations_total: AtomicU64::new(0),
             query_latency: LatencyRing::default(),
             ingest_latency: LatencyRing::default(),
             stages: StageMetrics::default(),
@@ -350,6 +363,16 @@ impl Metrics {
         out.push_str(&format!(
             "walrus_candidates_exact_total {}\n",
             load(&self.candidates_exact_total)
+        ));
+        out.push_str(&format!("walrus_cache_hits_total {}\n", load(&self.cache_hits_total)));
+        out.push_str(&format!("walrus_cache_misses_total {}\n", load(&self.cache_misses_total)));
+        out.push_str(&format!(
+            "walrus_cache_evictions_total {}\n",
+            load(&self.cache_evictions_total)
+        ));
+        out.push_str(&format!(
+            "walrus_cache_invalidations_total {}\n",
+            load(&self.cache_invalidations_total)
         ));
         for (ring, what) in [(&self.query_latency, "query"), (&self.ingest_latency, "ingest")] {
             if let Some([p50, p95, p99]) = ring.percentiles() {

@@ -1,0 +1,594 @@
+//! The event-driven serving core: one epoll loop, many sockets, zero
+//! blocked threads.
+//!
+//! The threaded backend ([`crate::server`]) parks one pool worker per open
+//! connection; ten thousand idle keep-alive clients would need ten thousand
+//! threads. This backend multiplexes every connection through a single
+//! event-loop thread on [`walrus_reactor`]: sockets are nonblocking, each
+//! connection is a small state machine
+//! (`Reading` → `Dispatched` → `Writing` → back), and the only threads that
+//! exist are the loop itself plus the same fixed
+//! [`WorkerPool`](walrus_parallel::WorkerPool) the threaded backend uses —
+//! CPU-bound routing/engine work is *dispatched* to the pool and its
+//! response is handed back to the loop through a completion queue and a
+//! self-pipe [`Waker`](walrus_reactor::Waker).
+//!
+//! Behavioural parity with the threaded backend is a hard requirement — the
+//! full e2e and hostile-input suites run against both and expect identical
+//! bytes:
+//!
+//! * requests are parsed by the same [`parse_request_bytes`] pure parser,
+//!   so every limit and error message matches;
+//! * responses are serialized by the same [`encode_response`];
+//! * idle/read (slowloris) timeouts run on the injected [`ServerConfig`]
+//!   clock with the same budgets and the same 408/close behaviour;
+//! * load shedding answers the same `503 server overloaded; retry later`
+//!   and counts `walrus_rejected_total` (shed here happens at dispatch
+//!   time — the loop never blocks, so the accept-time check is
+//!   unnecessary);
+//! * graceful drain follows the same phases: stop accepting, close idle
+//!   connections, let in-flight requests finish for `drain_timeout`, then
+//!   cancel stragglers, then (after a 5s grace) drop what remains.
+//!
+//! [`parse_request_bytes`]: crate::http::parse_request_bytes
+//! [`encode_response`]: crate::http::encode_response
+//! [`ServerConfig`]: crate::ServerConfig
+
+/// Serves `listener` until `stop` flips, then drains. Entry point used by
+/// [`Server::start_arc`](crate::Server::start_arc) when the reactor backend
+/// is selected; on platforms without epoll this falls back to the threaded
+/// accept loop so `--reactor` degrades gracefully instead of failing.
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn serve(
+    listener: std::net::TcpListener,
+    pool: std::sync::Arc<walrus_parallel::WorkerPool>,
+    state: std::sync::Arc<crate::router::AppState>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    config: crate::server::ServerConfig,
+) {
+    crate::server::accept_loop(listener, pool, state, stop, config);
+}
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::serve;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::collections::HashMap;
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use walrus_parallel::WorkerPool;
+    use walrus_reactor::{Event, Interest, Poller, WakeHandle, Waker};
+
+    use crate::http::{encode_response, parse_request_bytes, ParseStep, Request, Response};
+    use crate::router::{self, AppState};
+    use crate::server::{ServerConfig, POLL_INTERVAL};
+
+    const LISTENER: u64 = 0;
+    const WAKER: u64 = 1;
+    /// First token handed to a connection.
+    const FIRST_CONN: u64 = 2;
+
+    /// Where a connection's fd currently sits in the epoll interest set.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Registered {
+        None,
+        Read,
+        Write,
+    }
+
+    /// What the connection is doing right now.
+    enum Phase {
+        /// Waiting for (more of) a request; fd registered for READ.
+        Reading,
+        /// A request is on the worker pool; fd deregistered — a
+        /// level-triggered HUP from an impatient client must not spin the
+        /// loop while the answer is being computed.
+        Dispatched,
+        /// A response is being written; fd registered for WRITE once the
+        /// socket back-pressures.
+        Writing { out: Vec<u8>, written: usize, close: bool },
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        token: u64,
+        buf: Vec<u8>,
+        phase: Phase,
+        registered: Registered,
+        /// Requests already completed on this connection (keep-alive cap).
+        served: usize,
+        /// Clock nanos when the wait for the current request began —
+        /// anchors both the idle and the read (slowloris) deadline, exactly
+        /// like the blocking `read_request`'s `started`.
+        wait_started: u64,
+        /// Whether the bytes received so far reach into a request body
+        /// (selects the "head" vs "body" flavour of timeout/EOF errors).
+        in_body: bool,
+        /// True while this connection holds `walrus_in_flight` — from
+        /// request dispatch (or error-response creation) until the response
+        /// bytes are fully written or the connection dies.
+        in_flight: bool,
+    }
+
+    /// Outcome of one nonblocking write burst.
+    enum WriteStep {
+        /// Response fully on the wire; `bool` is the close flag.
+        Done(bool),
+        /// Socket back-pressured; wait for WRITE readiness.
+        Wait,
+        /// Socket failed; drop the connection.
+        Dead,
+    }
+
+    /// Everything the loop owns. One instance per serve() call, single
+    /// threaded — only the completion queue and waker cross threads.
+    struct Reactor {
+        poller: Poller,
+        waker: Waker,
+        listener: Option<TcpListener>,
+        conns: HashMap<u64, Conn>,
+        next_token: u64,
+        pool: Arc<WorkerPool>,
+        state: Arc<AppState>,
+        config: ServerConfig,
+        completions: Arc<Mutex<Vec<(u64, Response)>>>,
+        wake: WakeHandle,
+    }
+
+    pub(crate) fn serve(
+        listener: TcpListener,
+        pool: Arc<WorkerPool>,
+        state: Arc<AppState>,
+        stop: Arc<AtomicBool>,
+        config: ServerConfig,
+    ) {
+        // If epoll setup fails at runtime (exotic sandbox), fall back to
+        // the threaded backend rather than serving nothing.
+        let poller = match Poller::new() {
+            Ok(p) => p,
+            Err(_) => return crate::server::accept_loop(listener, pool, state, stop, config),
+        };
+        let waker = match Waker::new(&poller, WAKER) {
+            Ok(w) => w,
+            Err(_) => return crate::server::accept_loop(listener, pool, state, stop, config),
+        };
+        if poller.register(listener.as_raw_fd(), LISTENER, Interest::READ).is_err() {
+            return crate::server::accept_loop(listener, pool, state, stop, config);
+        }
+        let wake = waker.handle();
+        let mut reactor = Reactor {
+            poller,
+            waker,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            next_token: FIRST_CONN,
+            pool,
+            state,
+            config,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            wake,
+        };
+        reactor.run(&stop);
+    }
+
+    impl Reactor {
+        fn run(&mut self, stop: &AtomicBool) {
+            let mut events: Vec<Event> = Vec::with_capacity(256);
+            // Drain bookkeeping (wall clock — drain budgets bound real
+            // time, unlike request deadlines which ride the test clock).
+            let mut drain_started: Option<Instant> = None;
+            let mut cancelled = false;
+            let poll_ms = POLL_INTERVAL.as_millis() as i32;
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    if drain_started.is_none() {
+                        drain_started = Some(Instant::now());
+                        if let Some(listener) = self.listener.take() {
+                            let _ = self.poller.deregister(listener.as_raw_fd());
+                            // Dropping the listener refuses new connections
+                            // at the TCP level, like the threaded backend's
+                            // dead listener.
+                        }
+                    }
+                    let pending =
+                        !self.conns.is_empty() || !self.completions.lock().unwrap().is_empty();
+                    if !pending {
+                        return;
+                    }
+                    let elapsed = drain_started.map(|t| t.elapsed()).unwrap_or_default();
+                    if !cancelled && elapsed >= self.config.drain_timeout {
+                        // Drain budget exhausted: abort in-flight guarded
+                        // engine calls (same trigger the threaded backend's
+                        // shutdown uses after `wait_idle` fails).
+                        self.state.cancel.cancel();
+                        cancelled = true;
+                    }
+                    if elapsed >= self.config.drain_timeout + Duration::from_secs(5) {
+                        // Final grace passed: abandon what's left. Workers
+                        // still running are the pool's problem (the server
+                        // handle joins the pool after this thread exits).
+                        return;
+                    }
+                }
+
+                events.clear();
+                let _ = self.poller.wait(&mut events, poll_ms);
+                // Detach the batch from `events`: the handlers mutate
+                // `self`, and `Event` is `Copy`.
+                let batch = std::mem::take(&mut events);
+                for &ev in &batch {
+                    match ev.token {
+                        LISTENER => self.accept_ready(),
+                        WAKER => {
+                            self.waker.drain();
+                            self.pump_completions();
+                        }
+                        token => self.conn_ready(token, ev),
+                    }
+                }
+                events = batch;
+                // Completions can also land between wakeups (coalesced
+                // wake, or a worker finishing during event handling).
+                self.pump_completions();
+                self.sweep_deadlines();
+            }
+        }
+
+        /// Accepts until the backlog is empty.
+        fn accept_ready(&mut self) {
+            loop {
+                let accepted = match self.listener.as_ref() {
+                    Some(listener) => listener.accept(),
+                    None => return,
+                };
+                match accepted {
+                    Ok((stream, _peer)) => {
+                        self.state.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        if self.poller.register(stream.as_raw_fd(), token, Interest::READ).is_err()
+                        {
+                            continue;
+                        }
+                        self.conns.insert(
+                            token,
+                            Conn {
+                                stream,
+                                token,
+                                buf: Vec::new(),
+                                phase: Phase::Reading,
+                                registered: Registered::Read,
+                                served: 0,
+                                wait_started: self.config.clock.now_nanos(),
+                                in_body: false,
+                                in_flight: false,
+                            },
+                        );
+                        // A full request may already sit in the kernel
+                        // buffer; level-triggered epoll would say so next
+                        // tick, but serving it now saves a wait.
+                        self.drive_read(token);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Err(_) => return, // transient (EMFILE, ECONNABORTED, ...)
+                }
+            }
+        }
+
+        /// Routes a readiness event to the connection's phase handler.
+        fn conn_ready(&mut self, token: u64, ev: Event) {
+            enum Action {
+                Read,
+                Write,
+                Nothing,
+            }
+            let action = match self.conns.get(&token) {
+                Some(conn) => match conn.phase {
+                    Phase::Reading if ev.readable || ev.closed => Action::Read,
+                    Phase::Writing { .. } if ev.writable || ev.closed => Action::Write,
+                    // `Dispatched` is deregistered; a stale event from
+                    // before deregistration can still be in this batch.
+                    _ => Action::Nothing,
+                },
+                None => Action::Nothing,
+            };
+            match action {
+                Action::Read => self.drive_read(token),
+                Action::Write => self.drive_write(token),
+                Action::Nothing => {}
+            }
+        }
+
+        /// Reads whatever is available and advances the parser; dispatches
+        /// a complete request, answers a protocol violation, or stays in
+        /// `Reading`.
+        fn drive_read(&mut self, token: u64) {
+            let limits = self.config.limits;
+            loop {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                match parse_request_bytes(&conn.buf, &limits) {
+                    ParseStep::Ready { req, consumed } => {
+                        conn.buf.drain(..consumed);
+                        conn.in_body = false;
+                        self.dispatch(token, req);
+                        return;
+                    }
+                    ParseStep::Reject { status, message } => {
+                        self.error_response(token, status, &message);
+                        return;
+                    }
+                    ParseStep::Incomplete { in_body } => conn.in_body = in_body,
+                }
+                let mut chunk = [0u8; 4096];
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // EOF. Same triage as the blocking path: clean at a
+                        // request boundary closes silently; mid-request
+                        // gets one best-effort 400.
+                        let empty = conn.buf.is_empty();
+                        let in_body = conn.in_body;
+                        if empty {
+                            self.close_conn(token);
+                        } else if in_body {
+                            self.error_response(token, 400, "connection closed mid-body");
+                        } else {
+                            self.error_response(token, 400, "connection closed mid-request");
+                        }
+                        return;
+                    }
+                    Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Hands a parsed request to the worker pool; the response comes
+        /// back through the completion queue.
+        fn dispatch(&mut self, token: u64, req: Request) {
+            // Load shedding, same policy and bytes as the threaded accept
+            // loop. This loop thread is the pool's only submitter, so the
+            // check is not racy.
+            if self.pool.pending() >= self.pool.capacity() {
+                self.state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::error(503, "server overloaded; retry later");
+                resp.close = true;
+                // Parity: the threaded shed happens before a request is
+                // ever read, so it neither counts a response status nor
+                // holds the in-flight gauge.
+                self.start_write(token, resp);
+                return;
+            }
+            let (fd, was_registered, served) = {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                conn.in_flight = true;
+                conn.phase = Phase::Dispatched;
+                let was = conn.registered;
+                conn.registered = Registered::None;
+                (conn.stream.as_raw_fd(), was, conn.served)
+            };
+            // The in-flight gauge covers routing *and* the response write,
+            // exactly like the threaded backend's RAII guard; here the
+            // connection carries the marker because the work changes
+            // threads mid-request.
+            self.state.metrics.in_flight.fetch_add(1, Ordering::AcqRel);
+            if was_registered != Registered::None {
+                let _ = self.poller.deregister(fd);
+            }
+            let state = Arc::clone(&self.state);
+            let completions = Arc::clone(&self.completions);
+            let wake = self.wake.clone();
+            let keep_alive_max = self.config.keep_alive_max;
+            let submitted = self.pool.try_execute(move || {
+                let mut resp = router::handle(&state, &req);
+                resp.close =
+                    !req.keep_alive || state.is_stopping() || served + 1 == keep_alive_max;
+                completions.lock().unwrap().push((token, resp));
+                wake.wake();
+            });
+            if submitted.is_err() {
+                // Shutdown won the race; drop the connection like the
+                // threaded backend drops the un-submitted closure.
+                self.state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+                self.close_conn(token);
+            }
+        }
+
+        /// Collects finished responses from the workers and starts writing
+        /// them.
+        fn pump_completions(&mut self) {
+            let done: Vec<(u64, Response)> =
+                std::mem::take(&mut *self.completions.lock().unwrap());
+            for (token, resp) in done {
+                let dispatched = matches!(
+                    self.conns.get(&token),
+                    Some(Conn { phase: Phase::Dispatched, .. })
+                );
+                if dispatched {
+                    self.start_write(token, resp);
+                }
+                // Otherwise the connection died while the worker ran
+                // (force-dropped during drain); its gauge was released at
+                // close and the response has nowhere to go.
+            }
+        }
+
+        /// One best-effort error answer, then close — the counterpart of
+        /// the threaded backend's `ParseError::Bad` arm (counted as a
+        /// response and visible in-flight while written).
+        fn error_response(&mut self, token: u64, status: u16, message: &str) {
+            {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                conn.in_flight = true;
+            }
+            self.state.metrics.in_flight.fetch_add(1, Ordering::AcqRel);
+            self.state.metrics.count_response(status);
+            let mut resp = Response::error(status, message);
+            resp.close = true;
+            self.start_write(token, resp);
+        }
+
+        /// Serializes `resp` and enters `Writing`.
+        fn start_write(&mut self, token: u64, resp: Response) {
+            {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                let out = encode_response(&resp);
+                conn.phase = Phase::Writing { out, written: 0, close: resp.close };
+            }
+            self.drive_write(token);
+        }
+
+        /// Pushes response bytes until done or the socket back-pressures.
+        fn drive_write(&mut self, token: u64) {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                let Phase::Writing { out, written, close } = &mut conn.phase else { return };
+                loop {
+                    if *written >= out.len() {
+                        break WriteStep::Done(*close);
+                    }
+                    match conn.stream.write(&out[*written..]) {
+                        Ok(0) => break WriteStep::Dead,
+                        Ok(n) => *written += n,
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break WriteStep::Wait,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => break WriteStep::Dead,
+                    }
+                }
+            };
+            match step {
+                WriteStep::Done(close) => self.finish_write(token, close),
+                WriteStep::Dead => self.close_conn(token),
+                WriteStep::Wait => {
+                    if self.rearm(token, Interest::WRITE, Registered::Write).is_err() {
+                        self.close_conn(token);
+                    }
+                }
+            }
+        }
+
+        /// A response is fully on the wire: release the gauge, then either
+        /// close or rearm for the next keep-alive request.
+        fn finish_write(&mut self, token: u64, close: bool) {
+            let now = self.config.clock.now_nanos();
+            let release = {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                let held = conn.in_flight;
+                conn.in_flight = false;
+                held
+            };
+            if release {
+                self.state.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            if close {
+                self.close_conn(token);
+                return;
+            }
+            {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                conn.served += 1;
+                conn.phase = Phase::Reading;
+                conn.wait_started = now;
+                conn.in_body = false;
+            }
+            if self.rearm(token, Interest::READ, Registered::Read).is_err() {
+                self.close_conn(token);
+                return;
+            }
+            // Pipelined bytes may already complete the next request.
+            self.drive_read(token);
+        }
+
+        /// Moves a connection's epoll registration to `interest`.
+        fn rearm(&mut self, token: u64, interest: Interest, target: Registered) -> Result<(), ()> {
+            let (fd, current) = match self.conns.get(&token) {
+                Some(conn) => (conn.stream.as_raw_fd(), conn.registered),
+                None => return Err(()),
+            };
+            let res = match current {
+                r if r == target => Ok(()),
+                Registered::None => self.poller.register(fd, token, interest),
+                _ => self.poller.modify(fd, token, interest),
+            };
+            match res {
+                Ok(()) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.registered = target;
+                    }
+                    Ok(())
+                }
+                Err(_) => Err(()),
+            }
+        }
+
+        /// Applies stopping/idle/read deadlines to every waiting
+        /// connection — the reactor's version of the blocking read loop's
+        /// `Fill::Tick` arm, sharing its budgets and its clock.
+        fn sweep_deadlines(&mut self) {
+            let stopping = self.state.is_stopping() || self.state.cancel.is_cancelled();
+            let now = self.config.clock.now_nanos();
+            let idle = self.config.idle_timeout;
+            let read = self.config.read_timeout;
+            let due: Vec<(u64, bool, bool)> = self
+                .conns
+                .values()
+                .filter_map(|conn| match conn.phase {
+                    Phase::Reading => {
+                        let waited =
+                            Duration::from_nanos(now.saturating_sub(conn.wait_started));
+                        if stopping {
+                            Some((conn.token, conn.buf.is_empty(), conn.in_body))
+                        } else if conn.buf.is_empty() {
+                            (waited >= idle).then_some((conn.token, true, false))
+                        } else {
+                            (waited >= read).then_some((conn.token, false, conn.in_body))
+                        }
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (token, buf_empty, in_body) in due {
+                if stopping {
+                    if buf_empty {
+                        self.close_conn(token);
+                    } else {
+                        self.error_response(token, 503, "server shutting down");
+                    }
+                } else if buf_empty {
+                    // Idle past the keep-alive window: close silently.
+                    self.close_conn(token);
+                } else if in_body {
+                    self.error_response(token, 408, "timed out receiving request body");
+                } else {
+                    self.error_response(token, 408, "timed out receiving request head");
+                }
+            }
+        }
+
+        /// Deregisters, releases the gauge if held, and drops the socket.
+        fn close_conn(&mut self, token: u64) {
+            if let Some(conn) = self.conns.remove(&token) {
+                if conn.registered != Registered::None {
+                    let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                }
+                if conn.in_flight {
+                    self.state.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}

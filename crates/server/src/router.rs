@@ -36,6 +36,7 @@ use walrus_core::{
 use walrus_imagery::ppm::{parse_netpbm_limited, parse_netpbm_limited_prefix};
 use walrus_imagery::{Image, ImageError};
 
+use crate::cache::{KeyHasher, Lookup, QueryCache};
 use crate::http::{json_string, Request, Response};
 use crate::metrics::{Metrics, TraceStore};
 
@@ -65,6 +66,9 @@ pub struct AppState {
     /// Pool shape, exposed as gauges in `/metrics`.
     pub pool_threads: usize,
     pub pool_queue_depth: usize,
+    /// Query-result cache, keyed by query-body hash + params fingerprint
+    /// and invalidated by [`Store::content_stamp`]. Capacity 0 disables.
+    pub cache: QueryCache,
 }
 
 impl AppState {
@@ -193,6 +197,8 @@ fn metrics_text(state: &AppState) -> Response {
         ("walrus_rebalance_epoch".to_string(), rebalance.epoch),
         ("walrus_rebalancing".to_string(), rebalance.rebalancing as u64),
         ("walrus_shards_migrated".to_string(), rebalance.shards_migrated as u64),
+        ("walrus_cache_entries".to_string(), state.cache.len() as u64),
+        ("walrus_cache_capacity".to_string(), state.cache.capacity() as u64),
     ];
     for h in &health {
         named.push((format!("walrus_shard_healthy{{shard=\"{}\"}}", h.shard), h.healthy as u64));
@@ -414,6 +420,38 @@ fn query(state: &AppState, req: &Request) -> Response {
     if req.body.is_empty() {
         return Response::error(400, "empty body; expected one PPM query image");
     }
+
+    // Result-cache probe. The key covers everything request-side that can
+    // change the answer (raw body bytes + raw parameter strings + shard
+    // count); the stamp covers everything store-side (per-shard LSNs,
+    // quarantine, rebalance epoch). A hit skips decode and the whole
+    // engine — an entry can only exist if these exact bytes were once a
+    // valid query whose `Complete` answer was produced under this stamp,
+    // so replaying the cached body is byte-identical by construction.
+    let key = query_cache_key(req);
+    let stamp = state.store.content_stamp();
+    match state.cache.lookup(key, stamp) {
+        Lookup::Hit(cached) => {
+            state.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+            let cache_span = trace.span("cache");
+            let body = append_request_id(&cached, request_id);
+            drop(cache_span);
+            state.finish_trace(request_id, &trace);
+            state
+                .metrics
+                .query_latency
+                .record(Duration::from_nanos(state.clock.now_nanos().saturating_sub(started)));
+            return Response::json(200, body);
+        }
+        Lookup::Stale => {
+            state.metrics.cache_invalidations_total.fetch_add(1, Ordering::Relaxed);
+            state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+        }
+        Lookup::Absent => {
+            state.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     let image = match parse_netpbm_limited(&req.body, decode_pixels) {
         Ok(image) => image,
         Err(e @ ImageError::TooLarge { .. }) => {
@@ -443,10 +481,51 @@ fn query(state: &AppState, req: &Request) -> Response {
                     206
                 }
             };
+            // Only `Complete` answers are cacheable, and only if the store
+            // content is still exactly what the query ran against — a
+            // mutation committed mid-query must not publish this body
+            // under the new stamp.
+            if status == 200
+                && state.store.content_stamp() == stamp
+                && state.cache.insert(key, stamp, outcome_json(&outcome))
+            {
+                state.metrics.cache_evictions_total.fetch_add(1, Ordering::Relaxed);
+            }
             Response::json(status, outcome_json_with_id(&outcome, Some(request_id)))
         }
         Err(e) => engine_error(&e),
     }
+}
+
+/// Builds the cache key for a `/query` request: FNV-1a 64 over the raw body
+/// bytes, then each answer-shaping query parameter (presence + raw string,
+/// in fixed order — raw strings, so no normalization step can ever make two
+/// semantically different requests collide). Store content is deliberately
+/// NOT part of the key: freshness is the stamp's job, so a rebalance or
+/// ingest surfaces as an invalidation rather than a silent key change.
+fn query_cache_key(req: &Request) -> u64 {
+    let mut h = KeyHasher::default();
+    h.write_bytes(&req.body);
+    for name in ["k", "eps", "min_sim", "timeout_ms", "max_pixels", "max_candidates"] {
+        match req.query_param(name) {
+            Some(v) => {
+                h.write_u64(1);
+                h.write_bytes(v.as_bytes());
+            }
+            None => {
+                h.write_u64(0);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Splices a fresh `request_id` into a cached body (stored without one):
+/// the id field sits between the closing brace of `stats` and the root
+/// closing brace, exactly where [`outcome_json_with_id`] puts it.
+fn append_request_id(body: &str, request_id: u64) -> String {
+    let trimmed = body.strip_suffix('}').unwrap_or(body);
+    format!("{trimmed},\"request_id\":{request_id}}}")
 }
 
 /// Serializes a [`QueryOutcome`]. Similarities are emitted both as JSON
@@ -601,6 +680,7 @@ mod tests {
             stopping: Arc::new(AtomicBool::new(false)),
             pool_threads: 2,
             pool_queue_depth: 8,
+            cache: QueryCache::new(QueryCache::DEFAULT_CAPACITY),
         }
     }
 
@@ -788,6 +868,7 @@ mod tests {
             stopping: Arc::new(AtomicBool::new(false)),
             pool_threads: 2,
             pool_queue_depth: 8,
+            cache: QueryCache::new(QueryCache::DEFAULT_CAPACITY),
         }
     }
 
@@ -859,6 +940,98 @@ mod tests {
         let resp = handle(&state, &request("POST", "/admin/rebalance?shards=2", Vec::new()));
         assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_byte_identically() {
+        let dir = tmp_dir("cache_hit");
+        let state = test_state(&dir);
+        handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
+
+        let first = handle(&state, &request("POST", "/query?k=1", ppm_bytes(0)));
+        assert_eq!(first.status, 200);
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 0);
+        assert_eq!(state.metrics.cache_misses_total.load(Ordering::Relaxed), 1);
+
+        let second = handle(&state, &request("POST", "/query?k=1", ppm_bytes(0)));
+        assert_eq!(second.status, 200);
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
+        // Byte-identical modulo the fresh request id: strip the id field
+        // (which is the only per-request part of the body) and compare.
+        assert_eq!(answer_of_body(&first.body), answer_of_body(&second.body));
+        // The spliced id is present and correct on the cached answer.
+        assert!(String::from_utf8(second.body.clone())
+            .unwrap()
+            .ends_with(&format!("\"request_id\":{}}}", 3)));
+
+        // Different params → different key → miss.
+        let third = handle(&state, &request("POST", "/query?k=2", ppm_bytes(0)));
+        assert_eq!(third.status, 200);
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
+        assert_eq!(state.metrics.cache_misses_total.load(Ordering::Relaxed), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_answers_but_checkpoint_does_not() {
+        let dir = tmp_dir("cache_inval");
+        let state = test_state(&dir);
+        handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
+        handle(&state, &request("POST", "/query?k=5", ppm_bytes(0)));
+
+        // Checkpoint rewrites bytes, not answers: the entry survives.
+        assert_eq!(handle(&state, &request("POST", "/admin/checkpoint", Vec::new())).status, 200);
+        handle(&state, &request("POST", "/query?k=5", ppm_bytes(0)));
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
+
+        // Ingest moves the LSN: the same key is now stale and the fresh
+        // answer (which sees the new image) replaces it.
+        assert_eq!(handle(&state, &request("POST", "/ingest", ppm_bytes(3))).status, 200);
+        let fresh = handle(&state, &request("POST", "/query?k=5", ppm_bytes(0)));
+        assert_eq!(fresh.status, 200);
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
+        assert_eq!(state.metrics.cache_invalidations_total.load(Ordering::Relaxed), 1);
+        let text = String::from_utf8(fresh.body).unwrap();
+        assert!(text.contains("\"distinct_images\":2"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebalance_invalidates_cached_answers() {
+        let dir = tmp_dir("cache_rebalance");
+        let state = sharded_state(&dir, 4);
+        handle(&state, &request("POST", "/ingest", ppm_bytes(0)));
+        let first = handle(&state, &request("POST", "/query?k=5", ppm_bytes(0)));
+        assert_eq!(first.status, 200);
+        let resp = handle(&state, &request("POST", "/admin/rebalance?shards=2", Vec::new()));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        // The epoch bump stales the entry: the repeat is an invalidation,
+        // not a hit, and the fresh answer is still bit-identical.
+        let after = handle(&state, &request("POST", "/query?k=5", ppm_bytes(0)));
+        assert_eq!(after.status, 200);
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 0);
+        assert_eq!(state.metrics.cache_invalidations_total.load(Ordering::Relaxed), 1);
+        assert_eq!(answer_of_body(&first.body), answer_of_body(&after.body));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_answers_are_not_cached() {
+        let dir = tmp_dir("cache_partial");
+        let state = test_state(&dir);
+        handle(&state, &request("POST", "/ingest", ppm_bytes(1)));
+        let resp = handle(&state, &request("POST", "/query?timeout_ms=0", ppm_bytes(1)));
+        assert_eq!(resp.status, 206);
+        assert!(state.cache.is_empty(), "a deadline-truncated 206 must not be cached");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Body with its `request_id` field removed.
+    fn answer_of_body(body: &[u8]) -> String {
+        let text = String::from_utf8(body.to_vec()).unwrap();
+        let at = text.rfind(",\"request_id\":").unwrap();
+        format!("{}{}", &text[..at], "}")
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::time::Duration;
 use walrus_core::{monotonic, CancelToken, Result, SharedClock, Store, WalrusError};
 use walrus_parallel::{resolve_threads, WorkerPool};
 
+use crate::cache::QueryCache;
 use crate::http::{Conn, HttpLimits, ParseError, ReadOpts, Response};
 use crate::metrics::{Metrics, TraceStore};
 use crate::router::{self, AppState};
@@ -62,6 +63,13 @@ pub struct ServerConfig {
     /// without sleeping. (Socket poll ticks still ride the OS timer — the
     /// clock decides *whether* a deadline has passed, not when reads wake.)
     pub clock: SharedClock,
+    /// Serve connections on the epoll reactor (one event-loop thread, fds
+    /// instead of blocked threads; CPU work still runs on the pool) instead
+    /// of thread-per-connection. Defaults from `WALRUS_REACTOR=1`. Silently
+    /// falls back to the threaded backend where epoll is unavailable.
+    pub reactor: bool,
+    /// Query-result cache entries (0 disables the cache).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,13 +85,15 @@ impl Default for ServerConfig {
             keep_alive_max: 1000,
             limits: HttpLimits::default(),
             clock: monotonic(),
+            reactor: std::env::var("WALRUS_REACTOR").map(|v| v == "1").unwrap_or(false),
+            cache_capacity: QueryCache::DEFAULT_CAPACITY,
         }
     }
 }
 
-/// Socket poll granularity: how often blocked reads wake up to check
-/// deadlines and the stopping flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Socket poll granularity: how often blocked reads (and the reactor's
+/// `epoll_wait`) wake up to check deadlines and the stopping flag.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// The server. [`Server::start`] returns a handle; the listener and workers
 /// run on background threads until [`ServerHandle::shutdown`].
@@ -126,20 +136,35 @@ impl Server {
             stopping: Arc::new(AtomicBool::new(false)),
             pool_threads: pool.threads(),
             pool_queue_depth: pool.capacity(),
+            cache: QueryCache::new(config.cache_capacity),
         });
         let stop_accept = Arc::new(AtomicBool::new(false));
 
+        // Backend selection: the reactor multiplexes every connection on
+        // one epoll thread (connections cost fds, not pool workers); the
+        // threaded backend parks one worker per connection. Same pool,
+        // same router, same bytes either way.
+        let use_reactor = config.reactor && walrus_reactor::supported();
         let accept_thread = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop_accept);
             let config = config.clone();
-            // The pool is shared with the accept thread for submission; the
-            // handle keeps it too for drain/shutdown.
+            // The pool is shared with the serving thread for submission;
+            // the handle keeps it too for drain/shutdown.
             let pool = Arc::new(pool);
             let pool_for_handle = Arc::clone(&pool);
+            let (name, body): (&str, Box<dyn FnOnce() + Send>) = if use_reactor {
+                ("walrus-reactor", Box::new(move || {
+                    crate::reactor::serve(listener, pool, state, stop, config)
+                }))
+            } else {
+                ("walrus-accept", Box::new(move || {
+                    accept_loop(listener, pool, state, stop, config)
+                }))
+            };
             let thread = std::thread::Builder::new()
-                .name("walrus-accept".to_string())
-                .spawn(move || accept_loop(listener, pool, state, stop, config))
+                .name(name.to_string())
+                .spawn(body)
                 .map_err(|e| WalrusError::Io {
                     context: "spawn accept thread".to_string(),
                     source: e,
@@ -160,7 +185,7 @@ impl Server {
     }
 }
 
-fn accept_loop(
+pub(crate) fn accept_loop(
     listener: TcpListener,
     pool: Arc<WorkerPool>,
     state: Arc<AppState>,
@@ -431,6 +456,7 @@ mod tests {
             stopping: Arc::new(AtomicBool::new(true)),
             pool_threads: 1,
             pool_queue_depth: 1,
+            cache: QueryCache::new(QueryCache::DEFAULT_CAPACITY),
         });
 
         /// Half a request head, then endless ticks; the write side records
